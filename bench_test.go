@@ -1,0 +1,188 @@
+package punt
+
+// The benchmarks in this file regenerate the paper's evaluation:
+//
+//   - BenchmarkTable1PUNT          — the "PUNT ACG" columns of Table 1
+//   - BenchmarkTable1SIS           — the explicit state-graph baseline column
+//   - BenchmarkTable1Petrify       — the symbolic (BDD) baseline column
+//   - BenchmarkFigure6PUNT/SIS/Petrify — the scaling series of Figure 6
+//   - BenchmarkCounterflowPUNT     — the circled counterflow-pipeline point
+//   - BenchmarkUnfoldOnly / BenchmarkExactMode — ablations of the design
+//     choices called out in DESIGN.md (segment construction cost, exact
+//     versus approximated cover derivation)
+//
+// Run them all with:  go test -bench=. -benchmem
+// EXPERIMENTS.md records a full set of measured numbers next to the values
+// the paper reports.
+
+import (
+	"fmt"
+	"testing"
+
+	"punt/internal/baseline"
+	"punt/internal/benchgen"
+	"punt/internal/core"
+	"punt/internal/unfolding"
+)
+
+// table1Small selects the benchmarks whose explicit state graph is small
+// enough for the baselines to process within the benchmark budget.
+func table1Small() []benchgen.BenchmarkEntry {
+	var out []benchgen.BenchmarkEntry
+	for _, e := range benchgen.Table1Suite() {
+		if e.Signals <= 14 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func BenchmarkTable1PUNT(b *testing.B) {
+	for _, entry := range benchgen.Table1Suite() {
+		entry := entry
+		b.Run(fmt.Sprintf("%s-%dsig", entry.Name, entry.Signals), func(b *testing.B) {
+			g := entry.Build()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.New(core.Options{}).Synthesize(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1SIS(b *testing.B) {
+	for _, entry := range table1Small() {
+		entry := entry
+		b.Run(fmt.Sprintf("%s-%dsig", entry.Name, entry.Signals), func(b *testing.B) {
+			g := entry.Build()
+			s := &baseline.ExplicitSynthesizer{MaxStates: 2000000}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Synthesize(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1Petrify(b *testing.B) {
+	for _, entry := range table1Small() {
+		entry := entry
+		b.Run(fmt.Sprintf("%s-%dsig", entry.Name, entry.Signals), func(b *testing.B) {
+			g := entry.Build()
+			s := &baseline.SymbolicSynthesizer{MaxNodes: 4000000}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Synthesize(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// figure6Sizes is the signal-count sweep of Figure 6.  The baselines only run
+// on the sizes they can finish; the larger sizes are exactly where the paper
+// shows them choking.
+var figure6Sizes = []int{5, 8, 12, 17, 22, 32, 42, 50}
+
+func BenchmarkFigure6PUNT(b *testing.B) {
+	for _, signals := range figure6Sizes {
+		signals := signals
+		b.Run(fmt.Sprintf("%dsig", signals), func(b *testing.B) {
+			g := benchgen.MullerPipelineWithSignals(signals)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.New(core.Options{}).Synthesize(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFigure6SIS(b *testing.B) {
+	for _, signals := range figure6Sizes {
+		if signals > 12 {
+			continue // the explicit state graph is out of reach beyond this size
+		}
+		signals := signals
+		b.Run(fmt.Sprintf("%dsig", signals), func(b *testing.B) {
+			g := benchgen.MullerPipelineWithSignals(signals)
+			s := &baseline.ExplicitSynthesizer{MaxStates: 2000000}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Synthesize(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFigure6Petrify(b *testing.B) {
+	for _, signals := range figure6Sizes {
+		if signals > 12 {
+			continue // the BDD blows up beyond this size
+		}
+		signals := signals
+		b.Run(fmt.Sprintf("%dsig", signals), func(b *testing.B) {
+			g := benchgen.MullerPipelineWithSignals(signals)
+			s := &baseline.SymbolicSynthesizer{MaxNodes: 8000000}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Synthesize(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCounterflowPUNT(b *testing.B) {
+	g := benchgen.CounterflowPipeline()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.New(core.Options{}).Synthesize(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnfoldOnly isolates the cost of constructing the STG-unfolding
+// segment (the "UnfTim" column) on the deepest pipeline of the sweep.
+func BenchmarkUnfoldOnly(b *testing.B) {
+	g := benchgen.MullerPipelineWithSignals(50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := unfolding.Build(g, unfolding.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactMode is the ablation of the paper's central design choice:
+// deriving exact covers by slice enumeration instead of approximating them.
+// Compare against BenchmarkApproximateMode on the same specification.
+func BenchmarkExactMode(b *testing.B) {
+	g := benchgen.MullerPipelineWithSignals(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.New(core.Options{Mode: core.Exact}).Synthesize(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApproximateMode(b *testing.B) {
+	g := benchgen.MullerPipelineWithSignals(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.New(core.Options{}).Synthesize(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command benchtab regenerates the paper's evaluation: Table 1 (the benchmark
+// suite synthesised by the unfolding-based flow and both state-graph
+// baselines) and the data series behind Figure 6 (synthesis time versus
+// signal count on the Muller pipeline, plus the counterflow-pipeline point).
+//
+// Usage:
+//
+//	benchtab -table1
+//	benchtab -figure6 [-signals 5,8,12,22,32,50]
+//	benchtab -table1 -figure6 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"punt/internal/benchgen"
+	"punt/internal/experiments"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "reproduce Table 1")
+	figure6 := flag.Bool("figure6", false, "reproduce the Figure 6 scaling series")
+	quick := flag.Bool("quick", false, "use small resource budgets so the whole run finishes quickly")
+	skipBaselines := flag.Bool("punt-only", false, "run only the unfolding-based flow (no baselines)")
+	signalsFlag := flag.String("signals", "", "comma-separated pipeline sizes (signal counts) for -figure6")
+	flag.Parse()
+	if !*table1 && !*figure6 {
+		fmt.Fprintln(os.Stderr, "usage: benchtab [-table1] [-figure6] [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	if *table1 {
+		opts := experiments.Table1Options{SkipBaselines: *skipBaselines}
+		if *quick {
+			opts.MaxStates = 100000
+			opts.MaxNodes = 500000
+		}
+		rows := experiments.RunTable1(benchgen.Table1Suite(), opts)
+		fmt.Println("Table 1: synthesis of the benchmark suite (PUNT ACG vs. state-graph baselines)")
+		fmt.Print(experiments.FormatTable1(rows))
+		fmt.Println()
+	}
+	if *figure6 {
+		opts := experiments.Figure6Options{
+			SkipBaselines:      *skipBaselines,
+			IncludeCounterflow: true,
+		}
+		if *signalsFlag != "" {
+			for _, part := range strings.Split(*signalsFlag, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "benchtab: bad -signals value %q\n", part)
+					os.Exit(2)
+				}
+				opts.Signals = append(opts.Signals, v)
+			}
+		}
+		if *quick {
+			opts.ExplicitLimit = 50000
+			opts.SymbolicLimit = 500000
+			if len(opts.Signals) == 0 {
+				opts.Signals = []int{5, 8, 12, 17, 22}
+			}
+		}
+		points := experiments.RunFigure6(opts)
+		fmt.Println("Figure 6: synthesis time vs. number of signals (Muller pipeline; last row = counterflow pipeline)")
+		fmt.Print(experiments.FormatFigure6(points))
+	}
+}

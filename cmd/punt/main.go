@@ -1,0 +1,79 @@
+// Command punt synthesises a speed-independent circuit from an STG
+// specification (.g file) using the unfolding-based method of the paper: the
+// STG-unfolding segment is built, partitioned into slices, and approximated
+// covers are derived and refined for every output signal.
+//
+// Usage:
+//
+//	punt [-exact] [-arch complex-gate|standard-c|rs-latch] [-verilog] [-stats] file.g
+//
+// With "-" as the file name the STG is read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"punt/internal/core"
+	"punt/internal/gatelib"
+	"punt/internal/stg"
+)
+
+func main() {
+	exact := flag.Bool("exact", false, "derive exact covers by slice enumeration instead of approximation")
+	archName := flag.String("arch", "complex-gate", "implementation architecture: complex-gate, standard-c or rs-latch")
+	verilog := flag.Bool("verilog", false, "emit a behavioural Verilog module instead of boolean equations")
+	stats := flag.Bool("stats", false, "print the synthesis time breakdown (UnfTim/SynTim/EspTim)")
+	maxEvents := flag.Int("max-events", 0, "abort if the unfolding segment exceeds this many events (0 = default)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: punt [flags] file.g")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	g, err := readSTG(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	var arch gatelib.Architecture
+	switch *archName {
+	case "complex-gate":
+		arch = gatelib.ComplexGate
+	case "standard-c":
+		arch = gatelib.StandardC
+	case "rs-latch":
+		arch = gatelib.RSLatch
+	default:
+		fail(fmt.Errorf("unknown architecture %q", *archName))
+	}
+	mode := core.Approximate
+	if *exact {
+		mode = core.Exact
+	}
+	im, st, err := core.New(core.Options{Mode: mode, Arch: arch, MaxEvents: *maxEvents}).Synthesize(g)
+	if err != nil {
+		fail(err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "%s\n", st)
+	}
+	if *verilog {
+		fmt.Print(im.Verilog())
+	} else {
+		fmt.Print(im.Eqn())
+	}
+}
+
+func readSTG(path string) (*stg.STG, error) {
+	if path == "-" {
+		return stg.Parse(os.Stdin)
+	}
+	return stg.ParseFile(path)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "punt:", err)
+	os.Exit(1)
+}

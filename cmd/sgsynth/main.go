@@ -1,0 +1,84 @@
+// Command sgsynth synthesises a speed-independent circuit from an STG using
+// the state-graph-based baseline flows: explicit enumeration (SIS-like) or
+// symbolic BDD-based reachability (Petrify-like).  It exists to compare
+// against the unfolding-based punt command.
+//
+// Usage:
+//
+//	sgsynth [-symbolic] [-arch ...] [-verilog] [-stats] file.g
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"punt/internal/baseline"
+	"punt/internal/gatelib"
+	"punt/internal/stg"
+)
+
+func main() {
+	symbolic := flag.Bool("symbolic", false, "use the BDD-based symbolic flow instead of explicit enumeration")
+	archName := flag.String("arch", "complex-gate", "implementation architecture: complex-gate, standard-c or rs-latch")
+	verilog := flag.Bool("verilog", false, "emit a behavioural Verilog module instead of boolean equations")
+	stats := flag.Bool("stats", false, "print the synthesis time breakdown")
+	maxStates := flag.Int("max-states", 0, "abort explicit enumeration beyond this many states (0 = unlimited)")
+	maxNodes := flag.Int("max-nodes", 0, "abort symbolic reachability beyond this many BDD nodes (0 = unlimited)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sgsynth [flags] file.g")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	g, err := readSTG(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	var arch gatelib.Architecture
+	switch *archName {
+	case "complex-gate":
+		arch = gatelib.ComplexGate
+	case "standard-c":
+		arch = gatelib.StandardC
+	case "rs-latch":
+		arch = gatelib.RSLatch
+	default:
+		fail(fmt.Errorf("unknown architecture %q", *archName))
+	}
+	var (
+		im  *gatelib.Implementation
+		st  *baseline.Stats
+		rer error
+	)
+	if *symbolic {
+		s := &baseline.SymbolicSynthesizer{Arch: arch, MaxNodes: *maxNodes}
+		im, st, rer = s.Synthesize(g)
+	} else {
+		s := &baseline.ExplicitSynthesizer{Arch: arch, MaxStates: *maxStates}
+		im, st, rer = s.Synthesize(g)
+	}
+	if rer != nil {
+		fail(rer)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "%s\n", st)
+	}
+	if *verilog {
+		fmt.Print(im.Verilog())
+	} else {
+		fmt.Print(im.Eqn())
+	}
+}
+
+func readSTG(path string) (*stg.STG, error) {
+	if path == "-" {
+		return stg.Parse(os.Stdin)
+	}
+	return stg.ParseFile(path)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sgsynth:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Command stginfo analyses an STG specification: it reports structural
+// properties of the underlying net, builds the state graph and checks the
+// correctness criteria required for speed-independent synthesis (consistency,
+// safeness, output persistency, USC/CSC), and summarises the size of the
+// STG-unfolding segment for comparison.
+//
+// Usage:
+//
+//	stginfo [-max-states N] file.g
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"punt/internal/stategraph"
+	"punt/internal/stg"
+	"punt/internal/unfolding"
+)
+
+func main() {
+	maxStates := flag.Int("max-states", 1000000, "abort state graph construction beyond this many states")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: stginfo [flags] file.g")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	g, err := readSTG(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(stg.Describe(g))
+	net := g.Net()
+	fmt.Printf("marked graph: %v, free choice: %v\n", net.IsMarkedGraph(), net.IsFreeChoice())
+
+	u, err := unfolding.Build(g, unfolding.Options{})
+	if err != nil {
+		fmt.Printf("unfolding: failed: %v\n", err)
+	} else {
+		fmt.Printf("unfolding segment: %s\n", u.Statistics())
+		if v := u.CheckSemiModularity(); len(v) > 0 {
+			fmt.Printf("unfolding semi-modularity: %d potential violations (first: %s)\n", len(v), v[0])
+		} else {
+			fmt.Println("unfolding semi-modularity: ok")
+		}
+	}
+
+	sg, err := stategraph.Build(g, stategraph.Options{MaxStates: *maxStates})
+	if err != nil {
+		fmt.Printf("state graph: failed: %v\n", err)
+		return
+	}
+	fmt.Print(sg.Report())
+}
+
+func readSTG(path string) (*stg.STG, error) {
+	if path == "-" {
+		return stg.Parse(os.Stdin)
+	}
+	return stg.ParseFile(path)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "stginfo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// Command unfdump builds the STG-unfolding segment of a specification and
+// prints it: every event with its binary code, preset, postset and cut-off
+// status, mirroring the figures of the paper.
+//
+// Usage:
+//
+//	unfdump [-max-events N] file.g
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"punt/internal/stg"
+	"punt/internal/unfolding"
+)
+
+func main() {
+	maxEvents := flag.Int("max-events", 0, "abort if the segment exceeds this many events (0 = default)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: unfdump [flags] file.g")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	g, err := readSTG(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	u, err := unfolding.Build(g, unfolding.Options{MaxEvents: *maxEvents})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(u.Dump())
+}
+
+func readSTG(path string) (*stg.STG, error) {
+	if path == "-" {
+		return stg.Parse(os.Stdin)
+	}
+	return stg.ParseFile(path)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "unfdump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,16 @@
+// Package punt is a from-scratch Go reproduction of "Synthesis of Speed
+// Independent Circuits from STG-unfolding Segment" (Semenov, Yakovlev,
+// Pastor, Peña, Cortadella — DAC 1997).
+//
+// The library synthesises speed-independent asynchronous circuits from Signal
+// Transition Graph specifications without building the full state graph:
+// it constructs a finite STG-unfolding segment, partitions it into slices per
+// output signal, derives approximated on/off-set covers from concurrency
+// information local to the segment and refines them only where they
+// interfere.  Explicit and BDD-based state-graph synthesizers are included as
+// the baselines the paper compares against, together with the benchmark
+// generators and the harness that regenerates Table 1 and Figure 6.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduced evaluation.
+package punt

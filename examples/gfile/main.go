@@ -1,0 +1,83 @@
+// gfile: the end-to-end flow on a textual .g specification.
+//
+// The program parses an STG written in the astg ".g" interchange format (the
+// format used by SIS and Petrify), checks every correctness criterion
+// required for speed-independent implementation (consistency, safeness,
+// output persistency, CSC), builds the unfolding segment, synthesises the
+// circuit in the standard C-element architecture and prints both the boolean
+// equations and a behavioural Verilog module.  Pass a path to your own .g
+// file to run the same flow on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"punt/internal/core"
+	"punt/internal/gatelib"
+	"punt/internal/stategraph"
+	"punt/internal/stg"
+	"punt/internal/unfolding"
+)
+
+// A small memory-read controller: the processor (pr) requests a read, the
+// controller handshakes with the memory (mr/ma) and acknowledges (pa).
+const defaultSpec = `
+.model read-ctl
+.inputs pr ma
+.outputs mr pa
+.graph
+pr+ mr+
+mr+ ma+
+ma+ pa+
+pa+ pr-
+pr- mr-
+mr- ma-
+ma- pa-
+pa- pr+
+.marking { <pa-,pr+> }
+.initial_state 0000
+.end
+`
+
+func main() {
+	path := flag.String("file", "", "path to a .g file (default: a built-in read controller)")
+	flag.Parse()
+
+	var g *stg.STG
+	var err error
+	if *path != "" {
+		g, err = stg.ParseFile(*path)
+	} else {
+		g, err = stg.ParseString(defaultSpec)
+	}
+	if err != nil {
+		log.Fatalf("parse: %v", err)
+	}
+	fmt.Print(stg.Describe(g))
+
+	// Correctness checks on the state graph.
+	sg, err := stategraph.Build(g, stategraph.Options{MaxStates: 500000})
+	if err != nil {
+		log.Fatalf("state graph: %v", err)
+	}
+	fmt.Print(sg.Report())
+
+	// The unfolding segment the synthesis works on.
+	u, err := unfolding.Build(g, unfolding.Options{})
+	if err != nil {
+		log.Fatalf("unfolding: %v", err)
+	}
+	fmt.Printf("unfolding segment: %s\n\n", u.Statistics())
+
+	im, _, err := core.New(core.Options{Arch: gatelib.StandardC}).Synthesize(g)
+	if err != nil {
+		log.Fatalf("synthesis: %v", err)
+	}
+	fmt.Println("set/reset equations (standard C-element architecture):")
+	fmt.Print(im.Eqn())
+	fmt.Println()
+	fmt.Println("Verilog:")
+	fmt.Print(im.Verilog())
+}

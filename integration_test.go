@@ -1,0 +1,153 @@
+package punt
+
+import (
+	"testing"
+
+	"punt/internal/baseline"
+	"punt/internal/benchgen"
+	"punt/internal/core"
+	"punt/internal/gatelib"
+	"punt/internal/stategraph"
+	"punt/internal/stg"
+)
+
+// verify checks every gate of an implementation against the explicit state
+// graph of a fresh copy of the specification.
+func verify(t *testing.T, mk func() *stg.STG, im *gatelib.Implementation) {
+	t.Helper()
+	g := mk()
+	sg, err := stategraph.Build(g, stategraph.Options{MaxStates: 2000000})
+	if err != nil {
+		t.Fatalf("%s: state graph: %v", g.Name(), err)
+	}
+	for _, gate := range im.Gates {
+		sig, ok := g.SignalIndex(gate.Signal)
+		if !ok {
+			t.Fatalf("%s: unknown signal %q", g.Name(), gate.Signal)
+		}
+		switch gate.Arch {
+		case gatelib.ComplexGate:
+			if err := sg.VerifyCover(sig, gate.Cover); err != nil {
+				t.Errorf("%s: %v", g.Name(), err)
+			}
+		default:
+			if err := sg.VerifySetReset(sig, gate.Set, gate.Reset); err != nil {
+				t.Errorf("%s: %v", g.Name(), err)
+			}
+		}
+	}
+}
+
+// TestPUNTCorrectOnTable1Suite is the end-to-end correctness check: for every
+// Table 1 benchmark that is small enough to enumerate, the unfolding-based
+// implementation must be functionally correct with respect to the explicit
+// state graph, and its literal count must match the exact state-graph flow.
+func TestPUNTCorrectOnTable1Suite(t *testing.T) {
+	for _, entry := range benchgen.Table1Suite() {
+		entry := entry
+		if entry.Signals > 14 && testing.Short() {
+			continue
+		}
+		if entry.Signals > 18 {
+			continue // too large for explicit verification; covered by benchmarks
+		}
+		t.Run(entry.Name, func(t *testing.T) {
+			im, stats, err := core.New(core.Options{}).Synthesize(entry.Build())
+			if err != nil {
+				t.Fatalf("punt: %v", err)
+			}
+			verify(t, entry.Build, im)
+
+			ex := &baseline.ExplicitSynthesizer{MaxStates: 2000000}
+			imSG, _, err := ex.Synthesize(entry.Build())
+			if err != nil {
+				t.Fatalf("explicit baseline: %v", err)
+			}
+			if im.Literals() > imSG.Literals()+entry.Signals {
+				t.Errorf("literal count %d much worse than SG-exact %d", im.Literals(), imSG.Literals())
+			}
+			t.Logf("%s: punt=%d literals (%d events, %d refined terms), sg-exact=%d literals",
+				entry.Name, im.Literals(), stats.Events, stats.TermsRefined, imSG.Literals())
+		})
+	}
+}
+
+// TestPUNTCorrectOnPipelines checks the scalable example end to end for sizes
+// that the explicit state graph can still verify.
+func TestPUNTCorrectOnPipelines(t *testing.T) {
+	for _, stages := range []int{1, 3, 6, 9} {
+		mk := func() *stg.STG { return benchgen.MullerPipeline(stages) }
+		im, stats, err := core.New(core.Options{}).Synthesize(mk())
+		if err != nil {
+			t.Fatalf("stages=%d: %v", stages, err)
+		}
+		if stats.TermsRefined != 0 {
+			t.Errorf("stages=%d: the pipeline should not need refinement, refined %d terms",
+				stages, stats.TermsRefined)
+		}
+		verify(t, mk, im)
+		// Every internal stage is a Muller C-element of its two neighbours:
+		// three cubes of two literals each.
+		for i := 2; i < stages; i++ {
+			gate, ok := im.Gate(gateName(i))
+			if !ok {
+				t.Fatalf("stages=%d: missing gate c%d", stages, i)
+			}
+			if gate.Literals() != 6 {
+				t.Errorf("stages=%d: gate c%d has %d literals, want the 6-literal C-element",
+					stages, i, gate.Literals())
+			}
+		}
+	}
+}
+
+func gateName(i int) string {
+	return "c" + string(rune('0'+i))
+}
+
+// TestPUNTCorrectOnChoiceController exercises input choice end to end.
+func TestPUNTCorrectOnChoiceController(t *testing.T) {
+	mk := func() *stg.STG { return benchgen.ChoiceController("choice", 5, 11) }
+	im, _, err := core.New(core.Options{}).Synthesize(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, mk, im)
+}
+
+// TestAllArchitecturesOnReadController checks the three implementation
+// architectures on the same controller.
+func TestAllArchitecturesOnReadController(t *testing.T) {
+	mk := func() *stg.STG { return benchgen.SyntheticController("read-ctl", 8, 3) }
+	for _, arch := range []gatelib.Architecture{gatelib.ComplexGate, gatelib.StandardC, gatelib.RSLatch} {
+		im, _, err := core.New(core.Options{Arch: arch}).Synthesize(mk())
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		verify(t, mk, im)
+	}
+}
+
+// TestExactModeMatchesApproximateMode compares the two unfolding-based modes
+// across the small suite: both must be correct; exact mode enumerates states
+// and is the reference for cover quality.
+func TestExactModeMatchesApproximateMode(t *testing.T) {
+	for _, entry := range benchgen.Table1Suite() {
+		if entry.Signals > 10 {
+			continue
+		}
+		approx, _, err := core.New(core.Options{}).Synthesize(entry.Build())
+		if err != nil {
+			t.Fatalf("%s approx: %v", entry.Name, err)
+		}
+		exact, _, err := core.New(core.Options{Mode: core.Exact}).Synthesize(entry.Build())
+		if err != nil {
+			t.Fatalf("%s exact: %v", entry.Name, err)
+		}
+		verify(t, entry.Build, approx)
+		verify(t, entry.Build, exact)
+		if approx.Literals() != exact.Literals() {
+			t.Logf("%s: approx=%d exact=%d literals (both verified)", entry.Name, approx.Literals(), exact.Literals())
+		}
+	}
+}

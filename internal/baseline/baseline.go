@@ -1,0 +1,80 @@
+// Package baseline implements the two state-graph-based synthesis flows the
+// paper compares PUNT against:
+//
+//   - ExplicitSynthesizer ("SIS-like"): enumerates the state graph explicitly
+//     and derives exact on/off-set covers from the state codes.
+//   - SymbolicSynthesizer ("Petrify-like"): represents the state graph
+//     symbolically with BDDs, computes the reachable set by a fixed-point of
+//     image computations, and extracts the covers from the BDDs.
+//
+// Both flows then minimise the covers with the same two-level minimiser used
+// by the unfolding-based flow, so literal counts are directly comparable.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"punt/internal/boolcover"
+	"punt/internal/gatelib"
+	"punt/internal/stg"
+)
+
+// ErrCSC is returned when a specification violates Complete State Coding and
+// therefore cannot be implemented without changing the specification.
+var ErrCSC = errors.New("baseline: specification has a CSC conflict")
+
+// ErrLimit is returned when a synthesis run exceeds its configured state or
+// node budget (the state-explosion guard used by the Figure 6 experiment).
+var ErrLimit = errors.New("baseline: resource limit exceeded")
+
+// Stats is the timing breakdown of a baseline synthesis run.
+type Stats struct {
+	// States is the number of reachable states of the state graph.
+	States int
+	// BuildTime is the time spent constructing the state graph (explicitly or
+	// symbolically).
+	BuildTime time.Duration
+	// CoverTime is the time spent deriving the on/off-set covers.
+	CoverTime time.Duration
+	// MinimizeTime is the time spent in two-level minimisation (the paper's
+	// "EspTim" for the PUNT column; for the baselines it is folded into the
+	// total, but we keep the breakdown for analysis).
+	MinimizeTime time.Duration
+	// Total is the complete wall-clock synthesis time.
+	Total time.Duration
+}
+
+// String summarises the stats.
+func (s *Stats) String() string {
+	return fmt.Sprintf("states=%d build=%v covers=%v minimize=%v total=%v",
+		s.States, s.BuildTime.Round(time.Microsecond), s.CoverTime.Round(time.Microsecond),
+		s.MinimizeTime.Round(time.Microsecond), s.Total.Round(time.Microsecond))
+}
+
+// buildGate assembles a gate for one signal in the requested architecture
+// from its exact on-set, off-set and excitation-region covers.
+func buildGate(
+	g *stg.STG,
+	signal int,
+	arch gatelib.Architecture,
+	on, off, erPlus, erMinus *boolcover.Cover,
+) (gatelib.Gate, time.Duration) {
+	name := g.Signal(signal).Name
+	start := time.Now()
+	switch arch {
+	case gatelib.ComplexGate:
+		cover := boolcover.MinimizeAgainstOff(on, off)
+		return gatelib.Gate{Signal: name, Arch: arch, Cover: cover}, time.Since(start)
+	default:
+		// Memory-element architectures: the set function must cover ER(+a)
+		// and may extend into QR(a=1); it must not hold where the signal is 0
+		// and not excited to rise.  Dually for reset.
+		setOff := off.Sharp(erPlus)     // states with implied 0, minus nothing: set must avoid all of them
+		resetOff := on.Sharp(erMinus)   // states with implied 1: reset must avoid them
+		set := boolcover.MinimizeAgainstOff(erPlus, setOff)
+		reset := boolcover.MinimizeAgainstOff(erMinus, resetOff)
+		return gatelib.Gate{Signal: name, Arch: arch, Set: set, Reset: reset}, time.Since(start)
+	}
+}

@@ -1,0 +1,179 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"punt/internal/benchgen"
+	"punt/internal/boolcover"
+	"punt/internal/gatelib"
+	"punt/internal/stategraph"
+	"punt/internal/stg"
+)
+
+// verifyImplementation checks every gate of the implementation against the
+// explicit state graph.
+func verifyImplementation(t *testing.T, g *stg.STG, im *gatelib.Implementation) {
+	t.Helper()
+	sg, err := stategraph.Build(g, stategraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gate := range im.Gates {
+		sig, ok := g.SignalIndex(gate.Signal)
+		if !ok {
+			t.Fatalf("implementation has unknown signal %q", gate.Signal)
+		}
+		switch gate.Arch {
+		case gatelib.ComplexGate:
+			if err := sg.VerifyCover(sig, gate.Cover); err != nil {
+				t.Fatalf("gate %s: %v", gate.Signal, err)
+			}
+		default:
+			if err := sg.VerifySetReset(sig, gate.Set, gate.Reset); err != nil {
+				t.Fatalf("gate %s: %v", gate.Signal, err)
+			}
+		}
+	}
+}
+
+func TestExplicitFig1(t *testing.T) {
+	g := benchgen.PaperFig1()
+	s := &ExplicitSynthesizer{}
+	im, stats, err := s.Synthesize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.States != 8 {
+		t.Fatalf("states = %d, want 8", stats.States)
+	}
+	gate, ok := im.Gate("b")
+	if !ok {
+		t.Fatal("no gate for b")
+	}
+	// The paper's result: C(b) = a + c, two literals.
+	if !gate.Cover.Equivalent(boolcover.CoverFromStrings("1--", "--1")) {
+		t.Fatalf("cover = %s, want a + c", gate.Cover)
+	}
+	if im.Literals() != 2 {
+		t.Fatalf("literals = %d, want 2", im.Literals())
+	}
+	verifyImplementation(t, g, im)
+}
+
+func TestSymbolicFig1(t *testing.T) {
+	g := benchgen.PaperFig1()
+	s := &SymbolicSynthesizer{}
+	im, stats, err := s.Synthesize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.States != 8 {
+		t.Fatalf("states = %d, want 8", stats.States)
+	}
+	gate, ok := im.Gate("b")
+	if !ok {
+		t.Fatal("no gate for b")
+	}
+	if !gate.Cover.Equivalent(boolcover.CoverFromStrings("1--", "--1")) {
+		t.Fatalf("cover = %s, want a + c", gate.Cover)
+	}
+	verifyImplementation(t, g, im)
+}
+
+func TestExplicitAndSymbolicAgree(t *testing.T) {
+	for _, build := range []func() *stg.STG{benchgen.PaperFig1, benchgen.PaperFig4, benchgen.Handshake} {
+		g := build()
+		e := &ExplicitSynthesizer{}
+		imE, statsE, err := e.Synthesize(g)
+		if err != nil {
+			t.Fatalf("%s explicit: %v", g.Name(), err)
+		}
+		g2 := build()
+		y := &SymbolicSynthesizer{}
+		imS, statsS, err := y.Synthesize(g2)
+		if err != nil {
+			t.Fatalf("%s symbolic: %v", g.Name(), err)
+		}
+		if statsE.States != statsS.States {
+			t.Fatalf("%s: explicit found %d states, symbolic %d", g.Name(), statsE.States, statsS.States)
+		}
+		// Both implementations must be functionally correct; covers may differ
+		// syntactically but must be equivalent on reachable states, which the
+		// verifier checks.
+		verifyImplementation(t, build(), imE)
+		verifyImplementation(t, build(), imS)
+		if imE.Literals() != imS.Literals() {
+			// Same minimiser, same exact covers: literal counts should agree.
+			t.Fatalf("%s: literal counts differ: explicit %d, symbolic %d",
+				g.Name(), imE.Literals(), imS.Literals())
+		}
+	}
+}
+
+func TestCElementArchitecture(t *testing.T) {
+	for _, arch := range []gatelib.Architecture{gatelib.StandardC, gatelib.RSLatch} {
+		g := benchgen.PaperFig4()
+		s := &ExplicitSynthesizer{Arch: arch}
+		im, _, err := s.Synthesize(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyImplementation(t, benchgen.PaperFig4(), im)
+		for _, gate := range im.Gates {
+			if gate.Set == nil || gate.Reset == nil {
+				t.Fatalf("gate %s missing set/reset covers", gate.Signal)
+			}
+		}
+	}
+}
+
+func TestExplicitStateLimit(t *testing.T) {
+	g := benchgen.PaperFig4()
+	s := &ExplicitSynthesizer{MaxStates: 4}
+	_, _, err := s.Synthesize(g)
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("expected ErrLimit, got %v", err)
+	}
+}
+
+func TestSymbolicNodeLimit(t *testing.T) {
+	g := benchgen.PaperFig4()
+	s := &SymbolicSynthesizer{MaxNodes: 16}
+	_, _, err := s.Synthesize(g)
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("expected ErrLimit, got %v", err)
+	}
+}
+
+func TestCSCConflictReported(t *testing.T) {
+	// Two sequential handshakes on the same input: classic CSC failure.
+	b := stg.NewBuilder("csc-conflict")
+	b.Inputs("in").Outputs("out1", "out2")
+	b.Chain("in+", "out1+", "in-", "out1-", "in+/2", "out2+", "in-/2", "out2-")
+	b.Arc("out2-", "in+").MarkBetween("out2-", "in+")
+	b.InitialState("000")
+	g := b.MustBuild()
+
+	e := &ExplicitSynthesizer{}
+	if _, _, err := e.Synthesize(g); !errors.Is(err, ErrCSC) {
+		t.Fatalf("explicit: expected ErrCSC, got %v", err)
+	}
+	y := &SymbolicSynthesizer{}
+	if _, _, err := y.Synthesize(b.MustBuild()); !errors.Is(err, ErrCSC) {
+		t.Fatalf("symbolic: expected ErrCSC, got %v", err)
+	}
+}
+
+func TestHandshakeLiteralCount(t *testing.T) {
+	g := benchgen.Handshake()
+	e := &ExplicitSynthesizer{}
+	im, _, err := e.Synthesize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ack = req: a single literal.
+	if im.Literals() != 1 {
+		t.Fatalf("literals = %d, want 1", im.Literals())
+	}
+}

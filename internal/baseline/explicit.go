@@ -1,0 +1,74 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"punt/internal/boolcover"
+	"punt/internal/gatelib"
+	"punt/internal/stategraph"
+	"punt/internal/stg"
+)
+
+// ExplicitSynthesizer is the "SIS-like" baseline: it enumerates the state
+// graph explicitly, reads the truth table of every output signal off the
+// state codes and minimises it.
+type ExplicitSynthesizer struct {
+	// MaxStates aborts synthesis with ErrLimit when the state graph exceeds
+	// this size (0 = unlimited).
+	MaxStates int
+	// Arch selects the implementation architecture (default ComplexGate).
+	Arch gatelib.Architecture
+}
+
+// Synthesize derives an implementation for every output and internal signal
+// of the STG.
+func (s *ExplicitSynthesizer) Synthesize(g *stg.STG) (*gatelib.Implementation, *Stats, error) {
+	stats := &Stats{}
+	total := time.Now()
+
+	start := time.Now()
+	sg, err := stategraph.Build(g, stategraph.Options{MaxStates: s.MaxStates})
+	stats.BuildTime = time.Since(start)
+	if err != nil {
+		if errors.Is(err, stategraph.ErrStateLimit) {
+			return nil, stats, fmt.Errorf("%w: state graph larger than %d states", ErrLimit, s.MaxStates)
+		}
+		return nil, stats, err
+	}
+	stats.States = sg.NumStates()
+
+	if conflicts := sg.CheckCSC(); len(conflicts) > 0 {
+		return nil, stats, fmt.Errorf("%w: %s", ErrCSC, conflicts[0])
+	}
+
+	im := &gatelib.Implementation{Name: g.Name(), SignalNames: g.SignalNames()}
+	for _, sig := range g.OutputSignals() {
+		coverStart := time.Now()
+		on := sg.OnSet(sig)
+		off := sg.OffSet(sig)
+		var erPlus, erMinus *boolcover.Cover
+		if s.Arch != gatelib.ComplexGate {
+			erPlus = regionCover(sg, sig, stg.Plus)
+			erMinus = regionCover(sg, sig, stg.Minus)
+		}
+		stats.CoverTime += time.Since(coverStart)
+
+		gate, minTime := buildGate(g, sig, s.Arch, on, off, erPlus, erMinus)
+		stats.MinimizeTime += minTime
+		im.Gates = append(im.Gates, gate)
+	}
+	stats.Total = time.Since(total)
+	return im, stats, nil
+}
+
+// regionCover builds the cover of the binary codes of the excitation region
+// of the given signal edge.
+func regionCover(sg *stategraph.Graph, signal int, dir stg.Direction) *boolcover.Cover {
+	c := boolcover.NewCover(sg.STG.NumSignals())
+	for _, i := range sg.ExcitationRegion(signal, dir) {
+		c.Add(boolcover.CubeFromMinterm(sg.States[i].Code))
+	}
+	return c
+}

@@ -1,0 +1,430 @@
+// Package bdd implements reduced ordered binary decision diagrams (ROBDDs)
+// with a shared unique table and an ITE computed cache.  It is the symbolic
+// substrate of the "Petrify-like" baseline synthesizer: the paper compares
+// PUNT against Petrify, which represents the state graph of an STG with BDDs.
+//
+// Nodes are identified by small integer handles; 0 and 1 are the terminal
+// nodes.  All operations are performed through a Manager, which owns the
+// node table.  The variable order is the natural order of variable indices.
+package bdd
+
+import (
+	"fmt"
+)
+
+// Node is a handle to a BDD node owned by a Manager.
+type Node int32
+
+// Terminal nodes.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+type nodeData struct {
+	level     int32 // variable index; terminals use level = maxLevel
+	low, high Node
+}
+
+type uniqueKey struct {
+	level     int32
+	low, high Node
+}
+
+type opKey struct {
+	op      uint8
+	a, b, c Node
+}
+
+const (
+	opAnd uint8 = iota
+	opOr
+	opXor
+	opIte
+	opExists
+	opRestrict
+)
+
+// Manager owns a forest of shared ROBDD nodes over a fixed number of
+// variables.
+type Manager struct {
+	nvars  int
+	nodes  []nodeData
+	unique map[uniqueKey]Node
+	cache  map[opKey]Node
+}
+
+// New returns a manager for nvars boolean variables.
+func New(nvars int) *Manager {
+	if nvars < 0 {
+		panic("bdd: negative variable count")
+	}
+	m := &Manager{
+		nvars:  nvars,
+		unique: map[uniqueKey]Node{},
+		cache:  map[opKey]Node{},
+	}
+	term := int32(nvars)
+	m.nodes = append(m.nodes,
+		nodeData{level: term}, // False
+		nodeData{level: term}, // True
+	)
+	return m
+}
+
+// NumVars reports the number of variables of the manager.
+func (m *Manager) NumVars() int { return m.nvars }
+
+// NumNodes reports the number of allocated nodes (including terminals); a
+// rough measure of memory use.
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+func (m *Manager) level(n Node) int32 { return m.nodes[n].level }
+
+func (m *Manager) mk(level int32, low, high Node) Node {
+	if low == high {
+		return low
+	}
+	key := uniqueKey{level, low, high}
+	if n, ok := m.unique[key]; ok {
+		return n
+	}
+	n := Node(len(m.nodes))
+	m.nodes = append(m.nodes, nodeData{level: level, low: low, high: high})
+	m.unique[key] = n
+	return n
+}
+
+// Const returns the terminal for the given boolean.
+func (m *Manager) Const(b bool) Node {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Var returns the BDD of variable i.
+func (m *Manager) Var(i int) Node {
+	m.checkVar(i)
+	return m.mk(int32(i), False, True)
+}
+
+// NVar returns the BDD of the negation of variable i.
+func (m *Manager) NVar(i int) Node {
+	m.checkVar(i)
+	return m.mk(int32(i), True, False)
+}
+
+func (m *Manager) checkVar(i int) {
+	if i < 0 || i >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.nvars))
+	}
+}
+
+// Not returns the complement of f.
+func (m *Manager) Not(f Node) Node {
+	return m.Ite(f, False, True)
+}
+
+// And returns f ∧ g.
+func (m *Manager) And(f, g Node) Node {
+	if f == g {
+		return f
+	}
+	if f == False || g == False {
+		return False
+	}
+	if f == True {
+		return g
+	}
+	if g == True {
+		return f
+	}
+	if f > g {
+		f, g = g, f
+	}
+	key := opKey{op: opAnd, a: f, b: g}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	lv := min32(m.level(f), m.level(g))
+	f0, f1 := m.cofactors(f, lv)
+	g0, g1 := m.cofactors(g, lv)
+	r := m.mk(lv, m.And(f0, g0), m.And(f1, g1))
+	m.cache[key] = r
+	return r
+}
+
+// Or returns f ∨ g.
+func (m *Manager) Or(f, g Node) Node {
+	if f == g {
+		return f
+	}
+	if f == True || g == True {
+		return True
+	}
+	if f == False {
+		return g
+	}
+	if g == False {
+		return f
+	}
+	if f > g {
+		f, g = g, f
+	}
+	key := opKey{op: opOr, a: f, b: g}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	lv := min32(m.level(f), m.level(g))
+	f0, f1 := m.cofactors(f, lv)
+	g0, g1 := m.cofactors(g, lv)
+	r := m.mk(lv, m.Or(f0, g0), m.Or(f1, g1))
+	m.cache[key] = r
+	return r
+}
+
+// Xor returns f ⊕ g.
+func (m *Manager) Xor(f, g Node) Node {
+	if f == g {
+		return False
+	}
+	if f == False {
+		return g
+	}
+	if g == False {
+		return f
+	}
+	if f == True {
+		return m.Not(g)
+	}
+	if g == True {
+		return m.Not(f)
+	}
+	if f > g {
+		f, g = g, f
+	}
+	key := opKey{op: opXor, a: f, b: g}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	lv := min32(m.level(f), m.level(g))
+	f0, f1 := m.cofactors(f, lv)
+	g0, g1 := m.cofactors(g, lv)
+	r := m.mk(lv, m.Xor(f0, g0), m.Xor(f1, g1))
+	m.cache[key] = r
+	return r
+}
+
+// Ite returns if-then-else(f, g, h).
+func (m *Manager) Ite(f, g, h Node) Node {
+	if f == True {
+		return g
+	}
+	if f == False {
+		return h
+	}
+	if g == h {
+		return g
+	}
+	if g == True && h == False {
+		return f
+	}
+	key := opKey{op: opIte, a: f, b: g, c: h}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	lv := min32(m.level(f), min32(m.level(g), m.level(h)))
+	f0, f1 := m.cofactors(f, lv)
+	g0, g1 := m.cofactors(g, lv)
+	h0, h1 := m.cofactors(h, lv)
+	r := m.mk(lv, m.Ite(f0, g0, h0), m.Ite(f1, g1, h1))
+	m.cache[key] = r
+	return r
+}
+
+// Implies returns f → g.
+func (m *Manager) Implies(f, g Node) Node {
+	return m.Or(m.Not(f), g)
+}
+
+func (m *Manager) cofactors(f Node, lv int32) (Node, Node) {
+	if m.level(f) != lv {
+		return f, f
+	}
+	return m.nodes[f].low, m.nodes[f].high
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RestrictVar returns f with variable v fixed to the given value.
+func (m *Manager) RestrictVar(f Node, v int, value bool) Node {
+	m.checkVar(v)
+	var b Node
+	if value {
+		b = True
+	}
+	key := opKey{op: opRestrict, a: f, b: Node(v)*2 + b}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	var r Node
+	switch {
+	case m.level(f) > int32(v):
+		r = f
+	case m.level(f) == int32(v):
+		if value {
+			r = m.nodes[f].high
+		} else {
+			r = m.nodes[f].low
+		}
+	default:
+		lv := m.level(f)
+		r = m.mk(lv, m.RestrictVar(m.nodes[f].low, v, value), m.RestrictVar(m.nodes[f].high, v, value))
+	}
+	m.cache[key] = r
+	return r
+}
+
+// ExistsVar existentially quantifies variable v out of f.
+func (m *Manager) ExistsVar(f Node, v int) Node {
+	return m.Or(m.RestrictVar(f, v, false), m.RestrictVar(f, v, true))
+}
+
+// Exists existentially quantifies all the given variables out of f.
+func (m *Manager) Exists(f Node, vars []int) Node {
+	r := f
+	for _, v := range vars {
+		r = m.ExistsVar(r, v)
+	}
+	return r
+}
+
+// ForAll universally quantifies all the given variables out of f.
+func (m *Manager) ForAll(f Node, vars []int) Node {
+	r := f
+	for _, v := range vars {
+		r = m.And(m.RestrictVar(r, v, false), m.RestrictVar(r, v, true))
+	}
+	return r
+}
+
+// Eval evaluates f under the assignment given by vals (indexed by variable).
+func (m *Manager) Eval(f Node, vals []bool) bool {
+	for f != True && f != False {
+		d := m.nodes[f]
+		if vals[d.level] {
+			f = d.high
+		} else {
+			f = d.low
+		}
+	}
+	return f == True
+}
+
+// SatCount returns the number of satisfying assignments of f over all
+// variables of the manager, as a float64 (the counts grow exponentially).
+func (m *Manager) SatCount(f Node) float64 {
+	memo := map[Node]float64{}
+	var count func(Node) float64
+	count = func(n Node) float64 {
+		if n == False {
+			return 0
+		}
+		if n == True {
+			return 1
+		}
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		d := m.nodes[n]
+		low := count(d.low) * pow2(int(m.level(d.low)-d.level-1))
+		high := count(d.high) * pow2(int(m.level(d.high)-d.level-1))
+		v := low + high
+		memo[n] = v
+		return v
+	}
+	return count(f) * pow2(int(m.level(f)))
+}
+
+func pow2(k int) float64 {
+	v := 1.0
+	for i := 0; i < k; i++ {
+		v *= 2
+	}
+	return v
+}
+
+// CubeValue is the value of one variable along a satisfying path.
+type CubeValue int8
+
+// Possible CubeValue values.
+const (
+	CubeDontCare CubeValue = -1
+	CubeZero     CubeValue = 0
+	CubeOne      CubeValue = 1
+)
+
+// AllCubes enumerates the satisfying paths of f as cubes over the manager's
+// variables (CubeDontCare marks variables not on the path).  The callback may
+// return false to stop the enumeration early.
+func (m *Manager) AllCubes(f Node, visit func(cube []CubeValue) bool) {
+	cube := make([]CubeValue, m.nvars)
+	for i := range cube {
+		cube[i] = CubeDontCare
+	}
+	m.allCubes(f, cube, visit)
+}
+
+func (m *Manager) allCubes(f Node, cube []CubeValue, visit func([]CubeValue) bool) bool {
+	if f == False {
+		return true
+	}
+	if f == True {
+		out := make([]CubeValue, len(cube))
+		copy(out, cube)
+		return visit(out)
+	}
+	d := m.nodes[f]
+	cube[d.level] = CubeZero
+	if !m.allCubes(d.low, cube, visit) {
+		cube[d.level] = CubeDontCare
+		return false
+	}
+	cube[d.level] = CubeOne
+	if !m.allCubes(d.high, cube, visit) {
+		cube[d.level] = CubeDontCare
+		return false
+	}
+	cube[d.level] = CubeDontCare
+	return true
+}
+
+// Support returns the variables that f depends on, in increasing order.
+func (m *Manager) Support(f Node) []int {
+	seen := map[Node]bool{}
+	vars := map[int]bool{}
+	var walk func(Node)
+	walk = func(n Node) {
+		if n == True || n == False || seen[n] {
+			return
+		}
+		seen[n] = true
+		vars[int(m.nodes[n].level)] = true
+		walk(m.nodes[n].low)
+		walk(m.nodes[n].high)
+	}
+	walk(f)
+	out := make([]int, 0, len(vars))
+	for v := 0; v < m.nvars; v++ {
+		if vars[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTerminalsAndVars(t *testing.T) {
+	m := New(3)
+	if m.Const(true) != True || m.Const(false) != False {
+		t.Fatal("constants wrong")
+	}
+	x := m.Var(0)
+	if m.Var(0) != x {
+		t.Fatal("unique table must share equal nodes")
+	}
+	if m.Not(m.NVar(0)) != x {
+		t.Fatal("double negation must be canonical")
+	}
+}
+
+func TestBasicIdentities(t *testing.T) {
+	m := New(4)
+	a, b := m.Var(0), m.Var(1)
+	if m.And(a, m.Not(a)) != False {
+		t.Fatal("a ∧ ¬a = 0")
+	}
+	if m.Or(a, m.Not(a)) != True {
+		t.Fatal("a ∨ ¬a = 1")
+	}
+	if m.And(a, b) != m.And(b, a) {
+		t.Fatal("∧ commutative (canonical form)")
+	}
+	if m.Xor(a, a) != False {
+		t.Fatal("a ⊕ a = 0")
+	}
+	if m.Ite(a, True, False) != a {
+		t.Fatal("ite(a,1,0) = a")
+	}
+	if m.Implies(False, a) != True {
+		t.Fatal("0 → a = 1")
+	}
+	// De Morgan.
+	if m.Not(m.And(a, b)) != m.Or(m.Not(a), m.Not(b)) {
+		t.Fatal("De Morgan violated")
+	}
+}
+
+func TestEvalAgainstTruthTable(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	f := m.Or(m.And(a, b), m.Xor(b, c))
+	for mask := 0; mask < 8; mask++ {
+		vals := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		want := (vals[0] && vals[1]) || (vals[1] != vals[2])
+		if m.Eval(f, vals) != want {
+			t.Fatalf("Eval mismatch at %v", vals)
+		}
+	}
+}
+
+func TestRestrictAndQuantify(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	f := m.And(a, m.Or(b, c))
+	if m.RestrictVar(f, 0, false) != False {
+		t.Fatal("f|a=0 should be 0")
+	}
+	if m.RestrictVar(f, 0, true) != m.Or(b, c) {
+		t.Fatal("f|a=1 should be b ∨ c")
+	}
+	if m.ExistsVar(f, 0) != m.Or(b, c) {
+		t.Fatal("∃a.f should be b ∨ c")
+	}
+	if m.ForAll(f, []int{0}) != False {
+		t.Fatal("∀a.f should be 0")
+	}
+	if m.Exists(f, []int{0, 1, 2}) != True {
+		t.Fatal("∃abc.f should be 1 since f is satisfiable")
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := New(3)
+	a, b := m.Var(0), m.Var(1)
+	f := m.Or(a, b) // 6 of 8 assignments
+	if got := m.SatCount(f); got != 6 {
+		t.Fatalf("SatCount = %v, want 6", got)
+	}
+	if got := m.SatCount(True); got != 8 {
+		t.Fatalf("SatCount(True) = %v, want 8", got)
+	}
+	if got := m.SatCount(False); got != 0 {
+		t.Fatalf("SatCount(False) = %v, want 0", got)
+	}
+}
+
+func TestAllCubesCoverFunction(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	f := m.Or(m.And(a, b), c)
+	covered := map[int]bool{}
+	m.AllCubes(f, func(cube []CubeValue) bool {
+		// Expand the cube into minterms.
+		expand := func(mask int) bool {
+			for i, v := range cube {
+				bit := mask&(1<<uint(i)) != 0
+				if v == CubeOne && !bit || v == CubeZero && bit {
+					return false
+				}
+			}
+			return true
+		}
+		for mask := 0; mask < 8; mask++ {
+			if expand(mask) {
+				covered[mask] = true
+			}
+		}
+		return true
+	})
+	for mask := 0; mask < 8; mask++ {
+		vals := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		want := (vals[0] && vals[1]) || vals[2]
+		if covered[mask] != want {
+			t.Fatalf("cube enumeration disagrees with function at %03b", mask)
+		}
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := New(5)
+	f := m.And(m.Var(1), m.Or(m.Var(3), m.NVar(1)))
+	sup := m.Support(f)
+	if len(sup) != 2 || sup[0] != 1 || sup[1] != 3 {
+		t.Fatalf("Support = %v, want [1 3]", sup)
+	}
+}
+
+// Property test: random expression trees evaluated both via BDD and directly.
+func TestRandomExpressionsAgreeWithEvaluation(t *testing.T) {
+	const nvars = 6
+	r := rand.New(rand.NewSource(42))
+	type expr struct {
+		node Node
+		eval func(v []bool) bool
+	}
+	m := New(nvars)
+	for trial := 0; trial < 30; trial++ {
+		var leaves []expr
+		for i := 0; i < nvars; i++ {
+			i := i
+			leaves = append(leaves, expr{m.Var(i), func(v []bool) bool { return v[i] }})
+		}
+		cur := leaves
+		for step := 0; step < 20; step++ {
+			a := cur[r.Intn(len(cur))]
+			b := cur[r.Intn(len(cur))]
+			var e expr
+			switch r.Intn(4) {
+			case 0:
+				e = expr{m.And(a.node, b.node), func(v []bool) bool { return a.eval(v) && b.eval(v) }}
+			case 1:
+				e = expr{m.Or(a.node, b.node), func(v []bool) bool { return a.eval(v) || b.eval(v) }}
+			case 2:
+				e = expr{m.Xor(a.node, b.node), func(v []bool) bool { return a.eval(v) != b.eval(v) }}
+			default:
+				e = expr{m.Not(a.node), func(v []bool) bool { return !a.eval(v) }}
+			}
+			cur = append(cur, e)
+		}
+		f := cur[len(cur)-1]
+		for mask := 0; mask < (1 << nvars); mask++ {
+			vals := make([]bool, nvars)
+			for i := range vals {
+				vals[i] = mask&(1<<uint(i)) != 0
+			}
+			if m.Eval(f.node, vals) != f.eval(vals) {
+				t.Fatalf("trial %d: disagreement at %v", trial, vals)
+			}
+		}
+	}
+}
+
+func BenchmarkBDDAndOrChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := New(24)
+		f := m.Const(true)
+		for v := 0; v+1 < 24; v += 2 {
+			f = m.And(f, m.Or(m.Var(v), m.Var(v+1)))
+		}
+		if f == False {
+			b.Fatal("unexpected false")
+		}
+	}
+}

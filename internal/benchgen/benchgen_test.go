@@ -1,0 +1,185 @@
+package benchgen
+
+import (
+	"testing"
+
+	"punt/internal/stategraph"
+	"punt/internal/stg"
+	"punt/internal/unfolding"
+)
+
+// checkWellFormed verifies the general correctness criteria of the paper on a
+// generated benchmark: safeness, consistent state assignment, output
+// persistency and CSC — everything a Table 1 benchmark must satisfy to be
+// synthesisable.
+func checkWellFormed(t *testing.T, g *stg.STG, maxStates int) *stategraph.Graph {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("%s: invalid STG: %v", g.Name(), err)
+	}
+	sg, err := stategraph.Build(g, stategraph.Options{MaxStates: maxStates})
+	if err != nil {
+		t.Fatalf("%s: %v", g.Name(), err)
+	}
+	if v := sg.CheckOutputPersistency(); len(v) != 0 {
+		t.Fatalf("%s: persistency violations: %v", g.Name(), v[0])
+	}
+	if c := sg.CheckCSC(); len(c) != 0 {
+		t.Fatalf("%s: CSC conflicts: %v", g.Name(), c[0])
+	}
+	if d := sg.Deadlocks(); len(d) != 0 {
+		t.Fatalf("%s: %d deadlocked states", g.Name(), len(d))
+	}
+	return sg
+}
+
+func TestPaperFig1WellFormed(t *testing.T) {
+	sg := checkWellFormed(t, PaperFig1(), 0)
+	if sg.NumStates() != 8 {
+		t.Fatalf("fig1 has %d states, want 8", sg.NumStates())
+	}
+}
+
+func TestPaperFig4WellFormed(t *testing.T) {
+	checkWellFormed(t, PaperFig4(), 0)
+}
+
+func TestHandshakeWellFormed(t *testing.T) {
+	sg := checkWellFormed(t, Handshake(), 0)
+	if sg.NumStates() != 4 {
+		t.Fatalf("handshake has %d states, want 4", sg.NumStates())
+	}
+}
+
+func TestMullerPipelineWellFormed(t *testing.T) {
+	for _, stages := range []int{1, 2, 3, 5} {
+		g := MullerPipeline(stages)
+		if g.NumSignals() != stages+2 {
+			t.Fatalf("pipeline(%d) has %d signals", stages, g.NumSignals())
+		}
+		checkWellFormed(t, g, 0)
+	}
+}
+
+func TestMullerPipelineSGGrowsUnfoldingDoesNot(t *testing.T) {
+	// The point of Figure 6: the state graph grows exponentially with the
+	// number of stages while the unfolding segment grows linearly.
+	var prevStates int
+	var prevEvents int
+	for _, stages := range []int{2, 4, 6, 8} {
+		g := MullerPipeline(stages)
+		sg, err := stategraph.Build(g, stategraph.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := unfolding.Build(MullerPipeline(stages), unfolding.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prevStates > 0 {
+			if sg.NumStates() < prevStates*3/2 {
+				t.Fatalf("SG growth too slow: %d -> %d states", prevStates, sg.NumStates())
+			}
+			if u.NumEvents() > prevEvents*3 {
+				t.Fatalf("unfolding growth too fast: %d -> %d events", prevEvents, u.NumEvents())
+			}
+		}
+		prevStates, prevEvents = sg.NumStates(), u.NumEvents()
+	}
+	if prevEvents >= prevStates {
+		t.Fatalf("for 8 stages the unfolding (%d events) must be much smaller than the SG (%d states)",
+			prevEvents, prevStates)
+	}
+}
+
+func TestMullerPipelineWithSignals(t *testing.T) {
+	g := MullerPipelineWithSignals(10)
+	if g.NumSignals() != 10 {
+		t.Fatalf("signals = %d, want 10", g.NumSignals())
+	}
+}
+
+func TestSyntheticControllerSignalCounts(t *testing.T) {
+	for _, signals := range []int{4, 5, 6, 7, 9, 12, 15, 20, 25} {
+		g := SyntheticController("synthetic", signals, int64(signals)*7)
+		if g.NumSignals() != signals {
+			t.Fatalf("requested %d signals, got %d", signals, g.NumSignals())
+		}
+	}
+}
+
+func TestSyntheticControllerDeterministic(t *testing.T) {
+	a := SyntheticController("det", 12, 99)
+	b := SyntheticController("det", 12, 99)
+	if stg.Format(a) != stg.Format(b) {
+		t.Fatal("same seed must give the same controller")
+	}
+	c := SyntheticController("det", 12, 100)
+	if stg.Format(a) == stg.Format(c) {
+		t.Fatal("different seeds should give different controllers")
+	}
+}
+
+func TestSyntheticControllersWellFormed(t *testing.T) {
+	for _, signals := range []int{4, 6, 8, 10, 12, 14} {
+		g := SyntheticController("synthetic", signals, int64(signals)*13+1)
+		checkWellFormed(t, g, 200000)
+	}
+}
+
+func TestChoiceControllerWellFormed(t *testing.T) {
+	g := ChoiceController("choice", 4, 7)
+	if len(g.InputSignals()) < 2 {
+		t.Fatal("choice controller must have at least the two request inputs")
+	}
+	checkWellFormed(t, g, 200000)
+}
+
+func TestTable1SuiteShape(t *testing.T) {
+	suite := Table1Suite()
+	if len(suite) != 21 {
+		t.Fatalf("Table 1 has 21 rows, suite has %d", len(suite))
+	}
+	total := 0
+	for _, e := range suite {
+		total += e.Signals
+	}
+	if total != 228 {
+		t.Fatalf("total signal count = %d, the paper reports 228", total)
+	}
+	// Spot-check that building an entry honours its declared signal count.
+	for _, e := range suite[:6] {
+		g := e.Build()
+		if g.NumSignals() != e.Signals {
+			t.Fatalf("%s: %d signals, want %d", e.Name, g.NumSignals(), e.Signals)
+		}
+	}
+}
+
+func TestTable1SmallEntriesWellFormed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, e := range Table1Suite() {
+		if e.Signals > 14 {
+			continue // the large entries are exercised by the benchmarks
+		}
+		g := e.Build()
+		checkWellFormed(t, g, 500000)
+	}
+}
+
+func TestCounterflowPipelineShape(t *testing.T) {
+	g := CounterflowPipeline()
+	if g.NumSignals() != 34 {
+		t.Fatalf("counterflow stand-in has %d signals, want 34", g.NumSignals())
+	}
+	// Its unfolding must stay small even though the state graph is enormous.
+	u, err := unfolding.Build(g, unfolding.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumEvents() > 500 {
+		t.Fatalf("counterflow unfolding unexpectedly large: %d events", u.NumEvents())
+	}
+}

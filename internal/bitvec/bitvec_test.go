@@ -1,0 +1,169 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	for i := 0; i < 130; i++ {
+		if v.Get(i) {
+			t.Fatalf("bit %d should be 0", i)
+		}
+	}
+	if v.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", v.Count())
+	}
+}
+
+func TestSetGetFlip(t *testing.T) {
+	v := New(100)
+	v.Set(0, true)
+	v.Set(63, true)
+	v.Set(64, true)
+	v.Set(99, true)
+	for _, i := range []int{0, 63, 64, 99} {
+		if !v.Get(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	if v.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", v.Count())
+	}
+	if v.Flip(63) {
+		t.Errorf("Flip(63) should return false after clearing")
+	}
+	if v.Get(63) {
+		t.Errorf("bit 63 should now be clear")
+	}
+	v.Set(0, false)
+	if v.Get(0) {
+		t.Errorf("bit 0 should be clear")
+	}
+}
+
+func TestFromStringRoundTrip(t *testing.T) {
+	s := "0110010111010001"
+	v, err := FromString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != s {
+		t.Fatalf("round trip mismatch: %s vs %s", v.String(), s)
+	}
+	if _, err := FromString("01x"); err == nil {
+		t.Fatal("expected error for invalid character")
+	}
+}
+
+func TestKeyEquality(t *testing.T) {
+	a := MustFromString("10110")
+	b := MustFromString("10110")
+	c := MustFromString("10111")
+	if a.Key() != b.Key() {
+		t.Fatal("equal vectors must have equal keys")
+	}
+	if a.Key() == c.Key() {
+		t.Fatal("different vectors must have different keys")
+	}
+	if !a.Equal(b) || a.Equal(c) {
+		t.Fatal("Equal misbehaves")
+	}
+	d := New(6)
+	if a.Equal(d) {
+		t.Fatal("vectors of different widths must not be equal")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := MustFromString("1010")
+	b := a.Clone()
+	b.Set(0, false)
+	if !a.Get(0) {
+		t.Fatal("Clone must not alias the original")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := MustFromString("1100")
+	b := MustFromString("1010")
+	c := a.Clone()
+	c.Or(b)
+	if c.String() != "1110" {
+		t.Fatalf("Or = %s, want 1110", c.String())
+	}
+	c = a.Clone()
+	c.And(b)
+	if c.String() != "1000" {
+		t.Fatalf("And = %s, want 1000", c.String())
+	}
+	c = a.Clone()
+	c.AndNot(b)
+	if c.String() != "0100" {
+		t.Fatalf("AndNot = %s, want 0100", c.String())
+	}
+	if !a.Intersects(b) {
+		t.Fatal("a and b intersect")
+	}
+	if !MustFromString("1110").ContainsAll(a) {
+		t.Fatal("1110 contains 1100")
+	}
+	if MustFromString("0110").ContainsAll(a) {
+		t.Fatal("0110 does not contain 1100")
+	}
+}
+
+func TestOnes(t *testing.T) {
+	v := New(70)
+	for _, i := range []int{3, 64, 69} {
+		v.Set(i, true)
+	}
+	ones := v.Ones()
+	want := []int{3, 64, 69}
+	if len(ones) != len(want) {
+		t.Fatalf("Ones = %v, want %v", ones, want)
+	}
+	for i := range want {
+		if ones[i] != want[i] {
+			t.Fatalf("Ones = %v, want %v", ones, want)
+		}
+	}
+}
+
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(bits []bool) bool {
+		v := FromBools(bits)
+		w, err := FromString(v.String())
+		if err != nil {
+			return false
+		}
+		return v.Equal(w) && v.Key() == w.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCountMatchesOnes(t *testing.T) {
+	f := func(bits []bool) bool {
+		v := FromBools(bits)
+		return v.Count() == len(v.Ones())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range access")
+		}
+	}()
+	v := New(4)
+	v.Get(4)
+}

@@ -1,0 +1,125 @@
+package boolcover
+
+import (
+	"math/rand"
+	"testing"
+
+	"punt/internal/bitvec"
+)
+
+func mintermCover(n int, minterms ...string) *Cover {
+	c := NewCover(n)
+	for _, m := range minterms {
+		c.Add(MustCube(m))
+	}
+	return c
+}
+
+// TestMinimizePaperExample reproduces the worked example of Section 2.2: the
+// on-set of signal b in Fig. 1 minimises to a + c.
+func TestMinimizePaperExample(t *testing.T) {
+	// Signal order a, b, c.  On(b) = {100,110,101,111,011,001}, Off(b) = {000,010}.
+	on := mintermCover(3, "100", "110", "101", "111", "011", "001")
+	off := mintermCover(3, "000", "010")
+	res := MinimizeAgainstOff(on, off)
+	want := CoverFromStrings("1--", "--1") // a + c
+	if !res.Equivalent(want) {
+		t.Fatalf("minimised cover = %s, want a + c", res)
+	}
+	if res.Literals() != 2 {
+		t.Fatalf("literal count = %d, want 2", res.Literals())
+	}
+	// Off-set implementation: Off(b) minimises to a'c'.
+	resOff := MinimizeAgainstOff(off, on)
+	if !resOff.Equivalent(CoverFromStrings("0-0")) {
+		t.Fatalf("off cover = %s, want a'c'", resOff)
+	}
+}
+
+func TestMinimizeEmptyOnSet(t *testing.T) {
+	res := MinimizeAgainstOff(NewCover(4), Universe(4))
+	if !res.IsEmpty() {
+		t.Fatal("empty on-set must minimise to the empty cover")
+	}
+}
+
+func TestMinimizeWithDontCares(t *testing.T) {
+	// f = 1 on {00}, dc = {01}, off = {10,11}: minimises to a' (one literal).
+	on := mintermCover(2, "00")
+	dc := mintermCover(2, "01")
+	res := Minimize(on, dc)
+	if res.Literals() != 1 {
+		t.Fatalf("expected single-literal cover, got %s", res)
+	}
+	if !res.ContainsCover(on) {
+		t.Fatal("result must cover on-set")
+	}
+	if res.Intersects(mintermCover(2, "10", "11")) {
+		t.Fatal("result must not cover off-set")
+	}
+}
+
+// Property: for random on/off partitions of random subsets of the space, the
+// minimised cover covers all of ON, none of OFF, and never has more literals
+// than the original minterm cover.
+func TestQuickMinimizeSoundness(t *testing.T) {
+	const n = 6
+	r := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 40; iter++ {
+		on := NewCover(n)
+		off := NewCover(n)
+		onSet := map[string]bool{}
+		offSet := map[string]bool{}
+		for m := 0; m < (1 << uint(n)); m++ {
+			v := bitvec.New(n)
+			for i := 0; i < n; i++ {
+				v.Set(i, m&(1<<uint(i)) != 0)
+			}
+			switch r.Intn(3) {
+			case 0:
+				on.Add(CubeFromMinterm(v))
+				onSet[v.String()] = true
+			case 1:
+				off.Add(CubeFromMinterm(v))
+				offSet[v.String()] = true
+			}
+		}
+		if on.IsEmpty() {
+			continue
+		}
+		res := MinimizeAgainstOff(on, off)
+		if !res.ContainsCover(on) {
+			t.Fatalf("iter %d: result does not cover on-set", iter)
+		}
+		if res.Intersects(off) {
+			t.Fatalf("iter %d: result intersects off-set", iter)
+		}
+		if res.Literals() > on.Literals() {
+			t.Fatalf("iter %d: minimisation increased literal count %d -> %d",
+				iter, on.Literals(), res.Literals())
+		}
+	}
+}
+
+func BenchmarkMinimizeRandom(b *testing.B) {
+	const n = 10
+	r := rand.New(rand.NewSource(99))
+	on := NewCover(n)
+	off := NewCover(n)
+	for m := 0; m < (1 << uint(n)); m++ {
+		v := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, m&(1<<uint(i)) != 0)
+		}
+		switch r.Intn(4) {
+		case 0:
+			on.Add(CubeFromMinterm(v))
+		case 1:
+			off.Add(CubeFromMinterm(v))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinimizeAgainstOff(on, off)
+	}
+}

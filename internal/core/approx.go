@@ -1,0 +1,307 @@
+package core
+
+import (
+	"punt/internal/boolcover"
+	"punt/internal/unfolding"
+)
+
+// approxTerm is one term of an approximated slice cover: either the
+// excitation-region approximation of the slice's entry instance (Cond == nil)
+// or the marked-region approximation of one condition of the approximation
+// set.  When refinement replaces the approximation by the exact
+// locally-enumerated cover, Exact is set.
+type approxTerm struct {
+	Slice *Slice
+	Cond  *unfolding.Condition // nil for the ER term of the entry instance
+	Cover *boolcover.Cover
+	Exact bool
+}
+
+// signalApprox holds the approximated on- and off-set covers of one signal,
+// term by term, so that refinement can replace exactly the offending terms.
+type signalApprox struct {
+	Signal   int
+	OnTerms  []*approxTerm
+	OffTerms []*approxTerm
+}
+
+// onCover returns the union of all on-set terms.
+func (sa *signalApprox) onCover(nvars int) *boolcover.Cover {
+	return unionTerms(sa.OnTerms, nvars)
+}
+
+// offCover returns the union of all off-set terms.
+func (sa *signalApprox) offCover(nvars int) *boolcover.Cover {
+	return unionTerms(sa.OffTerms, nvars)
+}
+
+func unionTerms(terms []*approxTerm, nvars int) *boolcover.Cover {
+	c := boolcover.NewCover(nvars)
+	for _, t := range terms {
+		c.AddAll(t.Cover)
+	}
+	return c
+}
+
+// erApproxCube computes the excitation-region cover approximation C*_e of the
+// slice's entry instance: the binary code of its minimal excitation cut with
+// the literals of every signal that has an instance in the slice concurrent
+// to the entry replaced by don't-cares.
+func erApproxCube(u *unfolding.Unfolding, s *Slice) boolcover.Cube {
+	cube := boolcover.CubeFromMinterm(s.MinCode)
+	for _, f := range s.Events {
+		if f == s.Entry {
+			continue
+		}
+		lf := u.Label(f)
+		if lf.IsDummy || lf.Signal == s.Signal {
+			continue
+		}
+		if u.Concurrent(s.Entry, f) {
+			cube.Set(lf.Signal, boolcover.Dash)
+		}
+	}
+	return cube
+}
+
+// concurrentSliceSignals returns, for a condition of the slice, the set of
+// signals that have an instance in the slice concurrent to the condition —
+// the literals weakened to don't-care by the MR approximation.
+func concurrentSliceSignals(u *unfolding.Unfolding, s *Slice, c *unfolding.Condition) map[int]bool {
+	out := map[int]bool{}
+	for _, f := range s.Events {
+		lf := u.Label(f)
+		if lf.IsDummy || lf.Signal == s.Signal {
+			continue
+		}
+		if out[lf.Signal] {
+			continue
+		}
+		if u.ConcurrentConditionEvent(c, f) {
+			out[lf.Signal] = true
+		}
+	}
+	return out
+}
+
+// mrCube builds one marked-region cube for the condition: the binary code of
+// the local configuration of its preceding transition with the given signals
+// replaced by don't-cares.
+func mrCube(c *unfolding.Condition, dash map[int]bool) boolcover.Cube {
+	cube := boolcover.CubeFromMinterm(c.Producer.Code)
+	for sig := range dash {
+		cube.Set(sig, boolcover.Dash)
+	}
+	return cube
+}
+
+// approximationSet selects the conditions of the slice used for the MR
+// approximation (the paper's P'_a).  It keeps the conditions that lie on
+// causal paths from the entry to the slice boundary (the "sequential"
+// approximation set of the paper) plus any condition not subsumed by them,
+// where subsumption is established structurally: condition c2 is dropped when
+// some kept condition c1 is produced no later than c2, cannot have been
+// consumed while c2 exists, and can only be consumed by leaving the slice or
+// after c2 itself is consumed — then every cut containing c2 also contains
+// c1, so dropping c2 loses no coverage.
+func approximationSet(u *unfolding.Unfolding, s *Slice) []*unfolding.Condition {
+	precedesBoundary := func(c *unfolding.Condition) bool {
+		for _, n := range s.Boundary {
+			if u.ConditionBeforeEvent(c, n) {
+				return true
+			}
+		}
+		return false
+	}
+	var group1, group2 []*unfolding.Condition
+	for _, c := range s.Conditions {
+		if precedesBoundary(c) {
+			group1 = append(group1, c)
+		} else {
+			group2 = append(group2, c)
+		}
+	}
+	kept := append([]*unfolding.Condition(nil), group1...)
+	for _, c2 := range group2 {
+		if !subsumedBy(u, s, c2, group1) {
+			kept = append(kept, c2)
+		}
+	}
+	return kept
+}
+
+// subsumedBy reports whether every slice cut containing c2 necessarily also
+// contains one of the candidate conditions.
+func subsumedBy(u *unfolding.Unfolding, s *Slice, c2 *unfolding.Condition, candidates []*unfolding.Condition) bool {
+	for _, c1 := range candidates {
+		if c1 == c2 {
+			continue
+		}
+		// (a) c1 is produced no later than c2.
+		if !(c1.Producer == c2.Producer || u.Before(c1.Producer, c2.Producer)) {
+			continue
+		}
+		ok := true
+		for _, f := range c1.Consumers {
+			// (b) c1 is not consumed before c2 appears.
+			if f == c2.Producer || u.Before(f, c2.Producer) {
+				ok = false
+				break
+			}
+			// (c) c1 can only be consumed by leaving the slice (a boundary
+			// instance) or after c2 itself has been consumed.
+			if s.isBoundary(f) {
+				continue
+			}
+			consumedAfterC2 := false
+			for _, g := range c2.Consumers {
+				if g == f || u.Before(g, f) {
+					consumedAfterC2 = true
+					break
+				}
+			}
+			if !consumedAfterC2 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// boundaryInputTerms implements the paper's special treatment of places that
+// are inputs of an instance in next(a'): their MR approximation must not
+// cover markings enabling the boundary instance, so it is built as a sum of
+// approximations each of which keeps the literal of one immediately-preceding
+// instance t_k at its pre-firing value (Section 4.2).  It returns
+// (cover, true) when the structural preconditions for the construction hold;
+// (nil, true) when the condition provably contributes no state of the slice's
+// phase and can be skipped; and (nil, false) when the plain approximation
+// must be used instead.
+func boundaryInputTerms(u *unfolding.Unfolding, s *Slice, c *unfolding.Condition) (*boolcover.Cover, bool) {
+	var boundary *unfolding.Event
+	for _, f := range c.Consumers {
+		if s.isBoundary(f) {
+			if boundary != nil && boundary != f {
+				return nil, false // feeds two boundary instances: fall back
+			}
+			boundary = f
+		}
+	}
+	if boundary == nil {
+		return nil, false
+	}
+	// Examine the other input conditions of the boundary instance.
+	var concurrentProducers []*unfolding.Event
+	for _, b := range boundary.Preset {
+		if b == c {
+			continue
+		}
+		// The construction is only sound when the sibling input can only be
+		// consumed by the boundary instance itself.
+		if len(b.Consumers) != 1 {
+			return nil, false
+		}
+		prod := b.Producer
+		switch {
+		case prod == c.Producer || u.Before(prod, c.Producer) || prod.IsRoot && c.Producer.IsRoot:
+			// Already produced when c appears and never consumed inside the
+			// slice: it does not prevent the boundary from being enabled.
+			continue
+		case prod.IsRoot:
+			// Produced by the initial state: same as the "already produced"
+			// case.
+			continue
+		case u.ConcurrentConditionEvent(c, prod):
+			// The pre-firing value of prod's signal is only determined by the
+			// base code if no other instance of that signal can fire
+			// concurrently to c.
+			lp := u.Label(prod)
+			if lp.IsDummy {
+				return nil, false
+			}
+			for _, other := range u.EventsOfSignal(lp.Signal) {
+				if other != prod && u.ConcurrentConditionEvent(c, other) {
+					return nil, false
+				}
+			}
+			concurrentProducers = append(concurrentProducers, prod)
+		default:
+			return nil, false
+		}
+	}
+	if len(concurrentProducers) == 0 {
+		// Every other input of the boundary is marked whenever c is marked:
+		// the boundary is enabled throughout c's marked region, so the region
+		// contributes no state of this slice's phase.
+		return nil, true
+	}
+	dash := concurrentSliceSignals(u, s, c)
+	cover := boolcover.NewCover(u.STG.NumSignals())
+	for _, tk := range concurrentProducers {
+		restricted := map[int]bool{}
+		for sig := range dash {
+			restricted[sig] = true
+		}
+		delete(restricted, u.Label(tk).Signal)
+		cover.Add(mrCube(c, restricted))
+	}
+	return cover, true
+}
+
+// approximateSlice builds the list of approximation terms of a slice: the ER
+// approximation of its entry instance (unless the entry is the initial
+// transition) followed by the MR approximations of the approximation set,
+// with the boundary-input places handled by the restricted construction of
+// Section 4.2.
+func approximateSlice(u *unfolding.Unfolding, s *Slice) []*approxTerm {
+	nvars := u.STG.NumSignals()
+	var terms []*approxTerm
+	addCover := func(cond *unfolding.Condition, cov *boolcover.Cover) {
+		if cov.IsEmpty() {
+			return
+		}
+		terms = append(terms, &approxTerm{Slice: s, Cond: cond, Cover: cov})
+	}
+	addCube := func(cond *unfolding.Condition, cube boolcover.Cube) {
+		cov := boolcover.NewCover(nvars)
+		cov.Add(cube)
+		addCover(cond, cov)
+	}
+	if !s.Entry.IsRoot {
+		addCube(nil, erApproxCube(u, s))
+	}
+	for _, c := range approximationSet(u, s) {
+		if cov, handled := boundaryInputTerms(u, s, c); handled {
+			if cov != nil {
+				addCover(c, cov)
+			}
+			continue
+		}
+		addCube(c, mrCube(c, concurrentSliceSignals(u, s, c)))
+	}
+	if len(terms) == 0 {
+		// Degenerate slice (e.g. the initial slice of a signal that changes
+		// immediately): the minimal cut itself is its only state.
+		cov := boolcover.NewCover(nvars)
+		cov.Add(boolcover.CubeFromMinterm(s.MinCode))
+		terms = append(terms, &approxTerm{Slice: s, Cover: cov})
+	}
+	return terms
+}
+
+// approximateSignal builds the approximated on- and off-set covers of one
+// signal from its slices.
+func approximateSignal(u *unfolding.Unfolding, signal int, on, off []*Slice) *signalApprox {
+	sa := &signalApprox{Signal: signal}
+	for _, s := range on {
+		sa.OnTerms = append(sa.OnTerms, approximateSlice(u, s)...)
+	}
+	for _, s := range off {
+		sa.OffTerms = append(sa.OffTerms, approximateSlice(u, s)...)
+	}
+	return sa
+}

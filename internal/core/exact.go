@@ -1,0 +1,128 @@
+package core
+
+import (
+	"punt/internal/bitvec"
+	"punt/internal/boolcover"
+	"punt/internal/stg"
+	"punt/internal/unfolding"
+)
+
+// sliceWalk is a token-game walk restricted to a slice of the segment.  It
+// starts at a given cut/code, fires only the allowed events, never fires or
+// crosses the slice boundary, and reports every visited state whose implied
+// value matches the slice phase.
+type sliceWalk struct {
+	u     *unfolding.Unfolding
+	s     *Slice
+	allow map[int]bool // event IDs that may be fired
+}
+
+func newSliceWalk(u *unfolding.Unfolding, s *Slice) *sliceWalk {
+	w := &sliceWalk{u: u, s: s, allow: map[int]bool{}}
+	for _, e := range s.Events {
+		w.allow[e.ID] = true
+	}
+	return w
+}
+
+// run explores from the given start cut and code.  For every visited state it
+// decides whether the state belongs to the slice (no boundary instance is
+// excited there); if so, visit is called with the state's binary code.
+// States in which a boundary instance is excited are neither reported nor
+// explored further: they belong to the opposite phase and are handled by the
+// slices of that phase.
+func (w *sliceWalk) run(startCut []*unfolding.Condition, startCode bitvec.Vec, fireable func(*unfolding.Event) bool, visit func(code bitvec.Vec)) {
+	type node struct {
+		cut  []*unfolding.Condition
+		code bitvec.Vec
+	}
+	start := node{cut: startCut, code: startCode.Clone()}
+	key := func(n node) string { return unfolding.CutKey(n.cut) }
+	seen := map[string]bool{key(start): true}
+	queue := []node{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		enabled := w.u.EnabledAt(cur.cut)
+		boundaryExcited := false
+		for _, e := range enabled {
+			if w.s.isBoundary(e) {
+				boundaryExcited = true
+				break
+			}
+		}
+		if boundaryExcited {
+			continue
+		}
+		visit(cur.code)
+		for _, e := range enabled {
+			if !w.allow[e.ID] {
+				continue
+			}
+			if fireable != nil && !fireable(e) {
+				continue
+			}
+			nextCut := w.u.FireAt(cur.cut, e)
+			nextCode := cur.code.Clone()
+			if l := w.u.Label(e); !l.IsDummy {
+				nextCode.Set(l.Signal, l.Dir == stg.Plus)
+			}
+			n := node{cut: nextCut, code: nextCode}
+			k := key(n)
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+}
+
+// exactSliceCover enumerates the states encapsulated by the slice and returns
+// the exact cover of their binary codes.
+func exactSliceCover(u *unfolding.Unfolding, s *Slice) *boolcover.Cover {
+	cover := boolcover.NewCover(u.STG.NumSignals())
+	w := newSliceWalk(u, s)
+	w.run(s.MinCut, s.MinCode, nil, func(code bitvec.Vec) {
+		cover.Add(boolcover.CubeFromMinterm(code))
+	})
+	return cover
+}
+
+// exactExcitationCover enumerates the states in which the slice's entry
+// instance is excited (its excitation region) and returns their exact cover.
+// For the root entry it returns nil: the initial transition has no excitation
+// region.
+func exactExcitationCover(u *unfolding.Unfolding, s *Slice) *boolcover.Cover {
+	if s.Entry.IsRoot {
+		return nil
+	}
+	cover := boolcover.NewCover(u.STG.NumSignals())
+	w := newSliceWalk(u, s)
+	w.run(s.MinCut, s.MinCode, func(e *unfolding.Event) bool {
+		return e != s.Entry // keep the entry excited: never fire it
+	}, func(code bitvec.Vec) {
+		cover.Add(boolcover.CubeFromMinterm(code))
+	})
+	return cover
+}
+
+// exactMRCover enumerates the states of the slice in which the given
+// condition is marked and returns their exact cover (the exact marked region
+// of the place instance, restricted to the slice).
+func exactMRCover(u *unfolding.Unfolding, s *Slice, c *unfolding.Condition) *boolcover.Cover {
+	cover := boolcover.NewCover(u.STG.NumSignals())
+	w := newSliceWalk(u, s)
+	prod := c.Producer
+	startCut := prod.Cut
+	startCode := prod.Code
+	consumers := map[int]bool{}
+	for _, e := range c.Consumers {
+		consumers[e.ID] = true
+	}
+	w.run(startCut, startCode, func(e *unfolding.Event) bool {
+		return !consumers[e.ID] // keep the condition marked
+	}, func(code bitvec.Vec) {
+		cover.Add(boolcover.CubeFromMinterm(code))
+	})
+	return cover
+}

@@ -1,0 +1,179 @@
+// Package core implements the paper's contribution: synthesis of
+// speed-independent circuits directly from the STG-unfolding segment.
+//
+// For every output signal the segment is partitioned into slices — portions
+// of the partial order bounded by a minimal cut (where an instance of the
+// signal becomes excited) and the cuts just before the next change of the
+// signal.  Each slice represents a connected set of state-graph states that
+// belong to the signal's on-set or off-set.  Covers for these state sets are
+// obtained either exactly (by enumerating the states encapsulated in the
+// slice) or approximately (from the binary codes of local configurations,
+// weakening the literals of concurrent signals), with the approximated covers
+// refined only where the on- and off-set covers interfere.  See DESIGN.md for
+// the correspondence between this package and the sections of the paper.
+package core
+
+import (
+	"sort"
+
+	"punt/internal/bitvec"
+	"punt/internal/stg"
+	"punt/internal/unfolding"
+)
+
+// Slice is a slice of the STG-unfolding segment for one phase of one signal:
+// the states where the signal's implied value is 1 (an on-slice, entered by a
+// rising instance or by the initial state with the signal at 1) or 0 (an
+// off-slice).
+type Slice struct {
+	// Signal is the index of the signal the slice belongs to.
+	Signal int
+	// Phase is true for on-slices (implied value 1) and false for off-slices.
+	Phase bool
+	// Entry is the entry transition of the slice: an instance of the signal
+	// edge that enters the phase, or the root event for the initial slice.
+	Entry *unfolding.Event
+	// MinCut is the minimal cut of the slice: the cut at which the entry
+	// instance becomes excited (or the initial cut for the root entry).
+	MinCut []*unfolding.Condition
+	// MinCode is the binary code of the minimal cut.
+	MinCode bitvec.Vec
+	// Boundary are the instances of the signal's next change: firing any of
+	// them leaves the slice.  The states in which a boundary instance is
+	// excited belong to the opposite phase and are excluded from the slice.
+	Boundary []*unfolding.Event
+	// Events are the events that may fire inside the slice, including the
+	// entry event itself when it is not the root.
+	Events []*unfolding.Event
+	// Conditions are the place instances of the slice that are sequential to
+	// the entry event; they are the candidates of the approximation set.
+	Conditions []*unfolding.Condition
+}
+
+// buildSlices partitions the segment into the on- and off-slices of the given
+// signal.
+func buildSlices(u *unfolding.Unfolding, signal int) (on, off []*Slice) {
+	g := u.STG
+	initial := g.InitialState().Get(signal)
+
+	for _, e := range u.EventsOfEdge(signal, stg.Plus) {
+		on = append(on, newSlice(u, signal, true, e))
+	}
+	for _, e := range u.EventsOfEdge(signal, stg.Minus) {
+		off = append(off, newSlice(u, signal, false, e))
+	}
+	// The initial slice: the phase the signal is in at the initial state,
+	// entered by the (virtual) initial transition.
+	if initial {
+		on = append(on, newSlice(u, signal, true, u.Root))
+	} else {
+		off = append(off, newSlice(u, signal, false, u.Root))
+	}
+	return on, off
+}
+
+// newSlice constructs the slice entered by the given event for the given
+// signal phase.
+func newSlice(u *unfolding.Unfolding, signal int, phase bool, entry *unfolding.Event) *Slice {
+	s := &Slice{Signal: signal, Phase: phase, Entry: entry}
+	if entry.IsRoot {
+		s.MinCut = u.MinStableCut(entry)
+		s.MinCode = entry.Code.Clone()
+		s.Boundary = u.First(signal)
+	} else {
+		s.MinCut = u.MinExcitationCut(entry)
+		s.MinCode = u.ParentCode(entry)
+		s.Boundary = u.Next(entry)
+	}
+
+	beyond := func(f *unfolding.Event) bool {
+		for _, n := range s.Boundary {
+			if n == f || u.Before(n, f) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, f := range u.Events {
+		if f.IsRoot {
+			continue
+		}
+		if f.IsCutoff && f != entry {
+			// Cut-off events never fire inside a slice: the states beyond them
+			// are represented by the configurations of their correspondents
+			// (McMillan's completeness argument), so excluding them loses no
+			// states and keeps every visited cut inside the fully expanded
+			// part of the segment.
+			continue
+		}
+		lf := u.Label(f)
+		if !lf.IsDummy && lf.Signal == signal && f != entry {
+			continue // other instances of the signal never fire inside the slice
+		}
+		if beyond(f) {
+			continue
+		}
+		if !entry.IsRoot {
+			if f != entry {
+				if u.Before(f, entry) {
+					continue // already fired before the slice is entered
+				}
+				if u.InConflict(entry, f) {
+					continue // belongs to a different branch of a choice
+				}
+			}
+		}
+		s.Events = append(s.Events, f)
+	}
+	sort.Slice(s.Events, func(i, j int) bool { return s.Events[i].ID < s.Events[j].ID })
+
+	// The approximation-set candidates are the conditions sequential to the
+	// entry: produced by the entry itself or by a slice event causally after
+	// it (for the root entry, every condition produced by the root or by a
+	// slice event qualifies).
+	inEvents := map[int]bool{}
+	for _, f := range s.Events {
+		inEvents[f.ID] = true
+	}
+	for _, c := range u.Conditions {
+		prod := c.Producer
+		if prod == nil {
+			continue
+		}
+		switch {
+		case prod.IsRoot:
+			if entry.IsRoot {
+				s.Conditions = append(s.Conditions, c)
+			}
+		case prod == entry:
+			s.Conditions = append(s.Conditions, c)
+		case inEvents[prod.ID] && (entry.IsRoot || u.Before(entry, prod)):
+			s.Conditions = append(s.Conditions, c)
+		}
+	}
+	sort.Slice(s.Conditions, func(i, j int) bool { return s.Conditions[i].ID < s.Conditions[j].ID })
+	return s
+}
+
+// containsEvent reports whether the event belongs to the slice (may fire
+// inside it).
+func (s *Slice) containsEvent(f *unfolding.Event) bool {
+	for _, e := range s.Events {
+		if e == f {
+			return true
+		}
+	}
+	return false
+}
+
+// isBoundary reports whether the event is one of the slice's boundary
+// instances.
+func (s *Slice) isBoundary(f *unfolding.Event) bool {
+	for _, n := range s.Boundary {
+		if n == f {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,261 @@
+// Package experiments reproduces the evaluation of the paper: Table 1 (the
+// benchmark suite synthesised with the unfolding-based flow and the two
+// state-graph baselines) and Figure 6 (synthesis time versus signal count on
+// the scalable Muller pipeline, plus the counterflow-pipeline point).  The
+// benchtab command and the repository-level benchmarks are thin wrappers
+// around this package.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"punt/internal/baseline"
+	"punt/internal/benchgen"
+	"punt/internal/core"
+	"punt/internal/gatelib"
+	"punt/internal/stg"
+)
+
+// ToolResult is the outcome of running one synthesis flow on one benchmark.
+type ToolResult struct {
+	Ok       bool
+	Reason   string // why the run did not complete (limit exceeded, ...)
+	Time     time.Duration
+	Literals int
+}
+
+// Table1Row is one row of the reproduced Table 1.
+type Table1Row struct {
+	Name    string
+	Signals int
+
+	// PUNT ACG columns.
+	UnfTime   time.Duration
+	SynTime   time.Duration
+	EspTime   time.Duration
+	TotalTime time.Duration
+	Literals  int
+	Events    int
+	Refined   int
+
+	// Baseline columns ("Other tools").
+	Petrify ToolResult // symbolic (BDD) state-graph synthesis
+	SIS     ToolResult // explicit state-graph synthesis
+}
+
+// Table1Options configures the Table 1 run.
+type Table1Options struct {
+	// MaxStates bounds the explicit baseline (0 = 2,000,000).
+	MaxStates int
+	// MaxNodes bounds the symbolic baseline's BDD size (0 = 4,000,000).
+	MaxNodes int
+	// SkipBaselines runs only the PUNT flow (used by quick benchmarks).
+	SkipBaselines bool
+}
+
+// RunTable1Entry synthesises one benchmark with all three flows.
+func RunTable1Entry(entry benchgen.BenchmarkEntry, opts Table1Options) Table1Row {
+	row := Table1Row{Name: entry.Name, Signals: entry.Signals}
+
+	g := entry.Build()
+	im, stats, err := core.New(core.Options{}).Synthesize(g)
+	if err == nil {
+		row.UnfTime = stats.UnfTime
+		row.SynTime = stats.SynTime
+		row.EspTime = stats.EspTime
+		row.TotalTime = stats.Total
+		row.Literals = im.Literals()
+		row.Events = stats.Events
+		row.Refined = stats.TermsRefined
+	} else {
+		row.TotalTime = stats.Total
+		row.Literals = -1
+	}
+	if opts.SkipBaselines {
+		return row
+	}
+	row.Petrify = runSymbolic(entry.Build(), opts)
+	row.SIS = runExplicit(entry.Build(), opts)
+	return row
+}
+
+// RunTable1 synthesises the whole suite.
+func RunTable1(entries []benchgen.BenchmarkEntry, opts Table1Options) []Table1Row {
+	rows := make([]Table1Row, 0, len(entries))
+	for _, e := range entries {
+		rows = append(rows, RunTable1Entry(e, opts))
+	}
+	return rows
+}
+
+func runExplicit(g *stg.STG, opts Table1Options) ToolResult {
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = 2000000
+	}
+	s := &baseline.ExplicitSynthesizer{MaxStates: maxStates, Arch: gatelib.ComplexGate}
+	start := time.Now()
+	im, _, err := s.Synthesize(g)
+	elapsed := time.Since(start)
+	if err != nil {
+		return ToolResult{Ok: false, Reason: err.Error(), Time: elapsed, Literals: -1}
+	}
+	return ToolResult{Ok: true, Time: elapsed, Literals: im.Literals()}
+}
+
+func runSymbolic(g *stg.STG, opts Table1Options) ToolResult {
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 4000000
+	}
+	s := &baseline.SymbolicSynthesizer{MaxNodes: maxNodes, Arch: gatelib.ComplexGate}
+	start := time.Now()
+	im, _, err := s.Synthesize(g)
+	elapsed := time.Since(start)
+	if err != nil {
+		return ToolResult{Ok: false, Reason: err.Error(), Time: elapsed, Literals: -1}
+	}
+	return ToolResult{Ok: true, Time: elapsed, Literals: im.Literals()}
+}
+
+// FormatTable1 renders the rows in the layout of the paper's Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s %5s | %9s %9s %9s %9s %7s | %12s %12s %9s\n",
+		"Benchmark", "Sigs", "UnfTim", "SynTim", "EspTim", "TotTim", "LitCnt", "Petrify", "SIS", "LitCnt")
+	sb.WriteString(strings.Repeat("-", 124) + "\n")
+	var totSigs, totLit, totPetLit, totSisLit int
+	var totUnf, totSyn, totEsp, totTot, totPet, totSis time.Duration
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-22s %5d | %9s %9s %9s %9s %7d | %12s %12s %4s/%-4s\n",
+			r.Name, r.Signals,
+			fmtDur(r.UnfTime), fmtDur(r.SynTime), fmtDur(r.EspTime), fmtDur(r.TotalTime), r.Literals,
+			fmtTool(r.Petrify), fmtTool(r.SIS), fmtLit(r.Petrify.Literals), fmtLit(r.SIS.Literals))
+		totSigs += r.Signals
+		totLit += max0(r.Literals)
+		totPetLit += max0(r.Petrify.Literals)
+		totSisLit += max0(r.SIS.Literals)
+		totUnf += r.UnfTime
+		totSyn += r.SynTime
+		totEsp += r.EspTime
+		totTot += r.TotalTime
+		totPet += r.Petrify.Time
+		totSis += r.SIS.Time
+	}
+	sb.WriteString(strings.Repeat("-", 124) + "\n")
+	fmt.Fprintf(&sb, "%-22s %5d | %9s %9s %9s %9s %7d | %12s %12s %4d/%-4d\n",
+		"Total", totSigs,
+		fmtDur(totUnf), fmtDur(totSyn), fmtDur(totEsp), fmtDur(totTot), totLit,
+		fmtDur(totPet), fmtDur(totSis), totPetLit, totSisLit)
+	return sb.String()
+}
+
+func max0(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func fmtLit(v int) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+func fmtTool(t ToolResult) string {
+	if !t.Ok {
+		return ">" + fmtDur(t.Time) + "*"
+	}
+	return fmtDur(t.Time)
+}
+
+// Figure6Point is one measurement of the Figure 6 experiment: synthesis time
+// of each tool for a Muller pipeline with the given number of signals.
+type Figure6Point struct {
+	Signals int
+	PUNT    ToolResult
+	Petrify ToolResult
+	SIS     ToolResult
+}
+
+// Figure6Options configures the scaling experiment.
+type Figure6Options struct {
+	// Signals lists the pipeline sizes to measure (number of signals).
+	Signals []int
+	// ExplicitLimit and SymbolicLimit bound the baselines so that the
+	// experiment terminates even where the paper's tools "choke"
+	// (0 = 200,000 states / 2,000,000 BDD nodes).
+	ExplicitLimit int
+	SymbolicLimit int
+	// SkipBaselines measures only PUNT.
+	SkipBaselines bool
+	// IncludeCounterflow appends the 34-signal counterflow-pipeline point
+	// (the circled dot of Figure 6).
+	IncludeCounterflow bool
+}
+
+// DefaultFigure6Signals is the sweep used by the benchmarks: 5 to 50 signals.
+func DefaultFigure6Signals() []int { return []int{5, 8, 12, 17, 22, 27, 32, 42, 50} }
+
+// RunFigure6 measures the scaling experiment.
+func RunFigure6(opts Figure6Options) []Figure6Point {
+	signals := opts.Signals
+	if len(signals) == 0 {
+		signals = DefaultFigure6Signals()
+	}
+	explicitLimit := opts.ExplicitLimit
+	if explicitLimit == 0 {
+		explicitLimit = 200000
+	}
+	symbolicLimit := opts.SymbolicLimit
+	if symbolicLimit == 0 {
+		symbolicLimit = 2000000
+	}
+	var out []Figure6Point
+	measure := func(name string, mk func() *stg.STG, signals int) Figure6Point {
+		p := Figure6Point{Signals: signals}
+		start := time.Now()
+		im, _, err := core.New(core.Options{}).Synthesize(mk())
+		if err != nil {
+			p.PUNT = ToolResult{Ok: false, Reason: err.Error(), Time: time.Since(start), Literals: -1}
+		} else {
+			p.PUNT = ToolResult{Ok: true, Time: time.Since(start), Literals: im.Literals()}
+		}
+		if !opts.SkipBaselines {
+			p.Petrify = runSymbolic(mk(), Table1Options{MaxNodes: symbolicLimit})
+			p.SIS = runExplicit(mk(), Table1Options{MaxStates: explicitLimit})
+		}
+		_ = name
+		return p
+	}
+	for _, s := range signals {
+		s := s
+		out = append(out, measure(fmt.Sprintf("pipeline-%d", s),
+			func() *stg.STG { return benchgen.MullerPipelineWithSignals(s) }, s))
+	}
+	if opts.IncludeCounterflow {
+		out = append(out, measure("counterflow", benchgen.CounterflowPipeline, 34))
+	}
+	return out
+}
+
+// FormatFigure6 renders the scaling series as the table underlying Figure 6.
+func FormatFigure6(points []Figure6Point) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%8s | %14s | %14s | %14s\n", "Signals", "PUNT", "Petrify", "SIS")
+	sb.WriteString(strings.Repeat("-", 62) + "\n")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%8d | %14s | %14s | %14s\n",
+			p.Signals, fmtTool(p.PUNT), fmtTool(p.Petrify), fmtTool(p.SIS))
+	}
+	sb.WriteString("(* = aborted after exceeding its state/node budget: the tool \"chokes\" at this size)\n")
+	return sb.String()
+}

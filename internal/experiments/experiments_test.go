@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"punt/internal/benchgen"
+)
+
+func TestRunTable1SmallSubset(t *testing.T) {
+	suite := benchgen.Table1Suite()
+	var small []benchgen.BenchmarkEntry
+	for _, e := range suite {
+		if e.Signals <= 10 {
+			small = append(small, e)
+		}
+	}
+	rows := RunTable1(small, Table1Options{})
+	if len(rows) != len(small) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(small))
+	}
+	for _, r := range rows {
+		if r.Literals <= 0 {
+			t.Errorf("%s: PUNT produced no implementation (literals=%d)", r.Name, r.Literals)
+		}
+		if !r.SIS.Ok || !r.Petrify.Ok {
+			t.Errorf("%s: baselines failed (SIS=%v petrify=%v)", r.Name, r.SIS.Reason, r.Petrify.Reason)
+		}
+		// On small benchmarks all three flows derive exact or refined-exact
+		// covers and use the same minimiser: literal counts should be close.
+		if r.SIS.Ok && r.Literals > 2*r.SIS.Literals+4 {
+			t.Errorf("%s: PUNT literal count %d far above SIS %d", r.Name, r.Literals, r.SIS.Literals)
+		}
+	}
+	text := FormatTable1(rows)
+	if !strings.Contains(text, "Benchmark") || !strings.Contains(text, "Total") {
+		t.Fatalf("bad table formatting:\n%s", text)
+	}
+}
+
+func TestRunTable1SkipBaselines(t *testing.T) {
+	entry := benchgen.Table1Suite()[2] // nowick, 6 signals
+	row := RunTable1Entry(entry, Table1Options{SkipBaselines: true})
+	if row.Literals <= 0 {
+		t.Fatalf("no PUNT result: %+v", row)
+	}
+	if row.SIS.Ok || row.Petrify.Ok {
+		t.Fatal("baselines should have been skipped")
+	}
+}
+
+func TestRunFigure6SmallSweep(t *testing.T) {
+	points := RunFigure6(Figure6Options{
+		Signals:       []int{5, 8, 12},
+		ExplicitLimit: 50000,
+		SymbolicLimit: 500000,
+	})
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if !p.PUNT.Ok {
+			t.Fatalf("PUNT failed at %d signals: %s", p.Signals, p.PUNT.Reason)
+		}
+	}
+	// The smallest size must be solvable by everyone.
+	if !points[0].SIS.Ok || !points[0].Petrify.Ok {
+		t.Fatal("baselines must handle the 5-signal pipeline")
+	}
+	text := FormatFigure6(points)
+	if !strings.Contains(text, "Signals") {
+		t.Fatalf("bad figure formatting:\n%s", text)
+	}
+}
+
+func TestFigure6BaselineChokesWherePUNTDoesNot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// With a deliberately small state budget the explicit baseline must give
+	// up on a deep pipeline while PUNT completes: the crossover of Figure 6.
+	points := RunFigure6(Figure6Options{
+		Signals:       []int{22},
+		ExplicitLimit: 20000,
+		SymbolicLimit: 100000,
+	})
+	p := points[0]
+	if !p.PUNT.Ok {
+		t.Fatalf("PUNT must complete the 22-signal pipeline: %s", p.PUNT.Reason)
+	}
+	if p.SIS.Ok {
+		t.Fatal("the explicit baseline should exceed its state budget at this size")
+	}
+}

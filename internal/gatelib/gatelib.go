@@ -1,0 +1,244 @@
+// Package gatelib represents the synthesised implementations produced by the
+// synthesis engines: one atomic complex gate (or memory element with set and
+// reset functions) per non-input signal.  It provides literal counting — the
+// quality metric of the paper's Table 1 — and netlist emission as boolean
+// equations and as a behavioural Verilog module.
+package gatelib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"punt/internal/boolcover"
+)
+
+// Architecture selects how an output signal is implemented.
+type Architecture int
+
+// The implementation architectures considered by the paper (Section 2.1).
+const (
+	// ComplexGate is the "atomic complex gate per signal" architecture: the
+	// whole next-state function of the signal is one atomic sum-of-products
+	// gate with internal feedback.
+	ComplexGate Architecture = iota
+	// StandardC implements the signal with a Muller C-element whose set and
+	// reset inputs are atomic complex gates.
+	StandardC
+	// RSLatch implements the signal with an RS latch whose set and reset
+	// inputs are atomic complex gates.
+	RSLatch
+)
+
+// String names the architecture.
+func (a Architecture) String() string {
+	switch a {
+	case ComplexGate:
+		return "complex-gate"
+	case StandardC:
+		return "standard-c"
+	case RSLatch:
+		return "rs-latch"
+	default:
+		return fmt.Sprintf("Architecture(%d)", int(a))
+	}
+}
+
+// Gate is the implementation of a single output or internal signal.
+type Gate struct {
+	Signal string
+	Arch   Architecture
+
+	// Cover is the next-state (on-set) cover for ComplexGate implementations.
+	Cover *boolcover.Cover
+	// Set and Reset are the excitation function covers for StandardC and
+	// RSLatch implementations.
+	Set, Reset *boolcover.Cover
+}
+
+// Literals reports the number of literals of the gate, counting both the set
+// and reset networks for memory-element architectures.
+func (g Gate) Literals() int {
+	switch g.Arch {
+	case ComplexGate:
+		if g.Cover == nil {
+			return 0
+		}
+		return g.Cover.Literals()
+	default:
+		n := 0
+		if g.Set != nil {
+			n += g.Set.Literals()
+		}
+		if g.Reset != nil {
+			n += g.Reset.Literals()
+		}
+		return n
+	}
+}
+
+// Implementation is a complete circuit: one gate per implemented signal.
+type Implementation struct {
+	Name string
+	// SignalNames is the variable order of every cover in the implementation
+	// (all signals of the STG, inputs included).
+	SignalNames []string
+	Gates       []Gate
+}
+
+// Literals reports the total literal count of the circuit (the paper's
+// "LitCnt" column).
+func (im *Implementation) Literals() int {
+	n := 0
+	for _, g := range im.Gates {
+		n += g.Literals()
+	}
+	return n
+}
+
+// Gate returns the gate implementing the named signal.
+func (im *Implementation) Gate(signal string) (Gate, bool) {
+	for _, g := range im.Gates {
+		if g.Signal == signal {
+			return g, true
+		}
+	}
+	return Gate{}, false
+}
+
+// cubeExpr renders one cube as a product of named literals ("a b' c").
+func cubeExpr(c boolcover.Cube, names []string) string {
+	var parts []string
+	for i := 0; i < c.Len(); i++ {
+		switch c.Get(i) {
+		case boolcover.One:
+			parts = append(parts, names[i])
+		case boolcover.Zero:
+			parts = append(parts, names[i]+"'")
+		}
+	}
+	if len(parts) == 0 {
+		return "1"
+	}
+	return strings.Join(parts, " ")
+}
+
+// coverExpr renders a cover as a sum of products.
+func coverExpr(c *boolcover.Cover, names []string) string {
+	if c == nil || c.IsEmpty() {
+		return "0"
+	}
+	var terms []string
+	for _, cube := range c.Cubes() {
+		terms = append(terms, cubeExpr(cube, names))
+	}
+	sort.Strings(terms)
+	return strings.Join(terms, " + ")
+}
+
+// Eqn renders the implementation as a list of boolean equations, one per
+// gate, in the style of SIS .eqn files.
+func (im *Implementation) Eqn() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# implementation of %s (%d literals)\n", im.Name, im.Literals())
+	for _, g := range im.Gates {
+		switch g.Arch {
+		case ComplexGate:
+			fmt.Fprintf(&sb, "%s = %s\n", g.Signal, coverExpr(g.Cover, im.SignalNames))
+		default:
+			fmt.Fprintf(&sb, "set(%s)   = %s\n", g.Signal, coverExpr(g.Set, im.SignalNames))
+			fmt.Fprintf(&sb, "reset(%s) = %s\n", g.Signal, coverExpr(g.Reset, im.SignalNames))
+		}
+	}
+	return sb.String()
+}
+
+// verilogExpr renders a cover as a Verilog boolean expression.
+func verilogExpr(c *boolcover.Cover, names []string) string {
+	if c == nil || c.IsEmpty() {
+		return "1'b0"
+	}
+	var terms []string
+	for _, cube := range c.Cubes() {
+		var lits []string
+		for i := 0; i < cube.Len(); i++ {
+			switch cube.Get(i) {
+			case boolcover.One:
+				lits = append(lits, names[i])
+			case boolcover.Zero:
+				lits = append(lits, "~"+names[i])
+			}
+		}
+		if len(lits) == 0 {
+			terms = append(terms, "1'b1")
+		} else {
+			terms = append(terms, "("+strings.Join(lits, " & ")+")")
+		}
+	}
+	sort.Strings(terms)
+	return strings.Join(terms, " | ")
+}
+
+// Verilog renders the implementation as a behavioural Verilog module.  Complex
+// gates become continuous assignments with feedback; memory-element
+// architectures are modelled with set/reset always-blocks.
+func (im *Implementation) Verilog() string {
+	var sb strings.Builder
+	implemented := map[string]bool{}
+	for _, g := range im.Gates {
+		implemented[g.Signal] = true
+	}
+	var inputs, outputs []string
+	for _, s := range im.SignalNames {
+		if implemented[s] {
+			outputs = append(outputs, s)
+		} else {
+			inputs = append(inputs, s)
+		}
+	}
+	modName := sanitizeIdent(im.Name)
+	fmt.Fprintf(&sb, "// Generated by punt: %d literals\n", im.Literals())
+	fmt.Fprintf(&sb, "module %s (%s);\n", modName, strings.Join(append(append([]string{}, inputs...), outputs...), ", "))
+	if len(inputs) > 0 {
+		fmt.Fprintf(&sb, "  input %s;\n", strings.Join(inputs, ", "))
+	}
+	if len(outputs) > 0 {
+		fmt.Fprintf(&sb, "  output %s;\n", strings.Join(outputs, ", "))
+	}
+	for _, g := range im.Gates {
+		switch g.Arch {
+		case ComplexGate:
+			fmt.Fprintf(&sb, "  assign %s = %s;\n", g.Signal, verilogExpr(g.Cover, im.SignalNames))
+		default:
+			fmt.Fprintf(&sb, "  reg %s_ff;\n", g.Signal)
+			fmt.Fprintf(&sb, "  wire %s_set = %s;\n", g.Signal, verilogExpr(g.Set, im.SignalNames))
+			fmt.Fprintf(&sb, "  wire %s_reset = %s;\n", g.Signal, verilogExpr(g.Reset, im.SignalNames))
+			fmt.Fprintf(&sb, "  always @(*) if (%s_set) %s_ff = 1'b1; else if (%s_reset) %s_ff = 1'b0;\n",
+				g.Signal, g.Signal, g.Signal, g.Signal)
+			fmt.Fprintf(&sb, "  assign %s = %s_ff;\n", g.Signal, g.Signal)
+		}
+	}
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+func sanitizeIdent(s string) string {
+	var sb strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "circuit"
+	}
+	return sb.String()
+}

@@ -1,0 +1,130 @@
+package gatelib
+
+import (
+	"strings"
+	"testing"
+
+	"punt/internal/boolcover"
+)
+
+func sampleImpl() *Implementation {
+	return &Implementation{
+		Name:        "paper-fig1",
+		SignalNames: []string{"a", "b", "c"},
+		Gates: []Gate{
+			{
+				Signal: "b",
+				Arch:   ComplexGate,
+				Cover:  boolcover.CoverFromStrings("1--", "--1"),
+			},
+		},
+	}
+}
+
+func TestLiteralCount(t *testing.T) {
+	im := sampleImpl()
+	if im.Literals() != 2 {
+		t.Fatalf("Literals = %d, want 2", im.Literals())
+	}
+	g, ok := im.Gate("b")
+	if !ok || g.Literals() != 2 {
+		t.Fatal("Gate lookup or per-gate literal count failed")
+	}
+	if _, ok := im.Gate("nope"); ok {
+		t.Fatal("unknown gate must not be found")
+	}
+}
+
+func TestLiteralCountSetReset(t *testing.T) {
+	im := &Implementation{
+		Name:        "celem",
+		SignalNames: []string{"a", "b", "c"},
+		Gates: []Gate{
+			{
+				Signal: "c",
+				Arch:   StandardC,
+				Set:    boolcover.CoverFromStrings("11-"),
+				Reset:  boolcover.CoverFromStrings("00-"),
+			},
+		},
+	}
+	if im.Literals() != 4 {
+		t.Fatalf("Literals = %d, want 4", im.Literals())
+	}
+}
+
+func TestEqnOutput(t *testing.T) {
+	im := sampleImpl()
+	eqn := im.Eqn()
+	if !strings.Contains(eqn, "b = ") {
+		t.Fatalf("Eqn missing equation: %s", eqn)
+	}
+	if !strings.Contains(eqn, "a + c") && !strings.Contains(eqn, "c + a") {
+		t.Fatalf("Eqn should render a + c: %s", eqn)
+	}
+}
+
+func TestEqnSetReset(t *testing.T) {
+	im := &Implementation{
+		Name:        "latch",
+		SignalNames: []string{"x", "y"},
+		Gates: []Gate{
+			{Signal: "y", Arch: RSLatch,
+				Set:   boolcover.CoverFromStrings("1-"),
+				Reset: boolcover.CoverFromStrings("0-")},
+		},
+	}
+	eqn := im.Eqn()
+	if !strings.Contains(eqn, "set(y)") || !strings.Contains(eqn, "reset(y)") {
+		t.Fatalf("set/reset equations missing: %s", eqn)
+	}
+}
+
+func TestVerilogOutput(t *testing.T) {
+	im := sampleImpl()
+	v := im.Verilog()
+	for _, want := range []string{"module paper_fig1", "input a, c;", "output b;", "assign b ="} {
+		if !strings.Contains(v, want) {
+			t.Fatalf("Verilog missing %q:\n%s", want, v)
+		}
+	}
+	// Memory-element variant.
+	im.Gates[0].Arch = StandardC
+	im.Gates[0].Set = boolcover.CoverFromStrings("1--")
+	im.Gates[0].Reset = boolcover.CoverFromStrings("0--")
+	v = im.Verilog()
+	if !strings.Contains(v, "b_set") || !strings.Contains(v, "b_reset") {
+		t.Fatalf("C-element Verilog missing set/reset wires:\n%s", v)
+	}
+}
+
+func TestEmptyCoverRendering(t *testing.T) {
+	im := &Implementation{
+		Name:        "empty",
+		SignalNames: []string{"a", "b"},
+		Gates:       []Gate{{Signal: "b", Arch: ComplexGate, Cover: boolcover.NewCover(2)}},
+	}
+	if !strings.Contains(im.Eqn(), "b = 0") {
+		t.Fatalf("empty cover should render as 0: %s", im.Eqn())
+	}
+	if im.Literals() != 0 {
+		t.Fatal("empty cover has no literals")
+	}
+}
+
+func TestUniverseCubeRendering(t *testing.T) {
+	im := &Implementation{
+		Name:        "one",
+		SignalNames: []string{"a", "b"},
+		Gates:       []Gate{{Signal: "b", Arch: ComplexGate, Cover: boolcover.Universe(2)}},
+	}
+	if !strings.Contains(im.Eqn(), "b = 1") {
+		t.Fatalf("universe cover should render as 1: %s", im.Eqn())
+	}
+}
+
+func TestArchitectureString(t *testing.T) {
+	if ComplexGate.String() != "complex-gate" || StandardC.String() != "standard-c" || RSLatch.String() != "rs-latch" {
+		t.Fatal("architecture names changed")
+	}
+}

@@ -1,0 +1,171 @@
+package petri
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Marking is a multiset of tokens over the places of a net.
+type Marking struct {
+	tokens map[PlaceID]int
+}
+
+// NewMarking returns an empty marking.
+func NewMarking() Marking {
+	return Marking{tokens: map[PlaceID]int{}}
+}
+
+// MarkingOf returns a marking with one token in each of the given places.
+func MarkingOf(places ...PlaceID) Marking {
+	m := NewMarking()
+	for _, p := range places {
+		m.Add(p, 1)
+	}
+	return m
+}
+
+// Add adds k tokens to place p (k may be negative to remove tokens; the count
+// never drops below zero and zero-count entries are removed).
+func (m Marking) Add(p PlaceID, k int) {
+	if m.tokens == nil {
+		panic("petri: Add on zero Marking; use NewMarking")
+	}
+	v := m.tokens[p] + k
+	if v < 0 {
+		panic(fmt.Sprintf("petri: negative token count on place %d", p))
+	}
+	if v == 0 {
+		delete(m.tokens, p)
+	} else {
+		m.tokens[p] = v
+	}
+}
+
+// Tokens returns the number of tokens on place p.
+func (m Marking) Tokens(p PlaceID) int {
+	if m.tokens == nil {
+		return 0
+	}
+	return m.tokens[p]
+}
+
+// Marked reports whether place p carries at least one token.
+func (m Marking) Marked(p PlaceID) bool { return m.Tokens(p) > 0 }
+
+// Places returns the marked places in increasing order.
+func (m Marking) Places() []PlaceID {
+	out := make([]PlaceID, 0, len(m.tokens))
+	for p := range m.tokens {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Total returns the total number of tokens.
+func (m Marking) Total() int {
+	n := 0
+	for _, k := range m.tokens {
+		n += k
+	}
+	return n
+}
+
+// Clone returns an independent copy of the marking.
+func (m Marking) Clone() Marking {
+	c := NewMarking()
+	for p, k := range m.tokens {
+		c.tokens[p] = k
+	}
+	return c
+}
+
+// Equal reports whether two markings are identical.
+func (m Marking) Equal(o Marking) bool {
+	if len(m.tokens) != len(o.tokens) {
+		return false
+	}
+	for p, k := range m.tokens {
+		if o.tokens[p] != k {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string usable as a map key.
+func (m Marking) Key() string {
+	places := m.Places()
+	var sb strings.Builder
+	for _, p := range places {
+		fmt.Fprintf(&sb, "%d*%d,", p, m.tokens[p])
+	}
+	return sb.String()
+}
+
+// String renders the marking using the net-independent place indices.
+func (m Marking) String() string {
+	places := m.Places()
+	parts := make([]string, 0, len(places))
+	for _, p := range places {
+		if m.tokens[p] == 1 {
+			parts = append(parts, fmt.Sprintf("p%d", p))
+		} else {
+			parts = append(parts, fmt.Sprintf("p%d*%d", p, m.tokens[p]))
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Describe renders the marking with place names from the net.
+func (m Marking) Describe(n *Net) string {
+	places := m.Places()
+	parts := make([]string, 0, len(places))
+	for _, p := range places {
+		name := n.PlaceName(p)
+		if m.tokens[p] == 1 {
+			parts = append(parts, name)
+		} else {
+			parts = append(parts, fmt.Sprintf("%s*%d", name, m.tokens[p]))
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Enabled reports whether transition t is enabled at marking m in net n.
+func (n *Net) Enabled(m Marking, t TransitionID) bool {
+	for _, p := range n.pre[t] {
+		if m.Tokens(p) < 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// EnabledTransitions returns all transitions enabled at m, in increasing order.
+func (n *Net) EnabledTransitions(m Marking) []TransitionID {
+	var out []TransitionID
+	for t := 0; t < n.NumTransitions(); t++ {
+		if n.Enabled(m, TransitionID(t)) {
+			out = append(out, TransitionID(t))
+		}
+	}
+	return out
+}
+
+// Fire returns the marking reached by firing transition t from m.  It panics
+// if t is not enabled.
+func (n *Net) Fire(m Marking, t TransitionID) Marking {
+	if !n.Enabled(m, t) {
+		panic(fmt.Sprintf("petri: transition %q not enabled at %s", n.TransitionName(t), m))
+	}
+	next := m.Clone()
+	for _, p := range n.pre[t] {
+		next.Add(p, -1)
+	}
+	for _, p := range n.post[t] {
+		next.Add(p, 1)
+	}
+	return next
+}

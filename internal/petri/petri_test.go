@@ -1,0 +1,250 @@
+package petri
+
+import (
+	"errors"
+	"testing"
+)
+
+// simpleCycle builds the net  p0 -> t0 -> p1 -> t1 -> p0  with a token on p0.
+func simpleCycle() (*Net, []PlaceID, []TransitionID) {
+	n := NewNet("cycle")
+	p0 := n.AddPlace("p0")
+	p1 := n.AddPlace("p1")
+	t0 := n.AddTransition("t0")
+	t1 := n.AddTransition("t1")
+	n.AddArcPT(p0, t0)
+	n.AddArcTP(t0, p1)
+	n.AddArcPT(p1, t1)
+	n.AddArcTP(t1, p0)
+	n.MarkInitially(p0)
+	return n, []PlaceID{p0, p1}, []TransitionID{t0, t1}
+}
+
+func TestEnablingAndFiring(t *testing.T) {
+	n, ps, ts := simpleCycle()
+	m := n.Initial()
+	if !n.Enabled(m, ts[0]) {
+		t.Fatal("t0 must be enabled initially")
+	}
+	if n.Enabled(m, ts[1]) {
+		t.Fatal("t1 must not be enabled initially")
+	}
+	m2 := n.Fire(m, ts[0])
+	if m2.Tokens(ps[0]) != 0 || m2.Tokens(ps[1]) != 1 {
+		t.Fatalf("unexpected marking after firing: %s", m2)
+	}
+	m3 := n.Fire(m2, ts[1])
+	if !m3.Equal(n.Initial()) {
+		t.Fatal("firing the cycle must return to the initial marking")
+	}
+}
+
+func TestFireNotEnabledPanics(t *testing.T) {
+	n, _, ts := simpleCycle()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when firing a disabled transition")
+		}
+	}()
+	n.Fire(n.Initial(), ts[1])
+}
+
+func TestMarkingKeyAndEqual(t *testing.T) {
+	a := MarkingOf(1, 3, 3)
+	b := MarkingOf(3, 1, 3)
+	c := MarkingOf(1, 3)
+	if !a.Equal(b) || a.Key() != b.Key() {
+		t.Fatal("marking equality/keys must be order independent")
+	}
+	if a.Equal(c) || a.Key() == c.Key() {
+		t.Fatal("different multisets must differ")
+	}
+	if a.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", a.Total())
+	}
+}
+
+func TestReachabilityCycle(t *testing.T) {
+	n, _, _ := simpleCycle()
+	g, err := n.Reachability(ReachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumStates() != 2 {
+		t.Fatalf("NumStates = %d, want 2", g.NumStates())
+	}
+	if len(g.Edges) != 2 {
+		t.Fatalf("Edges = %d, want 2", len(g.Edges))
+	}
+	if len(g.Deadlocks) != 0 {
+		t.Fatal("cycle has no deadlocks")
+	}
+}
+
+// fork-join net with concurrency: t0 produces into p1 and p2; t1, t2 consume
+// them independently; t3 joins.
+func forkJoin() *Net {
+	n := NewNet("forkjoin")
+	p0 := n.AddPlace("p0")
+	p1 := n.AddPlace("p1")
+	p2 := n.AddPlace("p2")
+	p3 := n.AddPlace("p3")
+	p4 := n.AddPlace("p4")
+	t0 := n.AddTransition("fork")
+	t1 := n.AddTransition("left")
+	t2 := n.AddTransition("right")
+	t3 := n.AddTransition("join")
+	n.AddArcPT(p0, t0)
+	n.AddArcTP(t0, p1)
+	n.AddArcTP(t0, p2)
+	n.AddArcPT(p1, t1)
+	n.AddArcTP(t1, p3)
+	n.AddArcPT(p2, t2)
+	n.AddArcTP(t2, p4)
+	n.AddArcPT(p3, t3)
+	n.AddArcPT(p4, t3)
+	n.AddArcTP(t3, p0)
+	n.MarkInitially(p0)
+	return n
+}
+
+func TestReachabilityForkJoin(t *testing.T) {
+	n := forkJoin()
+	g, err := n.Reachability(ReachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// states: {p0},{p1,p2},{p3,p2},{p1,p4},{p3,p4}
+	if g.NumStates() != 5 {
+		t.Fatalf("NumStates = %d, want 5", g.NumStates())
+	}
+	if !n.IsMarkedGraph() {
+		t.Fatal("fork-join net is a marked graph")
+	}
+	if !n.IsFreeChoice() {
+		t.Fatal("marked graphs are free choice")
+	}
+	safe, err := n.IsSafe(0)
+	if err != nil || !safe {
+		t.Fatalf("IsSafe = %v,%v", safe, err)
+	}
+}
+
+func TestUnboundedDetection(t *testing.T) {
+	n := NewNet("unbounded")
+	p0 := n.AddPlace("p0")
+	p1 := n.AddPlace("p1")
+	t0 := n.AddTransition("t0")
+	n.AddArcPT(p0, t0)
+	n.AddArcTP(t0, p0)
+	n.AddArcTP(t0, p1) // accumulates tokens in p1 forever
+	n.MarkInitially(p0)
+	_, err := n.Reachability(ReachOptions{Bound: 1})
+	if !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("expected ErrUnbounded, got %v", err)
+	}
+	safe, err := n.IsSafe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe {
+		t.Fatal("net is not safe")
+	}
+	// With a higher bound it is still unbounded, but a small state limit stops
+	// exploration first.
+	_, err = n.Reachability(ReachOptions{Bound: 1000, MaxStates: 10})
+	if !errors.Is(err, ErrStateLimit) {
+		t.Fatalf("expected ErrStateLimit, got %v", err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	n := NewNet("deadlock")
+	p0 := n.AddPlace("p0")
+	p1 := n.AddPlace("p1")
+	t0 := n.AddTransition("t0")
+	n.AddArcPT(p0, t0)
+	n.AddArcTP(t0, p1)
+	n.MarkInitially(p0)
+	g, err := n.Reachability(ReachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Deadlocks) != 1 {
+		t.Fatalf("Deadlocks = %v, want exactly one", g.Deadlocks)
+	}
+}
+
+func TestChoiceAndFreeChoice(t *testing.T) {
+	n := NewNet("choice")
+	p0 := n.AddPlace("p0")
+	p1 := n.AddPlace("p1")
+	p2 := n.AddPlace("p2")
+	a := n.AddTransition("a")
+	b := n.AddTransition("b")
+	n.AddArcPT(p0, a)
+	n.AddArcPT(p0, b)
+	n.AddArcTP(a, p1)
+	n.AddArcTP(b, p2)
+	n.MarkInitially(p0)
+	if !n.IsChoicePlace(p0) {
+		t.Fatal("p0 is a choice place")
+	}
+	if n.IsMarkedGraph() {
+		t.Fatal("net with choice is not a marked graph")
+	}
+	if !n.IsFreeChoice() {
+		t.Fatal("net is free choice")
+	}
+	// Make it non-free-choice by adding another input place to b only.
+	p3 := n.AddPlace("p3")
+	n.AddArcPT(p3, b)
+	n.MarkInitially(p3)
+	if n.IsFreeChoice() {
+		t.Fatal("net is no longer free choice")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	n := NewNet("bad")
+	n.AddPlace("p0")
+	n.AddTransition("t0") // no arcs
+	if err := n.Validate(); err == nil {
+		t.Fatal("expected validation error for transition without preset")
+	}
+	good, _, _ := simpleCycle()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("unexpected validation error: %v", err)
+	}
+}
+
+func TestDuplicatePlacePanics(t *testing.T) {
+	n := NewNet("dup")
+	n.AddPlace("p")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate place name")
+		}
+	}()
+	n.AddPlace("p")
+}
+
+func TestLookupsAndNames(t *testing.T) {
+	n, ps, ts := simpleCycle()
+	if n.PlaceName(ps[0]) != "p0" || n.TransitionName(ts[1]) != "t1" {
+		t.Fatal("name lookup failed")
+	}
+	id, ok := n.PlaceByName("p1")
+	if !ok || id != ps[1] {
+		t.Fatal("PlaceByName failed")
+	}
+	if _, ok := n.PlaceByName("nope"); ok {
+		t.Fatal("PlaceByName should fail for unknown place")
+	}
+	if len(n.Pre(ts[0])) != 1 || n.Pre(ts[0])[0] != ps[0] {
+		t.Fatal("Pre lookup failed")
+	}
+	if len(n.PlacePost(ps[0])) != 1 || n.PlacePost(ps[0])[0] != ts[0] {
+		t.Fatal("PlacePost lookup failed")
+	}
+}

@@ -1,0 +1,120 @@
+package petri
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnbounded is returned when reachability analysis exceeds the requested
+// token bound on some place.
+var ErrUnbounded = errors.New("petri: net exceeds the requested bound")
+
+// ErrStateLimit is returned when reachability analysis exceeds the configured
+// maximum number of states.
+var ErrStateLimit = errors.New("petri: reachability state limit exceeded")
+
+// ReachOptions configures explicit reachability exploration.
+type ReachOptions struct {
+	// Bound is the maximum number of tokens allowed on any place; 0 means
+	// 1-safe (the default for STGs).  Exceeding the bound aborts with
+	// ErrUnbounded.
+	Bound int
+	// MaxStates aborts exploration with ErrStateLimit when more than this
+	// many distinct markings have been generated; 0 means no limit.
+	MaxStates int
+}
+
+// ReachEdge is one arc of the reachability graph.
+type ReachEdge struct {
+	From, To   int
+	Transition TransitionID
+}
+
+// ReachGraph is the explicit reachability graph of a net: a list of distinct
+// markings and the firing edges between them.  Index 0 is the initial marking.
+type ReachGraph struct {
+	Markings []Marking
+	Edges    []ReachEdge
+	// Succ[i] lists the indices of edges leaving marking i.
+	Succ [][]int
+	// Deadlocks lists the indices of markings with no enabled transition.
+	Deadlocks []int
+}
+
+// NumStates reports the number of distinct reachable markings.
+func (g *ReachGraph) NumStates() int { return len(g.Markings) }
+
+// Reachability explores the state space of the net starting from its initial
+// marking.
+func (n *Net) Reachability(opts ReachOptions) (*ReachGraph, error) {
+	bound := opts.Bound
+	if bound <= 0 {
+		bound = 1
+	}
+	g := &ReachGraph{}
+	index := map[string]int{}
+
+	initial := n.Initial()
+	if err := checkBound(initial, bound); err != nil {
+		return nil, err
+	}
+	g.Markings = append(g.Markings, initial)
+	g.Succ = append(g.Succ, nil)
+	index[initial.Key()] = 0
+
+	queue := []int{0}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		m := g.Markings[cur]
+		enabled := n.EnabledTransitions(m)
+		if len(enabled) == 0 {
+			g.Deadlocks = append(g.Deadlocks, cur)
+			continue
+		}
+		for _, t := range enabled {
+			next := n.Fire(m, t)
+			if err := checkBound(next, bound); err != nil {
+				return nil, fmt.Errorf("%w (firing %q from %s)", err, n.TransitionName(t), m.Describe(n))
+			}
+			key := next.Key()
+			idx, seen := index[key]
+			if !seen {
+				idx = len(g.Markings)
+				if opts.MaxStates > 0 && idx >= opts.MaxStates {
+					return nil, ErrStateLimit
+				}
+				index[key] = idx
+				g.Markings = append(g.Markings, next)
+				g.Succ = append(g.Succ, nil)
+				queue = append(queue, idx)
+			}
+			edge := len(g.Edges)
+			g.Edges = append(g.Edges, ReachEdge{From: cur, To: idx, Transition: t})
+			g.Succ[cur] = append(g.Succ[cur], edge)
+		}
+	}
+	return g, nil
+}
+
+func checkBound(m Marking, bound int) error {
+	for _, p := range m.Places() {
+		if m.Tokens(p) > bound {
+			return ErrUnbounded
+		}
+	}
+	return nil
+}
+
+// IsSafe reports whether the net is 1-bounded, by explicit exploration.  The
+// optional maxStates argument bounds the exploration (0 = unlimited).
+func (n *Net) IsSafe(maxStates int) (bool, error) {
+	_, err := n.Reachability(ReachOptions{Bound: 1, MaxStates: maxStates})
+	if errors.Is(err, ErrUnbounded) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,0 +1,172 @@
+package stategraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"punt/internal/stg"
+)
+
+// PersistencyViolation reports a state in which an excited output signal can
+// be disabled by firing another transition — a violation of semi-modularity
+// (output signal persistency), which would manifest as a hazard in any
+// speed-independent implementation.
+type PersistencyViolation struct {
+	State      int    // state in which the output is excited
+	Signal     int    // the excited output signal
+	Dir        stg.Direction
+	DisabledBy string // the transition whose firing disables the excitation
+}
+
+// String renders the violation for diagnostics.
+func (v PersistencyViolation) String() string {
+	return fmt.Sprintf("output signal %d%s excited in state %d is disabled by %s",
+		v.Signal, v.Dir, v.State, v.DisabledBy)
+}
+
+// CheckOutputPersistency verifies semi-modularity: an excited output (or
+// internal) signal must stay excited, in the same direction, after any other
+// transition fires.  Input signals may be disabled by other inputs (that is
+// the environment's choice) and are not checked.
+func (sg *Graph) CheckOutputPersistency() []PersistencyViolation {
+	var out []PersistencyViolation
+	g := sg.STG
+	for i := range sg.States {
+		for _, sig := range g.OutputSignals() {
+			for _, dir := range []stg.Direction{stg.Plus, stg.Minus} {
+				if !sg.SignalExcited(i, sig, dir) {
+					continue
+				}
+				// Firing any other enabled transition must preserve the
+				// excitation.
+				for _, eIdx := range sg.Succ[i] {
+					e := sg.Edges[eIdx]
+					l := g.Label(e.Transition)
+					if !l.IsDummy && l.Signal == sig {
+						continue // the signal's own firing resolves the excitation
+					}
+					if !sg.SignalExcited(e.To, sig, dir) {
+						out = append(out, PersistencyViolation{
+							State:      i,
+							Signal:     sig,
+							Dir:        dir,
+							DisabledBy: g.TransitionString(e.Transition),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CSCConflict reports two reachable states that carry the same binary code
+// but disagree on the excited output signals, violating Complete State
+// Coding.
+type CSCConflict struct {
+	Code     string
+	StateA   int
+	StateB   int
+	SignalsA string // excitation summary of state A
+	SignalsB string
+}
+
+// String renders the conflict for diagnostics.
+func (c CSCConflict) String() string {
+	return fmt.Sprintf("CSC conflict on code %s: state %d excites {%s}, state %d excites {%s}",
+		c.Code, c.StateA, c.SignalsA, c.StateB, c.SignalsB)
+}
+
+// excitationSummary returns a canonical description of the output excitations
+// of a state, e.g. "b+,c-".
+func (sg *Graph) excitationSummary(i int) string {
+	g := sg.STG
+	var parts []string
+	for _, sig := range g.OutputSignals() {
+		if sg.SignalExcited(i, sig, stg.Plus) {
+			parts = append(parts, g.Signal(sig).Name+"+")
+		}
+		if sg.SignalExcited(i, sig, stg.Minus) {
+			parts = append(parts, g.Signal(sig).Name+"-")
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// CheckCSC verifies Complete State Coding: any two states with equal binary
+// codes must have the same set of excited output signals.
+func (sg *Graph) CheckCSC() []CSCConflict {
+	byCode := map[string][]int{}
+	for i, s := range sg.States {
+		k := s.Code.String()
+		byCode[k] = append(byCode[k], i)
+	}
+	var out []CSCConflict
+	for code, states := range byCode {
+		if len(states) < 2 {
+			continue
+		}
+		ref := sg.excitationSummary(states[0])
+		for _, other := range states[1:] {
+			sum := sg.excitationSummary(other)
+			if sum != ref {
+				out = append(out, CSCConflict{
+					Code:     code,
+					StateA:   states[0],
+					StateB:   other,
+					SignalsA: ref,
+					SignalsB: sum,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}
+
+// CheckUSC verifies Unique State Coding: no two distinct states share a
+// binary code.  It returns the codes that are shared.
+func (sg *Graph) CheckUSC() []string {
+	byCode := map[string]int{}
+	for _, s := range sg.States {
+		byCode[s.Code.String()]++
+	}
+	var out []string
+	for code, n := range byCode {
+		if n > 1 {
+			out = append(out, code)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Report summarises all correctness checks in a human-readable form; it is
+// what the stginfo command prints.
+func (sg *Graph) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "states: %d, arcs: %d\n", sg.NumStates(), sg.NumEdges())
+	if d := sg.Deadlocks(); len(d) > 0 {
+		fmt.Fprintf(&sb, "deadlocks: %d\n", len(d))
+	} else {
+		sb.WriteString("deadlocks: none\n")
+	}
+	if v := sg.CheckOutputPersistency(); len(v) > 0 {
+		fmt.Fprintf(&sb, "output persistency: %d violations (first: %s)\n", len(v), v[0])
+	} else {
+		sb.WriteString("output persistency: ok\n")
+	}
+	if u := sg.CheckUSC(); len(u) > 0 {
+		fmt.Fprintf(&sb, "USC: %d shared codes\n", len(u))
+	} else {
+		sb.WriteString("USC: ok\n")
+	}
+	if c := sg.CheckCSC(); len(c) > 0 {
+		fmt.Fprintf(&sb, "CSC: %d conflicts (first: %s)\n", len(c), c[0])
+	} else {
+		sb.WriteString("CSC: ok\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,225 @@
+package stategraph
+
+import (
+	"errors"
+	"testing"
+
+	"punt/internal/benchgen"
+	"punt/internal/bitvec"
+	"punt/internal/boolcover"
+	"punt/internal/stg"
+)
+
+func buildFig1(t *testing.T) *Graph {
+	t.Helper()
+	g := benchgen.PaperFig1()
+	sg, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sg
+}
+
+func TestFig1StateGraph(t *testing.T) {
+	sg := buildFig1(t)
+	if sg.NumStates() != 8 {
+		t.Fatalf("states = %d, want 8", sg.NumStates())
+	}
+	// All eight 3-bit codes are reachable (the DC-set is empty, as the paper
+	// notes for this example).
+	if !sg.ReachableCodes().IsTautology() {
+		t.Fatal("all 8 codes must be reachable")
+	}
+	if len(sg.Deadlocks()) != 0 {
+		t.Fatal("fig1 has no deadlocks")
+	}
+	if v := sg.CheckOutputPersistency(); len(v) != 0 {
+		t.Fatalf("unexpected persistency violations: %v", v)
+	}
+	if u := sg.CheckUSC(); len(u) != 0 {
+		t.Fatalf("unexpected USC conflicts: %v", u)
+	}
+	if c := sg.CheckCSC(); len(c) != 0 {
+		t.Fatalf("unexpected CSC conflicts: %v", c)
+	}
+}
+
+func TestFig1OnOffSets(t *testing.T) {
+	sg := buildFig1(t)
+	g := sg.STG
+	b, _ := g.SignalIndex("b")
+	on := sg.OnSet(b)
+	off := sg.OffSet(b)
+	// Paper: On(b) = {100,110,101,111,011,001}, Off(b) = {000,010} (order abc).
+	wantOn := boolcover.CoverFromStrings("100", "110", "101", "111", "011", "001")
+	wantOff := boolcover.CoverFromStrings("000", "010")
+	if !on.Equivalent(wantOn) {
+		t.Fatalf("OnSet(b) = %s", on)
+	}
+	if !off.Equivalent(wantOff) {
+		t.Fatalf("OffSet(b) = %s", off)
+	}
+	if on.Intersects(off) {
+		t.Fatal("on and off sets must be disjoint for a CSC-compliant STG")
+	}
+	// Minimisation reproduces the paper's C(b) = a + c.
+	min := boolcover.MinimizeAgainstOff(on, off)
+	if !min.Equivalent(boolcover.CoverFromStrings("1--", "--1")) {
+		t.Fatalf("minimised on-cover = %s, want a + c", min)
+	}
+	minOff := boolcover.MinimizeAgainstOff(off, on)
+	if !minOff.Equivalent(boolcover.CoverFromStrings("0-0")) {
+		t.Fatalf("minimised off-cover = %s, want a'c'", minOff)
+	}
+}
+
+func TestFig1Regions(t *testing.T) {
+	sg := buildFig1(t)
+	g := sg.STG
+	b, _ := g.SignalIndex("b")
+	er := sg.ExcitationRegion(b, stg.Plus)
+	// +b is excited in the states with codes 100, 101 (concurrent branch) and
+	// 001 (choice branch).
+	if len(er) != 3 {
+		t.Fatalf("|ER(+b)| = %d, want 3", len(er))
+	}
+	qr := sg.QuiescentRegion(b, true)
+	// b stable at 1 in codes 110, 111, 011.
+	if len(qr) != 3 {
+		t.Fatalf("|QR(b=1)| = %d, want 3", len(qr))
+	}
+	erMinus := sg.ExcitationRegion(b, stg.Minus)
+	if len(erMinus) != 1 {
+		t.Fatalf("|ER(-b)| = %d, want 1", len(erMinus))
+	}
+}
+
+func TestHandshakeStateGraph(t *testing.T) {
+	g := benchgen.Handshake()
+	sg, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.NumStates() != 4 {
+		t.Fatalf("states = %d, want 4", sg.NumStates())
+	}
+	ack, _ := g.SignalIndex("ack")
+	on := sg.OnSet(ack)
+	off := sg.OffSet(ack)
+	min := boolcover.MinimizeAgainstOff(on, off)
+	// ack follows req: the cover is simply "req".
+	if !min.Equivalent(boolcover.CoverFromStrings("1-")) {
+		t.Fatalf("ack cover = %s, want req", min)
+	}
+}
+
+func TestFig4StateGraph(t *testing.T) {
+	g := benchgen.PaperFig4()
+	sg, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three independent two-stage branches between a+ and a-: the SG is the
+	// product of the branch chains, well above the 16 states a sequential
+	// 7-signal cycle would have.
+	if sg.NumStates() < 30 {
+		t.Fatalf("states = %d, expected substantial concurrency", sg.NumStates())
+	}
+	if v := sg.CheckOutputPersistency(); len(v) != 0 {
+		t.Fatalf("persistency violations: %v", v)
+	}
+	if c := sg.CheckCSC(); len(c) != 0 {
+		t.Fatalf("CSC conflicts: %v", c)
+	}
+}
+
+func TestInconsistentSTGDetected(t *testing.T) {
+	// x rises twice in a row: violates consistent state assignment.
+	b := stg.NewBuilder("inconsistent")
+	b.Outputs("x", "y")
+	b.Arc("x+", "y+").Arc("y+", "x+/2").Arc("x+/2", "x-").Arc("x-", "y-").Arc("y-", "x+").MarkBetween("y-", "x+")
+	b.InitialState("00")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Build(g, Options{})
+	var ie *InconsistencyError
+	if !errors.As(err, &ie) {
+		t.Fatalf("expected InconsistencyError, got %v", err)
+	}
+}
+
+func TestStateLimit(t *testing.T) {
+	g := benchgen.PaperFig4()
+	_, err := Build(g, Options{MaxStates: 5})
+	if !errors.Is(err, ErrStateLimit) {
+		t.Fatalf("expected ErrStateLimit, got %v", err)
+	}
+}
+
+func TestCSCConflictDetected(t *testing.T) {
+	// Classic CSC conflict: two handshakes in sequence controlled by the same
+	// input; the state after the first full cycle has the same code as the
+	// initial state but different future behaviour.
+	//   in+ -> out1+ -> in- -> out1- -> in+/2 -> out2+ -> in-/2 -> out2- -> (back)
+	b := stg.NewBuilder("csc-conflict")
+	b.Inputs("in").Outputs("out1", "out2")
+	b.Chain("in+", "out1+", "in-", "out1-", "in+/2", "out2+", "in-/2", "out2-")
+	b.Arc("out2-", "in+").MarkBetween("out2-", "in+")
+	b.InitialState("000")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := sg.CheckUSC(); len(u) == 0 {
+		t.Fatal("expected USC conflicts")
+	}
+	if c := sg.CheckCSC(); len(c) == 0 {
+		t.Fatal("expected CSC conflicts")
+	}
+	// The on/off sets of out1 must overlap, which is how synthesis notices.
+	out1, _ := g.SignalIndex("out1")
+	if !sg.OnSet(out1).Intersects(sg.OffSet(out1)) {
+		t.Fatal("CSC conflict must surface as intersecting on/off sets")
+	}
+}
+
+func TestPersistencyViolationDetected(t *testing.T) {
+	// An output excited in a choice place can be disabled by an input firing:
+	// p0 -> out+ and p0 -> in+ are in direct conflict.
+	g := stg.New("nonpersistent")
+	in := g.AddSignal("in", stg.Input)
+	out := g.AddSignal("out", stg.Output)
+	p0 := g.AddPlace("p0")
+	p1 := g.AddPlace("p1")
+	p2 := g.AddPlace("p2")
+	tOut := g.AddTransition(out, stg.Plus)
+	tIn := g.AddTransition(in, stg.Plus)
+	tOutM := g.AddTransition(out, stg.Minus)
+	tInM := g.AddTransition(in, stg.Minus)
+	g.AddArcPT(p0, tOut)
+	g.AddArcPT(p0, tIn)
+	g.AddArcTP(tOut, p1)
+	g.AddArcTP(tIn, p2)
+	g.AddArcPT(p1, tOutM)
+	g.AddArcPT(p2, tInM)
+	g.AddArcTP(tOutM, p0)
+	g.AddArcTP(tInM, p0)
+	g.MarkInitially(p0)
+	g.SetInitialState(bitvec.New(2))
+	sg, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sg.CheckOutputPersistency(); len(v) == 0 {
+		t.Fatal("expected a persistency violation")
+	}
+	if rep := sg.Report(); rep == "" {
+		t.Fatal("Report must not be empty")
+	}
+}

@@ -1,0 +1,67 @@
+package stategraph
+
+import (
+	"fmt"
+
+	"punt/internal/boolcover"
+	"punt/internal/stg"
+)
+
+// VerifyCover checks that a next-state cover for the given signal is a
+// correct atomic-complex-gate implementation with respect to this state
+// graph: the cover must contain the binary code of every reachable state
+// whose implied value of the signal is 1, and must not contain the code of
+// any reachable state whose implied value is 0.  Unreachable codes (the
+// DC-set) are unconstrained.
+func (sg *Graph) VerifyCover(signal int, cover *boolcover.Cover) error {
+	if cover == nil {
+		return fmt.Errorf("stategraph: nil cover for signal %s", sg.STG.Signal(signal).Name)
+	}
+	for i, s := range sg.States {
+		implied := sg.ImpliedValue(i, signal)
+		covered := cover.CoversMinterm(s.Code)
+		if implied && !covered {
+			return fmt.Errorf("stategraph: cover for %s misses on-set state %s (state %d)",
+				sg.STG.Signal(signal).Name, s.Code, i)
+		}
+		if !implied && covered {
+			return fmt.Errorf("stategraph: cover for %s covers off-set state %s (state %d)",
+				sg.STG.Signal(signal).Name, s.Code, i)
+		}
+	}
+	return nil
+}
+
+// VerifySetReset checks a memory-element implementation (standard C-element
+// or RS latch) of the signal: the set cover must hold exactly nowhere outside
+// ER(+a) ∪ QR(a=1) and must hold on all of ER(+a); the reset cover must hold
+// on all of ER(-a) and nowhere outside ER(-a) ∪ QR(a=0); and the two must
+// never both hold in a reachable state.
+func (sg *Graph) VerifySetReset(signal int, set, reset *boolcover.Cover) error {
+	if set == nil || reset == nil {
+		return fmt.Errorf("stategraph: nil set/reset cover for signal %s", sg.STG.Signal(signal).Name)
+	}
+	name := sg.STG.Signal(signal).Name
+	for i, s := range sg.States {
+		code := s.Code
+		inSet := set.CoversMinterm(code)
+		inReset := reset.CoversMinterm(code)
+		if inSet && inReset {
+			return fmt.Errorf("stategraph: set and reset of %s both active in state %s", name, code)
+		}
+		excitedUp := sg.SignalExcited(i, signal, stg.Plus)
+		excitedDown := sg.SignalExcited(i, signal, stg.Minus)
+		val := code.Get(signal)
+		switch {
+		case excitedUp && !inSet:
+			return fmt.Errorf("stategraph: set(%s) misses excitation-region state %s", name, code)
+		case excitedDown && !inReset:
+			return fmt.Errorf("stategraph: reset(%s) misses excitation-region state %s", name, code)
+		case inSet && !excitedUp && !val:
+			return fmt.Errorf("stategraph: set(%s) fires in off-state %s", name, code)
+		case inReset && !excitedDown && val:
+			return fmt.Errorf("stategraph: reset(%s) fires in on-state %s", name, code)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package stg
+
+import (
+	"fmt"
+
+	"punt/internal/bitvec"
+	"punt/internal/petri"
+)
+
+// InferInitialState derives the initial binary value of every signal from the
+// net structure and initial marking: for a consistent STG, the first
+// transition of a signal that can fire (along any run that fires no other
+// transition of that signal) has a unique direction; if it is a rising edge
+// the signal starts at 0, otherwise at 1.  Signals that never switch default
+// to 0.
+//
+// The inference explores, per signal, the fragment of the state space
+// reachable without firing that signal, bounded by maxStates markings
+// (0 means 50000).  It returns an error if the exploration finds both a rising
+// and a falling first edge, which means the specification violates consistent
+// state assignment.
+func (g *STG) InferInitialState(maxStates int) error {
+	if g.initialStateSet {
+		return nil
+	}
+	if maxStates <= 0 {
+		maxStates = 50000
+	}
+	n := g.net
+	v := bitvec.New(len(g.signals))
+	for sig := range g.signals {
+		plus, minus, err := g.firstDirections(sig, maxStates)
+		if err != nil {
+			return err
+		}
+		switch {
+		case plus && minus:
+			return fmt.Errorf("stg: signal %q can both rise and fall first; inconsistent specification",
+				g.signals[sig].Name)
+		case minus:
+			v.Set(sig, true)
+		default:
+			// plus or never switching: starts at 0.
+		}
+	}
+	g.SetInitialState(v)
+	_ = n
+	return nil
+}
+
+// firstDirections explores markings reachable without firing any transition of
+// signal sig and reports which directions of sig become enabled.
+func (g *STG) firstDirections(sig, maxStates int) (plus, minus bool, err error) {
+	n := g.net
+	initial := n.Initial()
+	seen := map[string]bool{initial.Key(): true}
+	queue := []petri.Marking{initial}
+	for len(queue) > 0 && !(plus && minus) {
+		m := queue[0]
+		queue = queue[1:]
+		for _, t := range n.EnabledTransitions(m) {
+			l := g.labels[t]
+			if !l.IsDummy && l.Signal == sig {
+				if l.Dir == Plus {
+					plus = true
+				} else {
+					minus = true
+				}
+				continue // do not fire transitions of the signal itself
+			}
+			next := n.Fire(m, t)
+			key := next.Key()
+			if seen[key] {
+				continue
+			}
+			if len(seen) >= maxStates {
+				return plus, minus, fmt.Errorf("stg: initial-state inference exceeded %d states for signal %q; set the initial state explicitly",
+					maxStates, g.signals[sig].Name)
+			}
+			seen[key] = true
+			queue = append(queue, next)
+		}
+	}
+	return plus, minus, nil
+}

@@ -1,0 +1,295 @@
+package stg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"punt/internal/bitvec"
+	"punt/internal/petri"
+)
+
+// Parse reads an STG in the astg ".g" text format (the interchange format of
+// SIS, Petrify and related tools).  Supported sections:
+//
+//	.model / .name <name>
+//	.inputs  <signals...>
+//	.outputs <signals...>
+//	.internal <signals...>
+//	.dummy   <names...>
+//	.graph                     arcs "src dst1 dst2 ..." where each node is a
+//	                           signal edge ("a+", "b-/2"), a dummy name or an
+//	                           explicit place name
+//	.marking { p1 <a+,b-> ... }
+//	.initial_state <bits>      non-standard extension giving the initial code
+//	                           over the declared signal order
+//	.end
+//
+// If no .initial_state directive is present the initial binary state is left
+// unset; call (*STG).InferInitialState before building a state graph.
+func Parse(r io.Reader) (*STG, error) {
+	p := &parser{
+		kinds:  map[string]SignalKind{},
+		trans:  map[string]petri.TransitionID{},
+		places: map[string]petri.PlaceID{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	var pending []string // graph lines, processed after all declarations
+	var markingLine string
+	inGraph := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, ".model") || strings.HasPrefix(line, ".name"):
+			fields := strings.Fields(line)
+			if len(fields) > 1 {
+				p.name = fields[1]
+			}
+			inGraph = false
+		case strings.HasPrefix(line, ".inputs"):
+			p.declare(strings.Fields(line)[1:], Input)
+			inGraph = false
+		case strings.HasPrefix(line, ".outputs"):
+			p.declare(strings.Fields(line)[1:], Output)
+			inGraph = false
+		case strings.HasPrefix(line, ".internal"):
+			p.declare(strings.Fields(line)[1:], Internal)
+			inGraph = false
+		case strings.HasPrefix(line, ".dummy"):
+			p.declare(strings.Fields(line)[1:], Dummy)
+			inGraph = false
+		case strings.HasPrefix(line, ".graph"):
+			inGraph = true
+		case strings.HasPrefix(line, ".marking"):
+			markingLine = line
+			inGraph = false
+		case strings.HasPrefix(line, ".initial_state"):
+			fields := strings.Fields(line)
+			if len(fields) > 1 {
+				p.initialState = fields[1]
+			}
+			inGraph = false
+		case strings.HasPrefix(line, ".capacity"):
+			// Capacities beyond 1 are not supported; ignore the directive.
+			inGraph = false
+		case strings.HasPrefix(line, ".end"):
+			inGraph = false
+		case strings.HasPrefix(line, "."):
+			return nil, fmt.Errorf("stg: line %d: unsupported directive %q", lineNo, strings.Fields(line)[0])
+		default:
+			if !inGraph {
+				return nil, fmt.Errorf("stg: line %d: unexpected line %q outside .graph", lineNo, line)
+			}
+			pending = append(pending, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p.finish(pending, markingLine)
+}
+
+// ParseFile reads an STG from a .g file on disk.
+func ParseFile(path string) (*STG, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// ParseString reads an STG from a .g format string.
+func ParseString(text string) (*STG, error) {
+	return Parse(strings.NewReader(text))
+}
+
+type parser struct {
+	name         string
+	order        []string
+	kinds        map[string]SignalKind
+	initialState string
+
+	g      *STG
+	trans  map[string]petri.TransitionID
+	places map[string]petri.PlaceID
+}
+
+func (p *parser) declare(names []string, kind SignalKind) {
+	for _, n := range names {
+		if _, dup := p.kinds[n]; dup {
+			continue
+		}
+		p.kinds[n] = kind
+		p.order = append(p.order, n)
+	}
+}
+
+// node resolves a .graph identifier to either a transition or an explicit
+// place, creating it on first reference.
+func (p *parser) node(ref string) (isPlace bool, t petri.TransitionID, pl petri.PlaceID, err error) {
+	if t, ok := p.trans[ref]; ok {
+		return false, t, 0, nil
+	}
+	if pl, ok := p.places[ref]; ok {
+		return true, 0, pl, nil
+	}
+	if sig, dir, _, ok := ParseEdge(ref); ok {
+		if kind, declared := p.kinds[sig]; declared && kind != Dummy {
+			idx, _ := p.g.SignalIndex(sig)
+			id := p.g.AddTransition(idx, dir)
+			p.trans[ref] = id
+			return false, id, 0, nil
+		}
+	}
+	if kind, declared := p.kinds[ref]; declared && kind == Dummy {
+		id := p.g.AddDummyTransition(ref)
+		p.trans[ref] = id
+		return false, id, 0, nil
+	}
+	// Anything else is an explicit place.
+	id := p.g.AddPlace(ref)
+	p.places[ref] = id
+	return true, 0, id, nil
+}
+
+func (p *parser) finish(graphLines []string, markingLine string) (*STG, error) {
+	if p.name == "" {
+		p.name = "stg"
+	}
+	p.g = New(p.name)
+	for _, n := range p.order {
+		if p.kinds[n] != Dummy {
+			p.g.AddSignal(n, p.kinds[n])
+		}
+	}
+	// First pass: create all nodes named at the head of a line so that edge
+	// instance numbering follows the order of appearance, then add arcs.
+	type arc struct{ src, dst string }
+	var arcs []arc
+	for _, line := range graphLines {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("stg: malformed graph line %q", line)
+		}
+		for _, dst := range fields[1:] {
+			arcs = append(arcs, arc{src: fields[0], dst: dst})
+		}
+	}
+	for _, a := range arcs {
+		srcIsPlace, srcT, srcP, err := p.node(a.src)
+		if err != nil {
+			return nil, err
+		}
+		dstIsPlace, dstT, dstP, err := p.node(a.dst)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case srcIsPlace && dstIsPlace:
+			return nil, fmt.Errorf("stg: arc between two places %q -> %q", a.src, a.dst)
+		case srcIsPlace:
+			p.g.AddArcPT(srcP, dstT)
+		case dstIsPlace:
+			p.g.AddArcTP(srcT, dstP)
+		default:
+			// transition -> transition through an implicit place; remember it
+			// under the "<src,dst>" name used by .marking.
+			pl := p.g.AddArcTT(srcT, dstT)
+			p.places[fmt.Sprintf("<%s,%s>", a.src, a.dst)] = pl
+		}
+	}
+	if markingLine != "" {
+		if err := p.parseMarking(markingLine); err != nil {
+			return nil, err
+		}
+	}
+	if p.initialState != "" {
+		v, err := bitvec.FromString(p.initialState)
+		if err != nil {
+			return nil, fmt.Errorf("stg: bad .initial_state: %v", err)
+		}
+		if v.Len() != p.g.NumSignals() {
+			return nil, fmt.Errorf("stg: .initial_state has %d bits for %d signals", v.Len(), p.g.NumSignals())
+		}
+		p.g.SetInitialState(v)
+	}
+	if err := p.g.Validate(); err != nil {
+		return nil, err
+	}
+	return p.g, nil
+}
+
+func (p *parser) parseMarking(line string) error {
+	open := strings.IndexByte(line, '{')
+	closeIdx := strings.LastIndexByte(line, '}')
+	if open < 0 || closeIdx < open {
+		return fmt.Errorf("stg: malformed .marking line %q", line)
+	}
+	body := line[open+1 : closeIdx]
+	// Tokens are either bare place names or implicit places "<a+,b->", possibly
+	// with a token count suffix "=2" which we reject (safe nets only).
+	var tokens []string
+	cur := strings.Builder{}
+	depth := 0
+	for _, ch := range body {
+		switch ch {
+		case '<':
+			depth++
+			cur.WriteRune(ch)
+		case '>':
+			depth--
+			cur.WriteRune(ch)
+		case ' ', '\t':
+			if depth > 0 {
+				cur.WriteRune(ch)
+			} else if cur.Len() > 0 {
+				tokens = append(tokens, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteRune(ch)
+		}
+	}
+	if cur.Len() > 0 {
+		tokens = append(tokens, cur.String())
+	}
+	for _, tok := range tokens {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if strings.Contains(tok, "=") {
+			return fmt.Errorf("stg: weighted marking %q not supported (safe nets only)", tok)
+		}
+		name := strings.ReplaceAll(tok, " ", "")
+		pl, ok := p.places[name]
+		if !ok {
+			// Also try with the raw token (explicit place with unusual name).
+			if id, found := p.g.Net().PlaceByName(name); found {
+				pl = id
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("stg: .marking refers to unknown place %q", tok)
+		}
+		p.g.MarkInitially(pl)
+	}
+	return nil
+}

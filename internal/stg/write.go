@@ -1,0 +1,118 @@
+package stg
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"punt/internal/petri"
+)
+
+// WriteG writes the STG in the astg ".g" text format accepted by Parse.
+// Implicit places (those with exactly one producer and one consumer and a name
+// of the form "<...>") are emitted as direct transition-to-transition arcs;
+// all other places are written explicitly.
+func WriteG(w io.Writer, g *STG) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".model %s\n", g.Name())
+	writeSignalSection(&b, g, Input, ".inputs")
+	writeSignalSection(&b, g, Output, ".outputs")
+	writeSignalSection(&b, g, Internal, ".internal")
+	writeDummySection(&b, g)
+	b.WriteString(".graph\n")
+
+	net := g.Net()
+	isImplicit := func(p petri.PlaceID) bool {
+		return strings.HasPrefix(net.PlaceName(p), "<") &&
+			len(net.PlacePre(p)) == 1 && len(net.PlacePost(p)) == 1
+	}
+
+	// Transition -> successors lines.  For implicit places we write the arc
+	// src -> dst directly; explicit places appear as their own nodes.
+	for t := 0; t < net.NumTransitions(); t++ {
+		var dests []string
+		for _, p := range net.Post(petri.TransitionID(t)) {
+			if isImplicit(p) {
+				dst := net.PlacePost(p)[0]
+				dests = append(dests, g.TransitionString(dst))
+			} else {
+				dests = append(dests, net.PlaceName(p))
+			}
+		}
+		if len(dests) > 0 {
+			fmt.Fprintf(&b, "%s %s\n", g.TransitionString(petri.TransitionID(t)), strings.Join(dests, " "))
+		}
+	}
+	// Explicit place -> successor transitions.
+	for p := 0; p < net.NumPlaces(); p++ {
+		pid := petri.PlaceID(p)
+		if isImplicit(pid) {
+			continue
+		}
+		var dests []string
+		for _, t := range net.PlacePost(pid) {
+			dests = append(dests, g.TransitionString(t))
+		}
+		if len(dests) > 0 {
+			fmt.Fprintf(&b, "%s %s\n", net.PlaceName(pid), strings.Join(dests, " "))
+		}
+	}
+
+	// Marking.
+	marked := net.Initial().Places()
+	if len(marked) > 0 {
+		var parts []string
+		for _, p := range marked {
+			if isImplicit(p) {
+				src := net.PlacePre(p)[0]
+				dst := net.PlacePost(p)[0]
+				parts = append(parts, fmt.Sprintf("<%s,%s>", g.TransitionString(src), g.TransitionString(dst)))
+			} else {
+				parts = append(parts, net.PlaceName(p))
+			}
+		}
+		sort.Strings(parts)
+		fmt.Fprintf(&b, ".marking { %s }\n", strings.Join(parts, " "))
+	}
+	if g.HasInitialState() {
+		fmt.Fprintf(&b, ".initial_state %s\n", g.InitialState().String())
+	}
+	b.WriteString(".end\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Format returns the .g text of the STG as a string.
+func Format(g *STG) string {
+	var sb strings.Builder
+	if err := WriteG(&sb, g); err != nil {
+		return ""
+	}
+	return sb.String()
+}
+
+func writeSignalSection(b *strings.Builder, g *STG, kind SignalKind, directive string) {
+	var names []string
+	for _, s := range g.Signals() {
+		if s.Kind == kind {
+			names = append(names, s.Name)
+		}
+	}
+	if len(names) > 0 {
+		fmt.Fprintf(b, "%s %s\n", directive, strings.Join(names, " "))
+	}
+}
+
+func writeDummySection(b *strings.Builder, g *STG) {
+	var names []string
+	for t := 0; t < g.Net().NumTransitions(); t++ {
+		l := g.Label(petri.TransitionID(t))
+		if l.IsDummy {
+			names = append(names, l.DummyName)
+		}
+	}
+	if len(names) > 0 {
+		fmt.Fprintf(b, ".dummy %s\n", strings.Join(names, " "))
+	}
+}

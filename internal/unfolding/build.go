@@ -1,0 +1,403 @@
+package unfolding
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"punt/internal/bitvec"
+	"punt/internal/petri"
+	"punt/internal/stg"
+)
+
+// ErrNotSafe is returned when the underlying net is not 1-safe, which the
+// STG-unfolding segment (and speed-independent synthesis in general)
+// requires.
+var ErrNotSafe = errors.New("unfolding: the net is not safe")
+
+// ErrEventLimit is returned when the segment exceeds the configured maximum
+// number of events.
+var ErrEventLimit = errors.New("unfolding: event limit exceeded")
+
+// InconsistencyError reports a violation of consistent state assignment
+// detected while assigning binary codes to events.
+type InconsistencyError struct {
+	Transition string
+	Detail     string
+}
+
+func (e *InconsistencyError) Error() string {
+	return fmt.Sprintf("unfolding: inconsistent state assignment at %s: %s", e.Transition, e.Detail)
+}
+
+// Options configures the construction of the STG-unfolding segment.
+type Options struct {
+	// MaxEvents aborts construction with ErrEventLimit when the number of
+	// non-root events exceeds this value (0 means 1,000,000).
+	MaxEvents int
+}
+
+// possibleExtension is a transition instance that may be appended to the
+// segment: a transition together with a co-set of conditions forming its
+// preset.
+type possibleExtension struct {
+	transition  petri.TransitionID
+	preset      []*Condition
+	parentLocal *idSet // union of the local configurations of the preset producers
+	size        int    // |[e]| of the event this extension would create
+	seq         int    // insertion sequence, used as a deterministic tie-break
+}
+
+type peHeap []*possibleExtension
+
+func (h peHeap) Len() int { return len(h) }
+func (h peHeap) Less(i, j int) bool {
+	if h[i].size != h[j].size {
+		return h[i].size < h[j].size
+	}
+	return h[i].seq < h[j].seq
+}
+func (h peHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *peHeap) Push(x interface{}) { *h = append(*h, x.(*possibleExtension)) }
+func (h *peHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type builder struct {
+	g       *stg.STG
+	net     *petri.Net
+	u       *Unfolding
+	opts    Options
+	queue   peHeap
+	seq     int
+	seenPE  map[string]bool
+	states  map[string]*Event // (marking,code) -> first event reaching it
+	condsOf map[petri.PlaceID][]*Condition
+}
+
+// Build constructs the STG-unfolding segment of the STG.
+func Build(g *stg.STG, opts Options) (*Unfolding, error) {
+	if !g.HasInitialState() {
+		if err := g.InferInitialState(0); err != nil {
+			return nil, err
+		}
+	}
+	if opts.MaxEvents <= 0 {
+		opts.MaxEvents = 1000000
+	}
+	b := &builder{
+		g:       g,
+		net:     g.Net(),
+		opts:    opts,
+		seenPE:  map[string]bool{},
+		states:  map[string]*Event{},
+		condsOf: map[petri.PlaceID][]*Condition{},
+	}
+	b.u = &Unfolding{STG: g, byTransition: map[petri.TransitionID][]*Event{}}
+
+	if err := b.createRoot(); err != nil {
+		return nil, err
+	}
+	for b.queue.Len() > 0 {
+		pe := heap.Pop(&b.queue).(*possibleExtension)
+		if err := b.instantiate(pe); err != nil {
+			return nil, err
+		}
+		if b.u.NumEvents() > b.opts.MaxEvents {
+			return nil, fmt.Errorf("%w (%d events)", ErrEventLimit, b.u.NumEvents())
+		}
+	}
+	return b.u, nil
+}
+
+func (b *builder) createRoot() error {
+	root := &Event{
+		ID:      0,
+		IsRoot:  true,
+		Local:   newIDSet(),
+		Size:    0,
+		Code:    b.g.InitialState(),
+		Marking: b.net.Initial(),
+	}
+	b.u.Root = root
+	b.u.Events = append(b.u.Events, root)
+
+	initial := b.net.Initial()
+	for _, p := range initial.Places() {
+		if initial.Tokens(p) > 1 {
+			return fmt.Errorf("%w: place %q initially holds %d tokens", ErrNotSafe, b.net.PlaceName(p), initial.Tokens(p))
+		}
+		c := b.newCondition(p, root)
+		root.Postset = append(root.Postset, c)
+		root.Cut = append(root.Cut, c)
+	}
+	// Initial conditions are pairwise concurrent.
+	for _, c1 := range root.Postset {
+		for _, c2 := range root.Postset {
+			if c1 != c2 {
+				b.u.co[c1.ID].add(c2.ID)
+			}
+		}
+	}
+	b.states[stateKey(root.Marking, root.Code)] = root
+	for _, c := range root.Postset {
+		b.findExtensionsWith(c)
+	}
+	return nil
+}
+
+func (b *builder) newCondition(p petri.PlaceID, producer *Event) *Condition {
+	c := &Condition{ID: len(b.u.Conditions), Place: p, Producer: producer}
+	b.u.Conditions = append(b.u.Conditions, c)
+	b.u.co = append(b.u.co, newIDSet())
+	b.condsOf[p] = append(b.condsOf[p], c)
+	return c
+}
+
+func stateKey(m petri.Marking, code bitvec.Vec) string {
+	return m.Key() + "|" + code.Key()
+}
+
+// codeOfConfig computes the binary code reached by firing the given event set
+// from the initial state.
+func (b *builder) codeOfConfig(set *idSet) bitvec.Vec {
+	code := b.g.InitialState()
+	set.forEach(func(id int) {
+		e := b.u.Events[id]
+		if e.IsRoot || e.label.IsDummy {
+			return
+		}
+		code.Set(e.label.Signal, e.label.Dir == stg.Plus)
+	})
+	return code
+}
+
+// cutOfConfig computes the set of conditions marked after firing the given
+// event set (which must be causally closed).
+func (b *builder) cutOfConfig(set *idSet) []*Condition {
+	consumed := map[int]bool{}
+	var produced []*Condition
+	produced = append(produced, b.u.Root.Postset...)
+	set.forEach(func(id int) {
+		e := b.u.Events[id]
+		for _, c := range e.Preset {
+			consumed[c.ID] = true
+		}
+		produced = append(produced, e.Postset...)
+	})
+	var cut []*Condition
+	for _, c := range produced {
+		if !consumed[c.ID] {
+			cut = append(cut, c)
+		}
+	}
+	sort.Slice(cut, func(i, j int) bool { return cut[i].ID < cut[j].ID })
+	return cut
+}
+
+func markingOfCut(cut []*Condition) petri.Marking {
+	m := petri.NewMarking()
+	for _, c := range cut {
+		m.Add(c.Place, 1)
+	}
+	return m
+}
+
+// instantiate turns a possible extension into an event of the segment.
+func (b *builder) instantiate(pe *possibleExtension) error {
+	label := b.g.Label(pe.transition)
+	parentCode := b.codeOfConfig(pe.parentLocal)
+	if !label.IsDummy {
+		val := parentCode.Get(label.Signal)
+		if label.Dir == stg.Plus && val {
+			return &InconsistencyError{
+				Transition: b.g.TransitionString(pe.transition),
+				Detail:     fmt.Sprintf("signal %q is already 1", b.g.Signal(label.Signal).Name),
+			}
+		}
+		if label.Dir == stg.Minus && !val {
+			return &InconsistencyError{
+				Transition: b.g.TransitionString(pe.transition),
+				Detail:     fmt.Sprintf("signal %q is already 0", b.g.Signal(label.Signal).Name),
+			}
+		}
+	}
+
+	e := &Event{
+		ID:         len(b.u.Events),
+		Transition: pe.transition,
+		Preset:     pe.preset,
+		label:      label,
+	}
+	e.Local = pe.parentLocal.clone()
+	e.Local.add(e.ID)
+	e.Size = pe.size
+	code := parentCode.Clone()
+	if !label.IsDummy {
+		code.Set(label.Signal, label.Dir == stg.Plus)
+	}
+	e.Code = code
+	b.u.Events = append(b.u.Events, e)
+	b.u.byTransition[pe.transition] = append(b.u.byTransition[pe.transition], e)
+	for _, c := range pe.preset {
+		c.Consumers = append(c.Consumers, e)
+	}
+
+	// Create the postset conditions and update the concurrency relation:
+	// co(c) for c in e• is the intersection of the co-sets of the preset
+	// conditions, plus the siblings in e•.
+	common := newIDSet()
+	if len(pe.preset) > 0 {
+		common = b.u.co[pe.preset[0].ID].clone()
+		for _, c := range pe.preset[1:] {
+			common = intersectIDSets(common, b.u.co[c.ID])
+		}
+	}
+	for _, p := range b.net.Post(pe.transition) {
+		c := b.newCondition(p, e)
+		e.Postset = append(e.Postset, c)
+	}
+	for _, c := range e.Postset {
+		co := b.u.co[c.ID]
+		common.forEach(func(otherID int) {
+			other := b.u.Conditions[otherID]
+			if other.Place == c.Place {
+				// Two concurrent conditions with the same place label mean the
+				// net can mark the place twice: not safe.  Record via panic-free
+				// error by storing; handled below.
+				return
+			}
+			co.add(otherID)
+			b.u.co[otherID].add(c.ID)
+		})
+		for _, sib := range e.Postset {
+			if sib != c {
+				co.add(sib.ID)
+			}
+		}
+	}
+	// Safeness check: a new condition concurrent with a condition of the same
+	// place, or a postset place that is still marked in the parent cut and not
+	// consumed, indicates a non-safe net.
+	unsafe := false
+	common.forEach(func(otherID int) {
+		other := b.u.Conditions[otherID]
+		for _, p := range b.net.Post(pe.transition) {
+			if other.Place == p {
+				unsafe = true
+			}
+		}
+	})
+	if unsafe {
+		return fmt.Errorf("%w: firing %s marks an already marked place", ErrNotSafe, b.g.TransitionString(pe.transition))
+	}
+
+	// Final state of the local configuration.
+	e.Cut = b.cutOfConfig(e.Local)
+	e.Marking = markingOfCut(e.Cut)
+
+	key := stateKey(e.Marking, e.Code)
+	if prior, seen := b.states[key]; seen {
+		e.IsCutoff = true
+		e.Correspondent = prior
+		return nil // no extensions beyond a cut-off event
+	}
+	b.states[key] = e
+	for _, c := range e.Postset {
+		b.findExtensionsWith(c)
+	}
+	return nil
+}
+
+func intersectIDSets(a, bSet *idSet) *idSet {
+	out := newIDSet()
+	a.forEach(func(i int) {
+		if bSet.has(i) {
+			out.add(i)
+		}
+	})
+	return out
+}
+
+// findExtensionsWith enumerates all possible extensions whose preset contains
+// the (freshly created) condition c.
+func (b *builder) findExtensionsWith(c *Condition) {
+	for _, t := range b.net.PlacePost(c.Place) {
+		pre := b.net.Pre(t)
+		// Candidate conditions for every other preset place, restricted to
+		// conditions concurrent with c and not produced by cut-off events.
+		others := make([]petri.PlaceID, 0, len(pre)-1)
+		for _, p := range pre {
+			if p != c.Place {
+				others = append(others, p)
+			}
+		}
+		chosen := make([]*Condition, 0, len(others))
+		b.chooseCoset(t, c, others, chosen)
+	}
+}
+
+// chooseCoset recursively selects one condition per remaining preset place so
+// that the selection plus c is a co-set, then records the possible extension.
+func (b *builder) chooseCoset(t petri.TransitionID, c *Condition, remaining []petri.PlaceID, chosen []*Condition) {
+	if len(remaining) == 0 {
+		b.addPE(t, c, chosen)
+		return
+	}
+	place := remaining[0]
+	for _, cand := range b.condsOf[place] {
+		if cand.Producer != nil && cand.Producer.IsCutoff {
+			continue
+		}
+		if !b.u.co[c.ID].has(cand.ID) {
+			continue
+		}
+		ok := true
+		for _, prev := range chosen {
+			if !b.u.co[prev.ID].has(cand.ID) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		b.chooseCoset(t, c, remaining[1:], append(chosen, cand))
+	}
+}
+
+func (b *builder) addPE(t petri.TransitionID, c *Condition, chosen []*Condition) {
+	preset := make([]*Condition, 0, len(chosen)+1)
+	preset = append(preset, c)
+	preset = append(preset, chosen...)
+	sort.Slice(preset, func(i, j int) bool { return preset[i].ID < preset[j].ID })
+	key := fmt.Sprintf("%d:", t)
+	for _, p := range preset {
+		key += fmt.Sprintf("%d,", p.ID)
+	}
+	if b.seenPE[key] {
+		return
+	}
+	b.seenPE[key] = true
+
+	parent := newIDSet()
+	for _, p := range preset {
+		if p.Producer != nil {
+			parent.orWith(p.Producer.Local)
+		}
+	}
+	pe := &possibleExtension{
+		transition:  t,
+		preset:      preset,
+		parentLocal: parent,
+		size:        parent.count() + 1,
+		seq:         b.seq,
+	}
+	b.seq++
+	heap.Push(&b.queue, pe)
+}

@@ -1,0 +1,153 @@
+package unfolding
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"punt/internal/stg"
+)
+
+// PersistencyViolation reports a potential semi-modularity violation detected
+// structurally on the segment: an event of an output signal shares an input
+// condition with an event of a different signal, so firing the latter can
+// disable the excited output.
+type PersistencyViolation struct {
+	Output   string // the event of the output signal that can be disabled
+	Disabler string // the conflicting event
+	Place    string // the shared condition's place
+}
+
+// String renders the violation.
+func (v PersistencyViolation) String() string {
+	return fmt.Sprintf("output event %s can be disabled by %s (shared place %s)", v.Output, v.Disabler, v.Place)
+}
+
+// CheckSemiModularity performs the structural semi-modularity check the paper
+// performs while the segment is built: every direct conflict (two events
+// consuming the same condition) involving an event of an output or internal
+// signal and an event of a different signal is reported as a potential
+// hazard.  Conflicts between events of input signals only are the
+// environment's free choice and are allowed; so are conflicts between
+// instances of the same signal (a specification-level choice of which
+// instance fires, invisible at the circuit level).
+func (u *Unfolding) CheckSemiModularity() []PersistencyViolation {
+	var out []PersistencyViolation
+	g := u.STG
+	for _, c := range u.Conditions {
+		if len(c.Consumers) < 2 {
+			continue
+		}
+		for i, e := range c.Consumers {
+			le := u.Label(e)
+			if le.IsDummy {
+				continue
+			}
+			if g.Signal(le.Signal).Kind == stg.Input {
+				continue
+			}
+			for j, f := range c.Consumers {
+				if i == j {
+					continue
+				}
+				lf := u.Label(f)
+				if !lf.IsDummy && lf.Signal == le.Signal {
+					continue
+				}
+				out = append(out, PersistencyViolation{
+					Output:   u.EventName(e),
+					Disabler: u.EventName(f),
+					Place:    g.Net().PlaceName(c.Place),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Output != out[j].Output {
+			return out[i].Output < out[j].Output
+		}
+		return out[i].Disabler < out[j].Disabler
+	})
+	return out
+}
+
+// Stats summarises the size of the segment.
+type Stats struct {
+	Events     int
+	Conditions int
+	Cutoffs    int
+}
+
+// Statistics returns size statistics of the segment.
+func (u *Unfolding) Statistics() Stats {
+	return Stats{
+		Events:     u.NumEvents(),
+		Conditions: u.NumConditions(),
+		Cutoffs:    u.NumCutoffs(),
+	}
+}
+
+// String renders the statistics.
+func (s Stats) String() string {
+	return fmt.Sprintf("events=%d conditions=%d cutoffs=%d", s.Events, s.Conditions, s.Cutoffs)
+}
+
+// ReachableStates enumerates every state (binary code keyed by marking and
+// code) represented by configurations of the segment, by playing the token
+// game over the segment's conditions starting from the root cut.  It is used
+// by tests to validate that the segment is a complete prefix: the states it
+// represents are exactly the states of the explicit state graph.  The walk is
+// exponential in the worst case and intended for moderate sizes only.
+func (u *Unfolding) ReachableStates() map[string]string {
+	type node struct {
+		cut  []*Condition
+		code string
+	}
+	out := map[string]string{}
+	start := node{cut: u.Root.Cut, code: u.Root.Code.String()}
+	key := func(n node) string { return CutKey(n.cut) + "|" + n.code }
+	seen := map[string]bool{key(start): true}
+	record := func(n node) {
+		m := markingOfCut(n.cut)
+		out[m.Key()+"|"+n.code] = n.code
+	}
+	record(start)
+	queue := []node{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range u.EnabledAt(cur.cut) {
+			nextCut := u.FireAt(cur.cut, e)
+			code := cur.code
+			if l := u.Label(e); !l.IsDummy {
+				b := []byte(code)
+				if l.Dir == stg.Plus {
+					b[l.Signal] = '1'
+				} else {
+					b[l.Signal] = '0'
+				}
+				code = string(b)
+			}
+			n := node{cut: nextCut, code: code}
+			k := key(n)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			record(n)
+			queue = append(queue, n)
+		}
+	}
+	return out
+}
+
+// DescribeCut renders a cut with place names, mirroring the notation of the
+// paper's figures, e.g. "(p2,p3)".
+func (u *Unfolding) DescribeCut(cut []*Condition) string {
+	names := make([]string, len(cut))
+	for i, c := range cut {
+		names[i] = u.STG.Net().PlaceName(c.Place)
+	}
+	sort.Strings(names)
+	return "(" + strings.Join(names, ",") + ")"
+}

@@ -1,0 +1,277 @@
+// Package unfolding constructs the STG-unfolding segment of a Signal
+// Transition Graph: a finite, complete prefix of the occurrence-net unfolding
+// of the underlying Petri net, in which every transition instance carries the
+// binary code reached by firing its local configuration (Semenov & Yakovlev,
+// the model underlying the paper).  The segment is the partial-order
+// representation of the state graph from which the synthesis method of the
+// paper derives its covers.
+//
+// The construction follows McMillan's algorithm: possible extensions are
+// processed in order of increasing local-configuration size and an event is a
+// cut-off when the state (final marking plus binary code) reached by its
+// local configuration has already been produced by a smaller configuration.
+// Consistency of the state assignment is checked while codes are assigned;
+// boundedness is implied by the requirement that the underlying net is safe.
+package unfolding
+
+import (
+	"fmt"
+	"strings"
+
+	"punt/internal/bitvec"
+	"punt/internal/petri"
+	"punt/internal/stg"
+)
+
+// Condition is an instance of a place in the occurrence net.
+type Condition struct {
+	ID    int
+	Place petri.PlaceID
+	// Producer is the event whose firing created this condition (the root
+	// event for conditions of the initial marking).
+	Producer *Event
+	// Consumers are the events that consume this condition; more than one
+	// consumer means the consumers are in conflict.
+	Consumers []*Event
+}
+
+// Event is an instance of a transition in the occurrence net.  The root event
+// ⊥ represents the initial state of the STG and has no transition.
+type Event struct {
+	ID         int
+	Transition petri.TransitionID
+	IsRoot     bool
+	Preset     []*Condition
+	Postset    []*Condition
+
+	// Local is the local configuration [e]: the set of event IDs that must
+	// fire to fire this event, including the event itself, excluding the
+	// root.
+	Local *idSet
+	// Size is |[e]|.
+	Size int
+	// Code is the binary code reached by firing the local configuration.
+	Code bitvec.Vec
+	// Marking is the final state Mark([e]): the marking of the original STG
+	// reached by firing the local configuration.
+	Marking petri.Marking
+	// Cut is the set of conditions marked after firing the local
+	// configuration (the minimal stable cut of the event).
+	Cut []*Condition
+
+	// IsCutoff marks cut-off events; Correspondent is the earlier event (or
+	// the root) reaching the same state.
+	IsCutoff      bool
+	Correspondent *Event
+
+	// label caches the STG label of the transition (zero Label for the root).
+	label stg.Label
+}
+
+// Unfolding is the STG-unfolding segment.
+type Unfolding struct {
+	STG        *stg.STG
+	Root       *Event
+	Events     []*Event     // all events including the root (index = ID)
+	Conditions []*Condition // all conditions (index = ID)
+
+	// co[c.ID] is the set of condition IDs concurrent with condition c.
+	co []*idSet
+
+	// byTransition groups non-root events by their STG transition.
+	byTransition map[petri.TransitionID][]*Event
+
+	// conflictCache memoises pairwise event-conflict queries; anyConflict is
+	// the lazily computed "does any condition have two consumers" fast path
+	// (conflict-free segments, e.g. of marked graphs, answer every query in
+	// constant time).
+	conflictCache map[uint64]bool
+	anyConflict   int8 // 0 = unknown, 1 = yes, 2 = no
+}
+
+// Label returns the STG label of the event's transition.  The root event has
+// no label; callers must check IsRoot.
+func (u *Unfolding) Label(e *Event) stg.Label { return e.label }
+
+// EventName renders the event as "a+/2:e17" (signal edge plus event id) or
+// "⊥" for the root.
+func (u *Unfolding) EventName(e *Event) string {
+	if e.IsRoot {
+		return "⊥"
+	}
+	return fmt.Sprintf("%s:e%d", u.STG.TransitionString(e.Transition), e.ID)
+}
+
+// ConditionName renders the condition as "p3:c12".
+func (u *Unfolding) ConditionName(c *Condition) string {
+	return fmt.Sprintf("%s:c%d", u.STG.Net().PlaceName(c.Place), c.ID)
+}
+
+// NumEvents reports the number of events excluding the root.
+func (u *Unfolding) NumEvents() int { return len(u.Events) - 1 }
+
+// NumConditions reports the number of conditions.
+func (u *Unfolding) NumConditions() int { return len(u.Conditions) }
+
+// NumCutoffs reports the number of cut-off events.
+func (u *Unfolding) NumCutoffs() int {
+	n := 0
+	for _, e := range u.Events {
+		if e.IsCutoff {
+			n++
+		}
+	}
+	return n
+}
+
+// EventsOf returns the instances of the given STG transition.
+func (u *Unfolding) EventsOf(t petri.TransitionID) []*Event { return u.byTransition[t] }
+
+// EventsOfSignal returns all events labelled with the given signal, in either
+// direction, ordered by event ID.
+func (u *Unfolding) EventsOfSignal(signal int) []*Event {
+	var out []*Event
+	for _, e := range u.Events {
+		if e.IsRoot {
+			continue
+		}
+		if !e.label.IsDummy && e.label.Signal == signal {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EventsOfEdge returns all events labelled with the given signal edge.
+func (u *Unfolding) EventsOfEdge(signal int, dir stg.Direction) []*Event {
+	var out []*Event
+	for _, e := range u.EventsOfSignal(signal) {
+		if e.label.Dir == dir {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String summarises the unfolding.
+func (u *Unfolding) String() string {
+	return fmt.Sprintf("unfolding of %q: %d events (%d cut-offs), %d conditions",
+		u.STG.Name(), u.NumEvents(), u.NumCutoffs(), u.NumConditions())
+}
+
+// Dump renders the full segment in a readable multi-line format (used by the
+// unfdump tool and in debugging).
+func (u *Unfolding) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", u.String())
+	for _, e := range u.Events {
+		if e.IsRoot {
+			fmt.Fprintf(&sb, "  ⊥ -> {")
+		} else {
+			pres := make([]string, len(e.Preset))
+			for i, c := range e.Preset {
+				pres[i] = u.ConditionName(c)
+			}
+			flag := ""
+			if e.IsCutoff {
+				flag = " [cutoff]"
+			}
+			fmt.Fprintf(&sb, "  %s%s  code=%s  {%s} -> {", u.EventName(e), flag, e.Code, strings.Join(pres, ","))
+		}
+		posts := make([]string, len(e.Postset))
+		for i, c := range e.Postset {
+			posts[i] = u.ConditionName(c)
+		}
+		fmt.Fprintf(&sb, "%s}\n", strings.Join(posts, ","))
+	}
+	return sb.String()
+}
+
+// idSet is a growable bit set over small non-negative integers (event or
+// condition IDs).
+type idSet struct {
+	words []uint64
+}
+
+func newIDSet() *idSet { return &idSet{} }
+
+func (s *idSet) ensure(i int) {
+	w := i/64 + 1
+	for len(s.words) < w {
+		s.words = append(s.words, 0)
+	}
+}
+
+func (s *idSet) add(i int) {
+	s.ensure(i)
+	s.words[i/64] |= 1 << uint(i%64)
+}
+
+func (s *idSet) has(i int) bool {
+	if i/64 >= len(s.words) {
+		return false
+	}
+	return s.words[i/64]&(1<<uint(i%64)) != 0
+}
+
+func (s *idSet) orWith(o *idSet) {
+	if o == nil {
+		return
+	}
+	for len(s.words) < len(o.words) {
+		s.words = append(s.words, 0)
+	}
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+func (s *idSet) clone() *idSet {
+	c := &idSet{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+func (s *idSet) count() int {
+	n := 0
+	for _, w := range s.words {
+		for w != 0 {
+			w &= w - 1
+			n++
+		}
+	}
+	return n
+}
+
+func (s *idSet) forEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := w & (-w)
+			idx := wi*64 + trailing(b)
+			fn(idx)
+			w &^= b
+		}
+	}
+}
+
+func (s *idSet) intersects(o *idSet) bool {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func trailing(b uint64) int {
+	n := 0
+	for b&1 == 0 {
+		b >>= 1
+		n++
+	}
+	return n
+}
