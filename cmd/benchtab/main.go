@@ -8,6 +8,11 @@
 //	benchtab -table1
 //	benchtab -figure6 [-signals 5,8,12,22,32,50]
 //	benchtab -table1 -figure6 -quick
+//	benchtab -table1 -figure6 -json results.json
+//
+// With -json the measurements are additionally written as an indented JSON
+// report ("-" = stdout), giving successive runs a machine-readable perf
+// trajectory to diff against.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"punt/internal/benchgen"
 	"punt/internal/experiments"
@@ -27,6 +33,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use small resource budgets so the whole run finishes quickly")
 	skipBaselines := flag.Bool("punt-only", false, "run only the unfolding-based flow (no baselines)")
 	signalsFlag := flag.String("signals", "", "comma-separated pipeline sizes (signal counts) for -figure6")
+	jsonOut := flag.String("json", "", `also write the measurements as JSON to this file ("-" = stdout)`)
 	flag.Parse()
 	if !*table1 && !*figure6 {
 		fmt.Fprintln(os.Stderr, "usage: benchtab [-table1] [-figure6] [flags]")
@@ -34,13 +41,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	var rows []experiments.Table1Row
+	var points []experiments.Figure6Point
 	if *table1 {
 		opts := experiments.Table1Options{SkipBaselines: *skipBaselines}
 		if *quick {
 			opts.MaxStates = 100000
 			opts.MaxNodes = 500000
 		}
-		rows := experiments.RunTable1(benchgen.Table1Suite(), opts)
+		rows = experiments.RunTable1(benchgen.Table1Suite(), opts)
 		fmt.Println("Table 1: synthesis of the benchmark suite (PUNT ACG vs. state-graph baselines)")
 		fmt.Print(experiments.FormatTable1(rows))
 		fmt.Println()
@@ -67,8 +76,34 @@ func main() {
 				opts.Signals = []int{5, 8, 12, 17, 22}
 			}
 		}
-		points := experiments.RunFigure6(opts)
+		points = experiments.RunFigure6(opts)
 		fmt.Println("Figure 6: synthesis time vs. number of signals (Muller pipeline; last row = counterflow pipeline)")
 		fmt.Print(experiments.FormatFigure6(points))
 	}
+	if *jsonOut != "" {
+		report := experiments.NewReport(rows, points, time.Now())
+		if err := writeReport(*jsonOut, report); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeReport writes the JSON report to the given path ("-" = stdout).  The
+// file's Close error is reported: on a full disk the write failure may only
+// surface at Close, and a silently truncated report would corrupt the perf
+// trajectory.
+func writeReport(path string, r experiments.Report) error {
+	if path == "-" {
+		return experiments.WriteJSON(os.Stdout, r)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteJSON(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

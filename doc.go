@@ -11,6 +11,15 @@
 // the baselines the paper compares against, together with the benchmark
 // generators and the harness that regenerates Table 1 and Figure 6.
 //
+// The segment builder (internal/unfolding) is the hot path of the system and
+// is engineered accordingly: events carry their cut, marking and binary code
+// computed incrementally from their preset producers rather than by replaying
+// local configurations; causality, concurrency and co-set candidate pruning
+// run on word-level bit sets; and cut-off detection uses collision-verified
+// 64-bit hash tables instead of string keys.  See the package documentation
+// of internal/unfolding for details, and cmd/benchtab's -json flag for the
+// machine-readable perf trajectory the benchmarks are tracked with.
+//
 // See README.md for the layout, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the reproduced evaluation.
 package punt

@@ -1,0 +1,3 @@
+module punt
+
+go 1.24

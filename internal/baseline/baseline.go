@@ -71,8 +71,8 @@ func buildGate(
 		// Memory-element architectures: the set function must cover ER(+a)
 		// and may extend into QR(a=1); it must not hold where the signal is 0
 		// and not excited to rise.  Dually for reset.
-		setOff := off.Sharp(erPlus)     // states with implied 0, minus nothing: set must avoid all of them
-		resetOff := on.Sharp(erMinus)   // states with implied 1: reset must avoid them
+		setOff := off.Sharp(erPlus)   // states with implied 0, minus nothing: set must avoid all of them
+		resetOff := on.Sharp(erMinus) // states with implied 1: reset must avoid them
 		set := boolcover.MinimizeAgainstOff(erPlus, setOff)
 		reset := boolcover.MinimizeAgainstOff(erMinus, resetOff)
 		return gatelib.Gate{Signal: name, Arch: arch, Set: set, Reset: reset}, time.Since(start)

@@ -243,4 +243,3 @@ func Table1Suite() []BenchmarkEntry {
 	}
 	return out
 }
-

@@ -8,6 +8,7 @@ package bitvec
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 )
 
@@ -114,6 +115,31 @@ func (v Vec) Equal(w Vec) bool {
 		}
 	}
 	return true
+}
+
+// Hash returns a 64-bit hash of the vector's width and contents, chaining a
+// full-avalanche mix per word (plain FNV-1a cancels the top bit of each word:
+// (x^2⁶³)·p = x·p ^ 2⁶³, so adjacent words' MSBs would collide).  Equal
+// vectors hash equally; callers that cannot tolerate collisions must verify
+// candidates with Equal.
+func (v Vec) Hash() uint64 {
+	h := Mix64(uint64(v.n) ^ 0x9e3779b97f4a7c15)
+	for _, w := range v.words {
+		h = Mix64(h ^ w)
+	}
+	return h
+}
+
+// Mix64 is the splitmix64 finaliser: a cheap full-avalanche bijection.  It is
+// the mixing primitive shared by every hash table in the library (markings,
+// cuts, state keys).
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // Key returns a compact string usable as a map key.  Two vectors have the same
@@ -227,23 +253,6 @@ func (v Vec) Ones() []int {
 	return out
 }
 
-func popcount(x uint64) int {
-	c := 0
-	for x != 0 {
-		x &= x - 1
-		c++
-	}
-	return c
-}
+func popcount(x uint64) int { return bits.OnesCount64(x) }
 
-func trailingZeros(x uint64) int {
-	if x == 0 {
-		return 64
-	}
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
-}
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }

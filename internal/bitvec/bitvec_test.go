@@ -167,3 +167,37 @@ func TestOutOfRangePanics(t *testing.T) {
 	v := New(4)
 	v.Get(4)
 }
+
+func TestQuickHashMatchesEquality(t *testing.T) {
+	f := func(a, b []bool) bool {
+		va, vb := FromBools(a), FromBools(b)
+		if va.Equal(vb) && va.Hash() != vb.Hash() {
+			return false
+		}
+		// The hash must agree with Key-based equality on clones.
+		return va.Hash() == va.Clone().Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashDiscriminates(t *testing.T) {
+	// Not a guarantee, but the common cases must not collide: single-bit
+	// differences and width differences.
+	seen := map[uint64]string{}
+	for n := 0; n <= 130; n++ {
+		v := New(n)
+		for i := -1; i < n; i++ {
+			if i >= 0 {
+				v = New(n)
+				v.Set(i, true)
+			}
+			h := v.Hash()
+			if prev, ok := seen[h]; ok && prev != v.Key() {
+				t.Fatalf("hash collision between %q and %q", prev, v.Key())
+			}
+			seen[h] = v.Key()
+		}
+	}
+}

@@ -37,8 +37,17 @@ func (w *sliceWalk) run(startCut []*unfolding.Condition, startCode bitvec.Vec, f
 		code bitvec.Vec
 	}
 	start := node{cut: startCut, code: startCode.Clone()}
-	key := func(n node) string { return unfolding.CutKey(n.cut) }
-	seen := map[string]bool{key(start): true}
+	// seen dedups cuts by 64-bit hash with full verification inside each
+	// bucket: a collision must never prune a branch of the exact walk.
+	seen := map[uint64][][]*unfolding.Condition{unfolding.CutHash(start.cut): {start.cut}}
+	visited := func(cut []*unfolding.Condition, h uint64) bool {
+		for _, prev := range seen[h] {
+			if unfolding.SameCut(prev, cut) {
+				return true
+			}
+		}
+		return false
+	}
 	queue := []node{start}
 	for len(queue) > 0 {
 		cur := queue[0]
@@ -67,11 +76,10 @@ func (w *sliceWalk) run(startCut []*unfolding.Condition, startCode bitvec.Vec, f
 			if l := w.u.Label(e); !l.IsDummy {
 				nextCode.Set(l.Signal, l.Dir == stg.Plus)
 			}
-			n := node{cut: nextCut, code: nextCode}
-			k := key(n)
-			if !seen[k] {
-				seen[k] = true
-				queue = append(queue, n)
+			h := unfolding.CutHash(nextCut)
+			if !visited(nextCut, h) {
+				seen[h] = append(seen[h], nextCut)
+				queue = append(queue, node{cut: nextCut, code: nextCode})
 			}
 		}
 	}

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 
 	"punt/internal/benchgen"
 )
@@ -90,5 +93,37 @@ func TestFigure6BaselineChokesWherePUNTDoesNot(t *testing.T) {
 	}
 	if p.SIS.Ok {
 		t.Fatal("the explicit baseline should exceed its state budget at this size")
+	}
+}
+
+func TestJSONReportRoundTrip(t *testing.T) {
+	suite := benchgen.Table1Suite()[:2]
+	rows := RunTable1(suite, Table1Options{SkipBaselines: true})
+	points := RunFigure6(Figure6Options{Signals: []int{5}, SkipBaselines: true})
+	report := NewReport(rows, points, time.Unix(0, 0))
+
+	if len(report.Table1) != len(rows) || len(report.Figure6) != len(points) {
+		t.Fatalf("report sizes: table1=%d figure6=%d", len(report.Table1), len(report.Figure6))
+	}
+	if report.Table1[0].Name != rows[0].Name || report.Table1[0].Events != rows[0].Events {
+		t.Fatal("table1 row not carried into the report")
+	}
+	if report.Table1[0].TotalSeconds != rows[0].TotalTime.Seconds() {
+		t.Fatal("durations must be converted to seconds")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, report); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if len(back.Table1) != len(report.Table1) || back.Table1[0].Name != report.Table1[0].Name {
+		t.Fatal("JSON round trip lost rows")
+	}
+	if back.GeneratedAt != "1970-01-01T00:00:00Z" {
+		t.Fatalf("generated_at = %q", back.GeneratedAt)
 	}
 }

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// The JSON report gives future PRs a machine-readable perf trajectory to
+// regress against: benchtab -json emits one Report per run; diffing two
+// reports shows where synthesis time moved.
+
+// JSONTool is the JSON shape of one tool's result on one benchmark.
+type JSONTool struct {
+	Ok       bool    `json:"ok"`
+	Reason   string  `json:"reason,omitempty"`
+	Seconds  float64 `json:"seconds"`
+	Literals int     `json:"literals"`
+}
+
+func jsonTool(t ToolResult) JSONTool {
+	return JSONTool{Ok: t.Ok, Reason: t.Reason, Seconds: t.Time.Seconds(), Literals: t.Literals}
+}
+
+// JSONTable1Row is the JSON shape of one Table 1 row.
+type JSONTable1Row struct {
+	Name         string   `json:"name"`
+	Signals      int      `json:"signals"`
+	UnfSeconds   float64  `json:"unf_seconds"`
+	SynSeconds   float64  `json:"syn_seconds"`
+	EspSeconds   float64  `json:"esp_seconds"`
+	TotalSeconds float64  `json:"total_seconds"`
+	Literals     int      `json:"literals"`
+	Events       int      `json:"events"`
+	Refined      int      `json:"refined"`
+	Petrify      JSONTool `json:"petrify"`
+	SIS          JSONTool `json:"sis"`
+}
+
+// JSONFigure6Point is the JSON shape of one Figure 6 measurement.
+type JSONFigure6Point struct {
+	Signals int      `json:"signals"`
+	PUNT    JSONTool `json:"punt"`
+	Petrify JSONTool `json:"petrify"`
+	SIS     JSONTool `json:"sis"`
+}
+
+// Report is the top-level JSON document emitted by benchtab -json.
+type Report struct {
+	GeneratedAt string             `json:"generated_at"`
+	Table1      []JSONTable1Row    `json:"table1,omitempty"`
+	Figure6     []JSONFigure6Point `json:"figure6,omitempty"`
+}
+
+// NewReport converts measured rows and points into the JSON report shape.
+func NewReport(rows []Table1Row, points []Figure6Point, now time.Time) Report {
+	r := Report{GeneratedAt: now.UTC().Format(time.RFC3339)}
+	for _, row := range rows {
+		r.Table1 = append(r.Table1, JSONTable1Row{
+			Name:         row.Name,
+			Signals:      row.Signals,
+			UnfSeconds:   row.UnfTime.Seconds(),
+			SynSeconds:   row.SynTime.Seconds(),
+			EspSeconds:   row.EspTime.Seconds(),
+			TotalSeconds: row.TotalTime.Seconds(),
+			Literals:     row.Literals,
+			Events:       row.Events,
+			Refined:      row.Refined,
+			Petrify:      jsonTool(row.Petrify),
+			SIS:          jsonTool(row.SIS),
+		})
+	}
+	for _, p := range points {
+		r.Figure6 = append(r.Figure6, JSONFigure6Point{
+			Signals: p.Signals,
+			PUNT:    jsonTool(p.PUNT),
+			Petrify: jsonTool(p.Petrify),
+			SIS:     jsonTool(p.SIS),
+		})
+	}
+	return r
+}
+
+// WriteJSON writes the report, indented, to w.
+func WriteJSON(w io.Writer, r Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"punt/internal/bitvec"
 )
 
 // Marking is a multiset of tokens over the places of a net.
@@ -92,6 +94,19 @@ func (m Marking) Equal(o Marking) bool {
 		}
 	}
 	return true
+}
+
+// Hash returns a 64-bit hash of the marking.  Each place/count entry is
+// avalanche-mixed independently and the results are combined commutatively,
+// so the hash is independent of map iteration order and never allocates.
+// Equal markings hash equally; callers that cannot tolerate collisions must
+// verify candidates with Equal.
+func (m Marking) Hash() uint64 {
+	var h uint64 = 0x9e3779b97f4a7c15
+	for p, k := range m.tokens {
+		h += bitvec.Mix64(uint64(p)<<32 ^ uint64(uint32(k)))
+	}
+	return bitvec.Mix64(h ^ uint64(len(m.tokens)))
 }
 
 // Key returns a canonical string usable as a map key.

@@ -248,3 +248,28 @@ func TestLookupsAndNames(t *testing.T) {
 		t.Fatal("PlacePost lookup failed")
 	}
 }
+
+func TestMarkingHash(t *testing.T) {
+	n, ps, _ := simpleCycle()
+	_ = n
+	a := MarkingOf(ps[0], ps[1])
+	b := MarkingOf(ps[1], ps[0]) // same multiset, different insertion order
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal markings must hash equally regardless of construction order")
+	}
+	if !a.Equal(b) {
+		t.Fatal("markings should be equal")
+	}
+	c := MarkingOf(ps[0])
+	if c.Hash() == a.Hash() {
+		t.Fatal("sub-marking unexpectedly collides with its superset")
+	}
+	d := a.Clone()
+	d.Add(ps[0], 1) // token count matters, not just the marked-place set
+	if d.Hash() == a.Hash() {
+		t.Fatal("multiplicity change unexpectedly preserves the hash")
+	}
+	if NewMarking().Hash() != NewMarking().Hash() {
+		t.Fatal("empty markings must hash equally")
+	}
+}

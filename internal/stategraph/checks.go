@@ -13,8 +13,8 @@ import (
 // (output signal persistency), which would manifest as a hazard in any
 // speed-independent implementation.
 type PersistencyViolation struct {
-	State      int    // state in which the output is excited
-	Signal     int    // the excited output signal
+	State      int // state in which the output is excited
+	Signal     int // the excited output signal
 	Dir        stg.Direction
 	DisabledBy string // the transition whose firing disables the excitation
 }

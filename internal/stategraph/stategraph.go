@@ -55,7 +55,25 @@ type Graph struct {
 	// Succ[i] lists indices into Edges of the arcs leaving state i.
 	Succ [][]int
 
-	index map[string]int
+	// index maps hash(marking, code) to the states with that hash.  Bucket
+	// entries are verified with full marking/code equality, so hashing never
+	// merges distinct states.
+	index map[uint64][]int
+}
+
+// lookup returns the index of the state equal to s under the precomputed
+// state hash, or -1.
+func (sg *Graph) lookup(h uint64, s State) int {
+	for _, i := range sg.index[h] {
+		if sg.States[i].Code.Equal(s.Code) && sg.States[i].Marking.Equal(s.Marking) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (sg *Graph) insert(h uint64, idx int) {
+	sg.index[h] = append(sg.index[h], idx)
 }
 
 // Options configures state graph construction.
@@ -83,16 +101,24 @@ func Build(g *stg.STG, opts Options) (*Graph, error) {
 		bound = 1
 	}
 	net := g.Net()
-	sg := &Graph{STG: g, index: map[string]int{}}
+	sg := &Graph{STG: g, index: map[uint64][]int{}}
 
 	initial := State{Marking: net.Initial(), Code: g.InitialState()}
 	sg.States = append(sg.States, initial)
 	sg.Succ = append(sg.Succ, nil)
-	sg.index[stateKey(initial)] = 0
+	sg.insert(stateHash(initial), 0)
 
 	// markingCode detects the second flavour of inconsistency: the same
-	// marking reached with two different binary codes.
-	markingCode := map[string]string{initial.Marking.Key(): initial.Code.Key()}
+	// marking reached with two different binary codes.  It is keyed by the
+	// marking's hash; bucket entries carry the marking so collisions are
+	// resolved by full equality.
+	type markingEntry struct {
+		marking petri.Marking
+		code    bitvec.Vec
+	}
+	markingCode := map[uint64][]markingEntry{
+		initial.Marking.Hash(): {{marking: initial.Marking, code: initial.Code}},
+	}
 
 	queue := []int{0}
 	for len(queue) > 0 {
@@ -132,24 +158,34 @@ func Build(g *stg.STG, opts Options) (*Graph, error) {
 				}
 			}
 			next := State{Marking: nextMarking, Code: nextCode}
-			if prev, seen := markingCode[nextMarking.Key()]; seen && prev != nextCode.Key() {
-				return nil, &InconsistencyError{
-					Transition: g.TransitionString(t),
-					Detail:     "the same marking is reachable with two different binary codes",
+			mh := nextMarking.Hash() // hashed once, reused for both tables below
+			foundMarking := false
+			for _, entry := range markingCode[mh] {
+				if !entry.marking.Equal(nextMarking) {
+					continue
 				}
-			} else if !seen {
-				markingCode[nextMarking.Key()] = nextCode.Key()
+				foundMarking = true
+				if !entry.code.Equal(nextCode) {
+					return nil, &InconsistencyError{
+						Transition: g.TransitionString(t),
+						Detail:     "the same marking is reachable with two different binary codes",
+					}
+				}
+				break
 			}
-			key := stateKey(next)
-			idx, seen := sg.index[key]
-			if !seen {
+			if !foundMarking {
+				markingCode[mh] = append(markingCode[mh], markingEntry{marking: nextMarking, code: nextCode})
+			}
+			h := stateHashFrom(mh, next.Code)
+			idx := sg.lookup(h, next)
+			if idx < 0 {
 				idx = len(sg.States)
 				if opts.MaxStates > 0 && idx >= opts.MaxStates {
 					return nil, ErrStateLimit
 				}
-				sg.index[key] = idx
 				sg.States = append(sg.States, next)
 				sg.Succ = append(sg.Succ, nil)
+				sg.insert(h, idx)
 				queue = append(queue, idx)
 			}
 			e := len(sg.Edges)
@@ -160,8 +196,15 @@ func Build(g *stg.STG, opts Options) (*Graph, error) {
 	return sg, nil
 }
 
-func stateKey(s State) string {
-	return s.Marking.Key() + "|" + s.Code.Key()
+func stateHash(s State) uint64 {
+	return stateHashFrom(s.Marking.Hash(), s.Code)
+}
+
+// stateHashFrom combines an already computed marking hash with the code, so
+// the exploration loop hashes each successor's marking exactly once.
+func stateHashFrom(markingHash uint64, code bitvec.Vec) uint64 {
+	const prime = 1099511628211
+	return (markingHash ^ code.Hash()) * prime
 }
 
 // NumStates reports the number of reachable states.

@@ -126,10 +126,10 @@ b- a+
 
 func TestParseErrors(t *testing.T) {
 	cases := []string{
-		".model x\n.graph\np0 p1\n.end\n",                        // place-to-place arc
-		".model x\n.outputs a\n.graph\na+ a-\n.unknown\n.end\n",  // unknown directive
-		".model x\n.outputs a\nfoo bar\n.end\n",                  // line outside .graph
-		".model x\n.outputs a\n.graph\na+ a-\na- a+\n.marking { <a+,b-> }\n.end\n", // unknown marking place
+		".model x\n.graph\np0 p1\n.end\n",                                                              // place-to-place arc
+		".model x\n.outputs a\n.graph\na+ a-\n.unknown\n.end\n",                                        // unknown directive
+		".model x\n.outputs a\nfoo bar\n.end\n",                                                        // line outside .graph
+		".model x\n.outputs a\n.graph\na+ a-\na- a+\n.marking { <a+,b-> }\n.end\n",                     // unknown marking place
 		".model x\n.outputs a\n.graph\na+ a-\na- a+\n.marking { <a-,a+> }\n.initial_state 011\n.end\n", // wrong width
 	}
 	for i, src := range cases {

@@ -36,6 +36,10 @@ type Options struct {
 	// MaxEvents aborts construction with ErrEventLimit when the number of
 	// non-root events exceeds this value (0 means 1,000,000).
 	MaxEvents int
+	// DebugCheck cross-validates the incremental cut/code/marking engine
+	// against a full replay of every local configuration (the original
+	// construction).  It is quadratic and meant for tests only.
+	DebugCheck bool
 }
 
 // possibleExtension is a transition instance that may be appended to the
@@ -58,9 +62,9 @@ func (h peHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h peHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *peHeap) Push(x interface{}) { *h = append(*h, x.(*possibleExtension)) }
-func (h *peHeap) Pop() interface{} {
+func (h peHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *peHeap) Push(x any)   { *h = append(*h, x.(*possibleExtension)) }
+func (h *peHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
@@ -68,16 +72,58 @@ func (h *peHeap) Pop() interface{} {
 	return x
 }
 
+// peFingerprint identifies a possible extension exactly: the transition plus
+// the sorted preset condition IDs.  Entries live in hash buckets so that the
+// dedup test never suffers a false positive on a hash collision.
+type peFingerprint struct {
+	transition petri.TransitionID
+	preset     []int32
+}
+
+func (f peFingerprint) matches(t petri.TransitionID, preset []*Condition) bool {
+	if f.transition != t || len(f.preset) != len(preset) {
+		return false
+	}
+	for i, c := range preset {
+		if f.preset[i] != int32(c.ID) {
+			return false
+		}
+	}
+	return true
+}
+
 type builder struct {
-	g       *stg.STG
-	net     *petri.Net
-	u       *Unfolding
-	opts    Options
-	queue   peHeap
-	seq     int
-	seenPE  map[string]bool
-	states  map[string]*Event // (marking,code) -> first event reaching it
-	condsOf map[petri.PlaceID][]*Condition
+	g     *stg.STG
+	net   *petri.Net
+	u     *Unfolding
+	opts  Options
+	queue peHeap
+	seq   int
+
+	// seenPE deduplicates possible extensions by 64-bit hash with exact
+	// fingerprint verification inside each bucket.
+	seenPE map[uint64][]peFingerprint
+	// states maps hash(final marking, binary code) to the events reaching
+	// that state; bucket entries are verified with full marking/code
+	// equality, so a hash collision can never produce a wrong cut-off.
+	states map[uint64][]*Event
+	// placeConds[p] is the bit set of live condition IDs with place label p:
+	// conditions produced by non-cut-off events (or the root).  chooseCoset
+	// prunes its candidates by intersecting these sets with co-sets instead
+	// of rescanning per-place condition lists.
+	placeConds map[petri.PlaceID]*idSet
+
+	// cutSets[e.ID] / consumedSets[e.ID] hold, in bit-set form, the cut of
+	// [e] and the conditions consumed by [e].  They drive the incremental
+	// state engine and are discarded with the builder after construction.
+	cutSets      []*idSet
+	consumedSets []*idSet
+
+	// Scratch storage reused across instantiate/chooseCoset calls.
+	common      idSet    // intersection of the preset co-sets
+	diff        idSet    // parentLocal \ dominant.Local in parentCodeOf
+	candScratch []*idSet // per-recursion-depth candidate sets for chooseCoset
+	coScratch   []*idSet // per-recursion-depth accumulated co-sets
 }
 
 // Build constructs the STG-unfolding segment of the STG.
@@ -91,12 +137,12 @@ func Build(g *stg.STG, opts Options) (*Unfolding, error) {
 		opts.MaxEvents = 1000000
 	}
 	b := &builder{
-		g:       g,
-		net:     g.Net(),
-		opts:    opts,
-		seenPE:  map[string]bool{},
-		states:  map[string]*Event{},
-		condsOf: map[petri.PlaceID][]*Condition{},
+		g:          g,
+		net:        g.Net(),
+		opts:       opts,
+		seenPE:     map[uint64][]peFingerprint{},
+		states:     map[uint64][]*Event{},
+		placeConds: map[petri.PlaceID]*idSet{},
 	}
 	b.u = &Unfolding{STG: g, byTransition: map[petri.TransitionID][]*Event{}}
 
@@ -144,7 +190,17 @@ func (b *builder) createRoot() error {
 			}
 		}
 	}
-	b.states[stateKey(root.Marking, root.Code)] = root
+	rootCut := newIDSet()
+	for _, c := range root.Postset {
+		rootCut.add(c.ID)
+	}
+	b.cutSets = append(b.cutSets, rootCut)
+	b.consumedSets = append(b.consumedSets, newIDSet())
+
+	b.putState(stateHash(root.Marking, root.Code), root)
+	for _, c := range root.Postset {
+		b.markLive(c)
+	}
 	for _, c := range root.Postset {
 		b.findExtensionsWith(c)
 	}
@@ -155,16 +211,50 @@ func (b *builder) newCondition(p petri.PlaceID, producer *Event) *Condition {
 	c := &Condition{ID: len(b.u.Conditions), Place: p, Producer: producer}
 	b.u.Conditions = append(b.u.Conditions, c)
 	b.u.co = append(b.u.co, newIDSet())
-	b.condsOf[p] = append(b.condsOf[p], c)
 	return c
 }
 
-func stateKey(m petri.Marking, code bitvec.Vec) string {
-	return m.Key() + "|" + code.Key()
+// markLive records the condition as a co-set candidate for future possible
+// extensions.  Conditions produced by cut-off events are never marked live.
+func (b *builder) markLive(c *Condition) {
+	s := b.placeConds[c.Place]
+	if s == nil {
+		s = newIDSet()
+		b.placeConds[c.Place] = s
+	}
+	s.add(c.ID)
+}
+
+// stateHash keys the cut-off detection table by final marking and binary code.
+func stateHash(m petri.Marking, code bitvec.Vec) uint64 {
+	const prime = 1099511628211
+	h := m.Hash()
+	h = (h ^ code.Hash()) * prime
+	return h
+}
+
+// putState records the event as the canonical representative of its final
+// state under the precomputed state hash.
+func (b *builder) putState(h uint64, e *Event) {
+	b.states[h] = append(b.states[h], e)
+}
+
+// lookupState returns the earlier event reaching the same final state, if
+// any.  Bucket entries are verified with full equality: hashing is a speed
+// optimisation, never a correctness shortcut.
+func (b *builder) lookupState(h uint64, m petri.Marking, code bitvec.Vec) *Event {
+	for _, prior := range b.states[h] {
+		if prior.Code.Equal(code) && prior.Marking.Equal(m) {
+			return prior
+		}
+	}
+	return nil
 }
 
 // codeOfConfig computes the binary code reached by firing the given event set
-// from the initial state.
+// from the initial state.  It is the original full-replay implementation,
+// retained as the cross-validation oracle for the incremental engine
+// (Options.DebugCheck).
 func (b *builder) codeOfConfig(set *idSet) bitvec.Vec {
 	code := b.g.InitialState()
 	set.forEach(func(id int) {
@@ -178,7 +268,9 @@ func (b *builder) codeOfConfig(set *idSet) bitvec.Vec {
 }
 
 // cutOfConfig computes the set of conditions marked after firing the given
-// event set (which must be causally closed).
+// event set (which must be causally closed).  Like codeOfConfig it replays
+// the whole configuration and exists only as the DebugCheck oracle for the
+// incremental cut maintained in builder.cutSets.
 func (b *builder) cutOfConfig(set *idSet) []*Condition {
 	consumed := map[int]bool{}
 	var produced []*Condition
@@ -208,10 +300,72 @@ func markingOfCut(cut []*Condition) petri.Marking {
 	return m
 }
 
+// parentCodeOf computes the binary code of the parent configuration (the
+// union of the preset producers' local configurations) incrementally: it
+// starts from the code of the dominant producer — the one with the largest
+// local configuration — and applies only the signal toggles of the events the
+// other producers add.  When one producer dominates (the common case: chains
+// and join-free presets) this is O(1) instead of O(|[e]|).
+func (b *builder) parentCodeOf(pe *possibleExtension) bitvec.Vec {
+	var dom *Event
+	for _, c := range pe.preset {
+		p := c.Producer
+		if dom == nil || p.Size > dom.Size {
+			dom = p
+		}
+	}
+	code := dom.Code.Clone()
+	if dom.Size == pe.size-1 {
+		return code // the dominant producer's local configuration is the parent
+	}
+	b.diff.copyFrom(pe.parentLocal)
+	b.diff.andNotWith(dom.Local)
+	b.diff.forEach(func(id int) {
+		ev := b.u.Events[id]
+		if ev.label.IsDummy {
+			return
+		}
+		code.Set(ev.label.Signal, ev.label.Dir == stg.Plus)
+	})
+	return code
+}
+
+// buildCutSets derives the cut and consumed sets of the new event from its
+// preset producers:
+//
+//	consumed([e]) = ∪ consumed([p]) ∪ •e
+//	cut([e])      = (∪ cut([p])) \ consumed([e]) ∪ e•
+//
+// which follows from cut(C) = produced(C) \ consumed(C) and the fact that
+// produced and consumed distribute over configuration union.
+func (b *builder) buildCutSets(pe *possibleExtension, e *Event) (cut, consumed *idSet) {
+	consumed = newIDSet()
+	cut = newIDSet()
+	for _, c := range pe.preset {
+		p := c.Producer
+		cut.orWith(b.cutSets[p.ID])
+		consumed.orWith(b.consumedSets[p.ID])
+	}
+	for _, c := range pe.preset {
+		consumed.add(c.ID)
+	}
+	cut.andNotWith(consumed)
+	for _, c := range e.Postset {
+		cut.add(c.ID)
+	}
+	return cut, consumed
+}
+
 // instantiate turns a possible extension into an event of the segment.
 func (b *builder) instantiate(pe *possibleExtension) error {
 	label := b.g.Label(pe.transition)
-	parentCode := b.codeOfConfig(pe.parentLocal)
+	parentCode := b.parentCodeOf(pe)
+	if b.opts.DebugCheck {
+		if replay := b.codeOfConfig(pe.parentLocal); !replay.Equal(parentCode) {
+			return fmt.Errorf("unfolding: internal error: incremental parent code %s != replay %s at %s",
+				parentCode, replay, b.g.TransitionString(pe.transition))
+		}
+	}
 	if !label.IsDummy {
 		val := parentCode.Get(label.Signal)
 		if label.Dir == stg.Plus && val {
@@ -234,10 +388,12 @@ func (b *builder) instantiate(pe *possibleExtension) error {
 		Preset:     pe.preset,
 		label:      label,
 	}
-	e.Local = pe.parentLocal.clone()
+	// The possible extension is instantiated exactly once, so its parent
+	// configuration can be adopted as the event's local configuration.
+	e.Local = pe.parentLocal
 	e.Local.add(e.ID)
 	e.Size = pe.size
-	code := parentCode.Clone()
+	code := parentCode
 	if !label.IsDummy {
 		code.Set(label.Signal, label.Dir == stg.Plus)
 	}
@@ -250,26 +406,25 @@ func (b *builder) instantiate(pe *possibleExtension) error {
 
 	// Create the postset conditions and update the concurrency relation:
 	// co(c) for c in e• is the intersection of the co-sets of the preset
-	// conditions, plus the siblings in e•.
-	common := newIDSet()
-	if len(pe.preset) > 0 {
-		common = b.u.co[pe.preset[0].ID].clone()
-		for _, c := range pe.preset[1:] {
-			common = intersectIDSets(common, b.u.co[c.ID])
-		}
+	// conditions, plus the siblings in e•.  A condition of the parent cut
+	// that stays concurrent with a same-place postset condition would mean
+	// the place can hold two tokens at once: the net is not safe.
+	common := &b.common
+	common.copyFrom(b.u.co[pe.preset[0].ID])
+	for _, c := range pe.preset[1:] {
+		common.andWith(b.u.co[c.ID])
 	}
 	for _, p := range b.net.Post(pe.transition) {
 		c := b.newCondition(p, e)
 		e.Postset = append(e.Postset, c)
 	}
+	unsafe := false
 	for _, c := range e.Postset {
 		co := b.u.co[c.ID]
 		common.forEach(func(otherID int) {
 			other := b.u.Conditions[otherID]
 			if other.Place == c.Place {
-				// Two concurrent conditions with the same place label mean the
-				// net can mark the place twice: not safe.  Record via panic-free
-				// error by storing; handled below.
+				unsafe = true
 				return
 			}
 			co.add(otherID)
@@ -281,47 +436,42 @@ func (b *builder) instantiate(pe *possibleExtension) error {
 			}
 		}
 	}
-	// Safeness check: a new condition concurrent with a condition of the same
-	// place, or a postset place that is still marked in the parent cut and not
-	// consumed, indicates a non-safe net.
-	unsafe := false
-	common.forEach(func(otherID int) {
-		other := b.u.Conditions[otherID]
-		for _, p := range b.net.Post(pe.transition) {
-			if other.Place == p {
-				unsafe = true
-			}
-		}
-	})
 	if unsafe {
 		return fmt.Errorf("%w: firing %s marks an already marked place", ErrNotSafe, b.g.TransitionString(pe.transition))
 	}
 
-	// Final state of the local configuration.
-	e.Cut = b.cutOfConfig(e.Local)
+	// Final state of the local configuration, derived incrementally from the
+	// preset producers.
+	cutSet, consumedSet := b.buildCutSets(pe, e)
+	b.cutSets = append(b.cutSets, cutSet)
+	b.consumedSets = append(b.consumedSets, consumedSet)
+	e.Cut = make([]*Condition, 0, cutSet.count())
+	cutSet.forEach(func(id int) { e.Cut = append(e.Cut, b.u.Conditions[id]) })
 	e.Marking = markingOfCut(e.Cut)
+	if b.opts.DebugCheck {
+		replay := b.cutOfConfig(e.Local)
+		if !SameCut(e.Cut, replay) {
+			return fmt.Errorf("unfolding: internal error: incremental cut != replay cut at %s", b.u.EventName(e))
+		}
+		if replayM := markingOfCut(replay); !replayM.Equal(e.Marking) {
+			return fmt.Errorf("unfolding: internal error: incremental marking != replay marking at %s", b.u.EventName(e))
+		}
+	}
 
-	key := stateKey(e.Marking, e.Code)
-	if prior, seen := b.states[key]; seen {
+	h := stateHash(e.Marking, e.Code)
+	if prior := b.lookupState(h, e.Marking, e.Code); prior != nil {
 		e.IsCutoff = true
 		e.Correspondent = prior
 		return nil // no extensions beyond a cut-off event
 	}
-	b.states[key] = e
+	b.putState(h, e)
+	for _, c := range e.Postset {
+		b.markLive(c)
+	}
 	for _, c := range e.Postset {
 		b.findExtensionsWith(c)
 	}
 	return nil
-}
-
-func intersectIDSets(a, bSet *idSet) *idSet {
-	out := newIDSet()
-	a.forEach(func(i int) {
-		if bSet.has(i) {
-			out.add(i)
-		}
-	})
-	return out
 }
 
 // findExtensionsWith enumerates all possible extensions whose preset contains
@@ -329,6 +479,10 @@ func intersectIDSets(a, bSet *idSet) *idSet {
 func (b *builder) findExtensionsWith(c *Condition) {
 	for _, t := range b.net.PlacePost(c.Place) {
 		pre := b.net.Pre(t)
+		if len(pre) == 1 {
+			b.addPE(t, c, nil)
+			continue
+		}
 		// Candidate conditions for every other preset place, restricted to
 		// conditions concurrent with c and not produced by cut-off events.
 		others := make([]petri.PlaceID, 0, len(pre)-1)
@@ -337,38 +491,58 @@ func (b *builder) findExtensionsWith(c *Condition) {
 				others = append(others, p)
 			}
 		}
+		if len(others) == 0 {
+			b.addPE(t, c, nil)
+			continue
+		}
 		chosen := make([]*Condition, 0, len(others))
-		b.chooseCoset(t, c, others, chosen)
+		b.chooseCoset(t, c, others, chosen, b.u.co[c.ID])
 	}
+}
+
+// scratchSets returns the candidate and co-accumulator scratch sets for the
+// given recursion depth, growing the pools on demand.
+func (b *builder) scratchSets(depth int) (cands, coAcc *idSet) {
+	for len(b.candScratch) <= depth {
+		b.candScratch = append(b.candScratch, newIDSet())
+		b.coScratch = append(b.coScratch, newIDSet())
+	}
+	return b.candScratch[depth], b.coScratch[depth]
 }
 
 // chooseCoset recursively selects one condition per remaining preset place so
 // that the selection plus c is a co-set, then records the possible extension.
-func (b *builder) chooseCoset(t petri.TransitionID, c *Condition, remaining []petri.PlaceID, chosen []*Condition) {
-	if len(remaining) == 0 {
-		b.addPE(t, c, chosen)
+// coAcc is the intersection of the co-sets of c and every chosen condition;
+// the candidates for the next place are coAcc ∩ placeConds[place], computed a
+// word at a time instead of filtering the place's conditions one by one.
+func (b *builder) chooseCoset(t petri.TransitionID, c *Condition, remaining []petri.PlaceID, chosen []*Condition, coAcc *idSet) {
+	place := remaining[0]
+	cands, nextCo := b.scratchSets(len(chosen))
+	cands.intersectInto(coAcc, b.placeConds[place])
+	if len(remaining) == 1 {
+		cands.forEach(func(id int) {
+			b.addPE(t, c, append(chosen, b.u.Conditions[id]))
+		})
 		return
 	}
-	place := remaining[0]
-	for _, cand := range b.condsOf[place] {
-		if cand.Producer != nil && cand.Producer.IsCutoff {
-			continue
-		}
-		if !b.u.co[c.ID].has(cand.ID) {
-			continue
-		}
-		ok := true
-		for _, prev := range chosen {
-			if !b.u.co[prev.ID].has(cand.ID) {
-				ok = false
-				break
-			}
-		}
-		if !ok {
-			continue
-		}
-		b.chooseCoset(t, c, remaining[1:], append(chosen, cand))
+	cands.forEach(func(id int) {
+		nextCo.intersectInto(coAcc, b.u.co[id])
+		b.chooseCoset(t, c, remaining[1:], append(chosen, b.u.Conditions[id]), nextCo)
+	})
+}
+
+// peHash keys the possible-extension dedup table.
+func peHash(t petri.TransitionID, preset []*Condition) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	h = (h ^ uint64(t)) * prime
+	for _, c := range preset {
+		h = (h ^ uint64(c.ID)) * prime
 	}
+	return h
 }
 
 func (b *builder) addPE(t petri.TransitionID, c *Condition, chosen []*Condition) {
@@ -376,20 +550,21 @@ func (b *builder) addPE(t petri.TransitionID, c *Condition, chosen []*Condition)
 	preset = append(preset, c)
 	preset = append(preset, chosen...)
 	sort.Slice(preset, func(i, j int) bool { return preset[i].ID < preset[j].ID })
-	key := fmt.Sprintf("%d:", t)
-	for _, p := range preset {
-		key += fmt.Sprintf("%d,", p.ID)
+	h := peHash(t, preset)
+	for _, fp := range b.seenPE[h] {
+		if fp.matches(t, preset) {
+			return
+		}
 	}
-	if b.seenPE[key] {
-		return
+	ids := make([]int32, len(preset))
+	for i, p := range preset {
+		ids[i] = int32(p.ID)
 	}
-	b.seenPE[key] = true
+	b.seenPE[h] = append(b.seenPE[h], peFingerprint{transition: t, preset: ids})
 
 	parent := newIDSet()
 	for _, p := range preset {
-		if p.Producer != nil {
-			parent.orWith(p.Producer.Local)
-		}
+		parent.orWith(p.Producer.Local)
 	}
 	pe := &possibleExtension{
 		transition:  t,

@@ -105,8 +105,26 @@ func (u *Unfolding) ReachableStates() map[string]string {
 	}
 	out := map[string]string{}
 	start := node{cut: u.Root.Cut, code: u.Root.Code.String()}
-	key := func(n node) string { return CutKey(n.cut) + "|" + n.code }
-	seen := map[string]bool{key(start): true}
+	key := func(n node) uint64 {
+		const prime = 1099511628211
+		h := CutHash(n.cut)
+		for i := 0; i < len(n.code); i++ {
+			h = (h ^ uint64(n.code[i])) * prime
+		}
+		return h
+	}
+	// seen dedups (cut, code) nodes by 64-bit hash with full verification
+	// inside each bucket: a collision must never drop a state from the
+	// completeness check.
+	seen := map[uint64][]node{key(start): {start}}
+	visited := func(n node, k uint64) bool {
+		for _, prev := range seen[k] {
+			if prev.code == n.code && SameCut(prev.cut, n.cut) {
+				return true
+			}
+		}
+		return false
+	}
 	record := func(n node) {
 		m := markingOfCut(n.cut)
 		out[m.Key()+"|"+n.code] = n.code
@@ -130,10 +148,10 @@ func (u *Unfolding) ReachableStates() map[string]string {
 			}
 			n := node{cut: nextCut, code: code}
 			k := key(n)
-			if seen[k] {
+			if visited(n, k) {
 				continue
 			}
-			seen[k] = true
+			seen[k] = append(seen[k], n)
 			record(n)
 			queue = append(queue, n)
 		}

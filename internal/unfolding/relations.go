@@ -289,16 +289,31 @@ func (u *Unfolding) FireAt(cut []*Condition, e *Event) []*Condition {
 	return next
 }
 
-// CutKey returns a canonical map key for a cut.
-func CutKey(cut []*Condition) string {
-	ids := make([]int, len(cut))
-	for i, c := range cut {
-		ids[i] = c.ID
+// CutHash returns a canonical 64-bit map key for a cut.  Each condition ID is
+// avalanche-mixed and the results are combined commutatively, so the hash is
+// independent of the cut's order and requires neither sorting nor allocation.
+// Two equal cuts always hash equally; distinct cuts collide with probability
+// ~2⁻⁶⁴ per pair.
+func CutHash(cut []*Condition) uint64 {
+	var h uint64 = 0x9e3779b97f4a7c15
+	for _, c := range cut {
+		h += bitvec.Mix64(uint64(c.ID) + 1)
 	}
-	sort.Ints(ids)
-	b := make([]byte, 0, len(ids)*3)
-	for _, id := range ids {
-		b = append(b, byte(id), byte(id>>8), byte(id>>16))
+	return bitvec.Mix64(h ^ uint64(len(cut)))
+}
+
+// SameCut reports whether two cuts contain exactly the same conditions.
+// Conditions are canonical objects within an unfolding and every cut this
+// package produces is sorted by condition ID, so element-wise identity
+// suffices.  It is the verification step for hash tables keyed by CutHash.
+func SameCut(a, b []*Condition) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	return string(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -12,6 +12,30 @@
 // local configuration has already been produced by a smaller configuration.
 // Consistency of the state assignment is checked while codes are assigned;
 // boundedness is implied by the requirement that the underlying net is safe.
+//
+// # Builder internals
+//
+// Segment construction is the hot path of the whole system and the builder is
+// organised around three ideas:
+//
+//   - Incremental state.  An event's cut, marking and binary code are derived
+//     from its preset producers instead of replaying the local configuration:
+//     cut([e]) = (∪ cut([p])) \ (∪ consumed([p]) ∪ •e) ∪ e•, and the parent
+//     code starts from the dominant producer's code and applies only the
+//     toggles of the events the other producers add.  The original O(|[e]|)
+//     replay is retained behind Options.DebugCheck and cross-validated by the
+//     tests.
+//
+//   - Word-level bit sets.  Local configurations, the co-relation co(c), the
+//     per-place candidate sets and the cut/consumed sets are idSet bit sets;
+//     intersection, union and difference run a word (64 IDs) at a time, and
+//     chooseCoset prunes its candidates by intersecting co-sets with the
+//     per-place live-condition sets instead of rescanning condition lists.
+//
+//   - Hashed state tables.  Cut-off detection keys (marking, code) pairs by a
+//     64-bit hash; bucket entries are verified with full equality, so a
+//     collision can never produce a wrong cut-off.  Possible-extension dedup
+//     uses the same scheme with exact fingerprints.
 package unfolding
 
 import (
@@ -185,93 +209,4 @@ func (u *Unfolding) Dump() string {
 		fmt.Fprintf(&sb, "%s}\n", strings.Join(posts, ","))
 	}
 	return sb.String()
-}
-
-// idSet is a growable bit set over small non-negative integers (event or
-// condition IDs).
-type idSet struct {
-	words []uint64
-}
-
-func newIDSet() *idSet { return &idSet{} }
-
-func (s *idSet) ensure(i int) {
-	w := i/64 + 1
-	for len(s.words) < w {
-		s.words = append(s.words, 0)
-	}
-}
-
-func (s *idSet) add(i int) {
-	s.ensure(i)
-	s.words[i/64] |= 1 << uint(i%64)
-}
-
-func (s *idSet) has(i int) bool {
-	if i/64 >= len(s.words) {
-		return false
-	}
-	return s.words[i/64]&(1<<uint(i%64)) != 0
-}
-
-func (s *idSet) orWith(o *idSet) {
-	if o == nil {
-		return
-	}
-	for len(s.words) < len(o.words) {
-		s.words = append(s.words, 0)
-	}
-	for i, w := range o.words {
-		s.words[i] |= w
-	}
-}
-
-func (s *idSet) clone() *idSet {
-	c := &idSet{words: make([]uint64, len(s.words))}
-	copy(c.words, s.words)
-	return c
-}
-
-func (s *idSet) count() int {
-	n := 0
-	for _, w := range s.words {
-		for w != 0 {
-			w &= w - 1
-			n++
-		}
-	}
-	return n
-}
-
-func (s *idSet) forEach(fn func(i int)) {
-	for wi, w := range s.words {
-		for w != 0 {
-			b := w & (-w)
-			idx := wi*64 + trailing(b)
-			fn(idx)
-			w &^= b
-		}
-	}
-}
-
-func (s *idSet) intersects(o *idSet) bool {
-	n := len(s.words)
-	if len(o.words) < n {
-		n = len(o.words)
-	}
-	for i := 0; i < n; i++ {
-		if s.words[i]&o.words[i] != 0 {
-			return true
-		}
-	}
-	return false
-}
-
-func trailing(b uint64) int {
-	n := 0
-	for b&1 == 0 {
-		b >>= 1
-		n++
-	}
-	return n
 }
