@@ -1,0 +1,170 @@
+package punt
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// BatchItem is one unit of work for Batch: a named specification.
+type BatchItem struct {
+	// Name identifies the item in results and diagnostics; when empty, the
+	// specification's model name is used.
+	Name string
+	// Spec is the specification to synthesise.  The same *Spec value may
+	// appear in several items: synthesis never mutates a loaded Spec.
+	Spec *Spec
+}
+
+// BatchResult is the outcome of one Batch item: exactly one of Result and
+// Err is set.
+type BatchResult struct {
+	// Name is the item's resolved name.
+	Name string
+	// Index is the item's position in the input slice; results are returned
+	// in input order regardless of completion order.
+	Index int
+	// Result is the synthesis outcome, nil when the item failed.
+	Result *Result
+	// Err is the item's failure (a *Diagnostic), nil when it succeeded.
+	// Items never started because the batch context was cancelled carry the
+	// context's error.
+	Err error
+	// Elapsed is the item's wall-clock synthesis time.
+	Elapsed time.Duration
+}
+
+// BatchSummary aggregates a Batch run.
+type BatchSummary struct {
+	// Items, Succeeded and Failed count the work; Items = Succeeded + Failed.
+	Items     int
+	Succeeded int
+	Failed    int
+	// Workers is the parallelism the pool ran with.
+	Workers int
+	// Elapsed is the wall-clock time of the whole batch; Work is the sum of
+	// the per-item synthesis times (Work/Elapsed ≈ achieved parallelism).
+	Elapsed time.Duration
+	Work    time.Duration
+	// Events and Literals total the segment events and implementation
+	// literals of the successful items.
+	Events   int
+	Literals int
+}
+
+// String summarises the batch.
+func (s BatchSummary) String() string {
+	return fmt.Sprintf("batch: %d items, %d ok, %d failed, %d workers, wall=%v work=%v",
+		s.Items, s.Succeeded, s.Failed, s.Workers,
+		s.Elapsed.Round(time.Millisecond), s.Work.Round(time.Millisecond))
+}
+
+// Batch synthesises many specifications concurrently with the options of s:
+// a worker pool of WithWorkers size (GOMAXPROCS by default) drains the items,
+// every item's failure is isolated into its own BatchResult, and the summary
+// aggregates the run.  Results are returned in input order.
+//
+// Cancelling ctx stops the batch promptly: running items abort through the
+// engines' cancellation checks and unstarted items fail with the context's
+// error.  A worker that panics fails only its item.
+func (s *Synthesizer) Batch(ctx context.Context, items []BatchItem) ([]BatchResult, BatchSummary) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := s.cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([]BatchResult, len(items))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				results[idx] = s.runItem(ctx, idx, items[idx])
+			}
+		}()
+	}
+feed:
+	for i := range items {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			// Fail everything not yet handed out; the workers abort their
+			// in-flight items through the engines' cancellation checks.
+			for j := i; j < len(items); j++ {
+				results[j] = BatchResult{
+					Name:  itemName(items[j]),
+					Index: j,
+					Err:   diagnose("synthesize", itemName(items[j]), ctx.Err()),
+				}
+			}
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	sum := BatchSummary{Items: len(items), Workers: workers, Elapsed: time.Since(start)}
+	for _, r := range results {
+		sum.Work += r.Elapsed
+		if r.Err != nil {
+			sum.Failed++
+			continue
+		}
+		sum.Succeeded++
+		sum.Events += r.Result.Stats.Events
+		sum.Literals += r.Result.Literals()
+	}
+	return results, sum
+}
+
+// runItem synthesises one batch item, translating a worker panic into the
+// item's error instead of taking the whole batch down.
+func (s *Synthesizer) runItem(ctx context.Context, idx int, item BatchItem) (res BatchResult) {
+	name := itemName(item)
+	res = BatchResult{Name: name, Index: idx}
+	start := time.Now()
+	defer func() {
+		res.Elapsed = time.Since(start)
+		if p := recover(); p != nil {
+			res.Result = nil
+			res.Err = diagnose("synthesize", name, fmt.Errorf("panic during synthesis: %v", p))
+		}
+	}()
+	if item.Spec == nil {
+		res.Err = diagnose("synthesize", name, fmt.Errorf("batch item %d has no specification", idx))
+		return res
+	}
+	r, err := s.Synthesize(ctx, item.Spec)
+	res.Result, res.Err = r, err
+	return res
+}
+
+func itemName(item BatchItem) string {
+	if item.Name != "" {
+		return item.Name
+	}
+	if item.Spec != nil {
+		return item.Spec.Name()
+	}
+	return "?"
+}
+
+// Batch is the package-level convenience: a one-shot worker-pool run with
+// the given options.  See (*Synthesizer).Batch.
+func Batch(ctx context.Context, items []BatchItem, opts ...Option) ([]BatchResult, BatchSummary) {
+	return New(opts...).Batch(ctx, items)
+}

@@ -1,0 +1,112 @@
+// Package bench is the public driver of the repository's evaluation: it
+// re-exports the Table 1 / Figure 6 experiment harness of the paper and adds
+// the end-to-end facade benchmark that tracks the overhead of the public punt
+// API.  The benchtab command is a thin wrapper around this package.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"punt"
+	"punt/internal/benchgen"
+	"punt/internal/experiments"
+)
+
+// Re-exported experiment types; see punt/internal/experiments for the field
+// documentation.
+type (
+	// Table1Options configures the Table 1 run.
+	Table1Options = experiments.Table1Options
+	// Table1Row is one row of the reproduced Table 1.
+	Table1Row = experiments.Table1Row
+	// Figure6Options configures the Figure 6 scaling experiment.
+	Figure6Options = experiments.Figure6Options
+	// Figure6Point is one measurement of the Figure 6 experiment.
+	Figure6Point = experiments.Figure6Point
+	// FacadePoint is one end-to-end public-API measurement.
+	FacadePoint = experiments.FacadePoint
+	// Report is the JSON perf-trajectory document emitted by benchtab -json.
+	Report = experiments.Report
+)
+
+// RunTable1 synthesises the paper's benchmark suite with the unfolding flow
+// and both baselines.
+func RunTable1(ctx context.Context, opts Table1Options) []Table1Row {
+	return experiments.RunTable1(ctx, benchgen.Table1Suite(), opts)
+}
+
+// RunFigure6 measures the scaling experiment of Figure 6.
+func RunFigure6(ctx context.Context, opts Figure6Options) []Figure6Point {
+	return experiments.RunFigure6(ctx, opts)
+}
+
+// FormatTable1 renders Table 1 rows in the layout of the paper.
+func FormatTable1(rows []Table1Row) string { return experiments.FormatTable1(rows) }
+
+// FormatFigure6 renders the Figure 6 series as a table.
+func FormatFigure6(points []Figure6Point) string { return experiments.FormatFigure6(points) }
+
+// FormatFacade renders the facade measurements as a table.
+func FormatFacade(points []FacadePoint) string { return experiments.FormatFacade(points) }
+
+// NewReport assembles the JSON perf-trajectory report.
+func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, now time.Time) Report {
+	return experiments.NewReport(rows, points, facade, now)
+}
+
+// WriteJSON writes the report, indented, to w.
+func WriteJSON(w io.Writer, r Report) error { return experiments.WriteJSON(w, r) }
+
+// facadeSpec is one workload of the facade benchmark.
+type facadeSpec struct {
+	name string
+	text string
+}
+
+// RunFacade measures the full public-API pipeline — punt.Parse followed by
+// punt.New().Synthesize — on the paper's Figure 1 example and on a mid-size
+// Muller pipeline, averaging over runs (minimum 1).  Unlike Table 1, which
+// times the raw cores, these numbers include every facade layer a real caller
+// goes through, so regressions in the public API itself show up on the perf
+// trajectory.
+func RunFacade(ctx context.Context, runs int) ([]FacadePoint, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	specs := []facadeSpec{
+		{name: "fig1", text: punt.Fig1().Text()},
+		{name: "pipeline-22", text: punt.MullerPipelineWithSignals(22).Text()},
+	}
+	synth := punt.New()
+	out := make([]FacadePoint, 0, len(specs))
+	for _, fs := range specs {
+		p := FacadePoint{Spec: fs.name, Runs: runs}
+		var parse, synthT, total time.Duration
+		for i := 0; i < runs; i++ {
+			t0 := time.Now()
+			spec, err := punt.Parse(fs.text)
+			t1 := time.Now()
+			if err != nil {
+				return nil, fmt.Errorf("bench: facade parse of %s: %w", fs.name, err)
+			}
+			res, err := synth.Synthesize(ctx, spec)
+			t2 := time.Now()
+			if err != nil {
+				return nil, fmt.Errorf("bench: facade synthesis of %s: %w", fs.name, err)
+			}
+			parse += t1.Sub(t0)
+			synthT += t2.Sub(t1)
+			total += t2.Sub(t0)
+			p.Literals = res.Literals()
+			p.Events = res.Stats.Events
+		}
+		p.Parse = parse / time.Duration(runs)
+		p.Synth = synthT / time.Duration(runs)
+		p.Total = total / time.Duration(runs)
+		out = append(out, p)
+	}
+	return out, nil
+}

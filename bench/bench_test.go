@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunFacade(t *testing.T) {
+	points, err := RunFacade(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	fig1 := points[0]
+	if fig1.Spec != "fig1" || fig1.Literals != 2 || fig1.Events != 8 {
+		t.Errorf("fig1 point = %+v", fig1)
+	}
+	if fig1.Total <= 0 || fig1.Total < fig1.Synth {
+		t.Errorf("times inconsistent: %+v", fig1)
+	}
+	text := FormatFacade(points)
+	if !strings.Contains(text, "fig1") || !strings.Contains(text, "pipeline-22") {
+		t.Errorf("formatting:\n%s", text)
+	}
+}
+
+func TestFacadePointsInJSONReport(t *testing.T) {
+	points, err := RunFacade(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := NewReport(nil, nil, points, time.Unix(0, 0))
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, report); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Facade) != 2 || back.Facade[0].Spec != "fig1" || back.Facade[0].Literals != 2 {
+		t.Errorf("facade entries lost in JSON round trip: %+v", back.Facade)
+	}
+}

@@ -16,6 +16,7 @@ package punt
 // the paper reports.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -44,7 +45,7 @@ func BenchmarkTable1PUNT(b *testing.B) {
 			g := entry.Build()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := core.New(core.Options{}).Synthesize(g); err != nil {
+				if _, _, err := core.New(core.Options{}).Synthesize(context.Background(), g); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -60,7 +61,7 @@ func BenchmarkTable1SIS(b *testing.B) {
 			s := &baseline.ExplicitSynthesizer{MaxStates: 2000000}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := s.Synthesize(g); err != nil {
+				if _, _, err := s.Synthesize(context.Background(), g); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -76,7 +77,7 @@ func BenchmarkTable1Petrify(b *testing.B) {
 			s := &baseline.SymbolicSynthesizer{MaxNodes: 4000000}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := s.Synthesize(g); err != nil {
+				if _, _, err := s.Synthesize(context.Background(), g); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -96,7 +97,7 @@ func BenchmarkFigure6PUNT(b *testing.B) {
 			g := benchgen.MullerPipelineWithSignals(signals)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := core.New(core.Options{}).Synthesize(g); err != nil {
+				if _, _, err := core.New(core.Options{}).Synthesize(context.Background(), g); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -115,7 +116,7 @@ func BenchmarkFigure6SIS(b *testing.B) {
 			s := &baseline.ExplicitSynthesizer{MaxStates: 2000000}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := s.Synthesize(g); err != nil {
+				if _, _, err := s.Synthesize(context.Background(), g); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -134,7 +135,7 @@ func BenchmarkFigure6Petrify(b *testing.B) {
 			s := &baseline.SymbolicSynthesizer{MaxNodes: 8000000}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := s.Synthesize(g); err != nil {
+				if _, _, err := s.Synthesize(context.Background(), g); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -146,7 +147,7 @@ func BenchmarkCounterflowPUNT(b *testing.B) {
 	g := benchgen.CounterflowPipeline()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := core.New(core.Options{}).Synthesize(g); err != nil {
+		if _, _, err := core.New(core.Options{}).Synthesize(context.Background(), g); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -158,7 +159,7 @@ func BenchmarkUnfoldOnly(b *testing.B) {
 	g := benchgen.MullerPipelineWithSignals(50)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := unfolding.Build(g, unfolding.Options{}); err != nil {
+		if _, err := unfolding.Build(context.Background(), g, unfolding.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -171,7 +172,7 @@ func BenchmarkExactMode(b *testing.B) {
 	g := benchgen.MullerPipelineWithSignals(12)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := core.New(core.Options{Mode: core.Exact}).Synthesize(g); err != nil {
+		if _, _, err := core.New(core.Options{Mode: core.Exact}).Synthesize(context.Background(), g); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -181,8 +182,36 @@ func BenchmarkApproximateMode(b *testing.B) {
 	g := benchgen.MullerPipelineWithSignals(12)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := core.New(core.Options{}).Synthesize(g); err != nil {
+		if _, _, err := core.New(core.Options{}).Synthesize(context.Background(), g); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFacadePipeline measures the full public-API path — Parse followed
+// by New().Synthesize — on a mid-size pipeline, so the perf trajectory tracks
+// the overhead of the facade itself next to the raw-core numbers above.
+func BenchmarkFacadePipeline(b *testing.B) {
+	text := MullerPipelineWithSignals(22).Text()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec, err := Parse(text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := New().Synthesize(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchTable1 measures the worker-pool driver on the paper's suite.
+func BenchmarkBatchTable1(b *testing.B) {
+	items := Table1()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, sum := New().Batch(context.Background(), items); sum.Failed != 0 {
+			b.Fatalf("batch failed: %+v", sum)
 		}
 	}
 }

@@ -7,15 +7,19 @@
 //
 //	benchtab -table1
 //	benchtab -figure6 [-signals 5,8,12,22,32,50]
+//	benchtab -facade
 //	benchtab -table1 -figure6 -quick
 //	benchtab -table1 -figure6 -json results.json
 //
 // With -json the measurements are additionally written as an indented JSON
 // report ("-" = stdout), giving successive runs a machine-readable perf
-// trajectory to diff against.
+// trajectory to diff against; the report then always includes the end-to-end
+// facade benchmark (parse → synthesize through the public punt API), so the
+// trajectory tracks public-API overhead next to the raw cores.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,39 +27,42 @@ import (
 	"strings"
 	"time"
 
-	"punt/internal/benchgen"
-	"punt/internal/experiments"
+	"punt/bench"
 )
 
 func main() {
 	table1 := flag.Bool("table1", false, "reproduce Table 1")
 	figure6 := flag.Bool("figure6", false, "reproduce the Figure 6 scaling series")
+	facade := flag.Bool("facade", false, "measure the end-to-end public-API pipeline (implied by -json)")
 	quick := flag.Bool("quick", false, "use small resource budgets so the whole run finishes quickly")
 	skipBaselines := flag.Bool("punt-only", false, "run only the unfolding-based flow (no baselines)")
 	signalsFlag := flag.String("signals", "", "comma-separated pipeline sizes (signal counts) for -figure6")
+	facadeRuns := flag.Int("facade-runs", 5, "how many runs the facade benchmark averages over")
 	jsonOut := flag.String("json", "", `also write the measurements as JSON to this file ("-" = stdout)`)
 	flag.Parse()
-	if !*table1 && !*figure6 {
-		fmt.Fprintln(os.Stderr, "usage: benchtab [-table1] [-figure6] [flags]")
+	if !*table1 && !*figure6 && !*facade && *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchtab [-table1] [-figure6] [-facade] [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 
-	var rows []experiments.Table1Row
-	var points []experiments.Figure6Point
+	ctx := context.Background()
+	var rows []bench.Table1Row
+	var points []bench.Figure6Point
+	var facadePoints []bench.FacadePoint
 	if *table1 {
-		opts := experiments.Table1Options{SkipBaselines: *skipBaselines}
+		opts := bench.Table1Options{SkipBaselines: *skipBaselines}
 		if *quick {
 			opts.MaxStates = 100000
 			opts.MaxNodes = 500000
 		}
-		rows = experiments.RunTable1(benchgen.Table1Suite(), opts)
+		rows = bench.RunTable1(ctx, opts)
 		fmt.Println("Table 1: synthesis of the benchmark suite (PUNT ACG vs. state-graph baselines)")
-		fmt.Print(experiments.FormatTable1(rows))
+		fmt.Print(bench.FormatTable1(rows))
 		fmt.Println()
 	}
 	if *figure6 {
-		opts := experiments.Figure6Options{
+		opts := bench.Figure6Options{
 			SkipBaselines:      *skipBaselines,
 			IncludeCounterflow: true,
 		}
@@ -76,12 +83,27 @@ func main() {
 				opts.Signals = []int{5, 8, 12, 17, 22}
 			}
 		}
-		points = experiments.RunFigure6(opts)
+		points = bench.RunFigure6(ctx, opts)
 		fmt.Println("Figure 6: synthesis time vs. number of signals (Muller pipeline; last row = counterflow pipeline)")
-		fmt.Print(experiments.FormatFigure6(points))
+		fmt.Print(bench.FormatFigure6(points))
+		fmt.Println()
+	}
+	if *facade || *jsonOut != "" {
+		runs := *facadeRuns
+		if *quick && runs > 2 {
+			runs = 2
+		}
+		var err error
+		facadePoints, err = bench.RunFacade(ctx, runs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("Facade: end-to-end public-API pipeline (parse + synthesize via punt.Synthesizer)")
+		fmt.Print(bench.FormatFacade(facadePoints))
 	}
 	if *jsonOut != "" {
-		report := experiments.NewReport(rows, points, time.Now())
+		report := bench.NewReport(rows, points, facadePoints, time.Now())
 		if err := writeReport(*jsonOut, report); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
@@ -93,15 +115,15 @@ func main() {
 // file's Close error is reported: on a full disk the write failure may only
 // surface at Close, and a silently truncated report would corrupt the perf
 // trajectory.
-func writeReport(path string, r experiments.Report) error {
+func writeReport(path string, r bench.Report) error {
 	if path == "-" {
-		return experiments.WriteJSON(os.Stdout, r)
+		return bench.WriteJSON(os.Stdout, r)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := experiments.WriteJSON(f, r); err != nil {
+	if err := bench.WriteJSON(f, r); err != nil {
 		f.Close()
 		return err
 	}

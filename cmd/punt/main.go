@@ -11,69 +11,71 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"punt/internal/core"
-	"punt/internal/gatelib"
-	"punt/internal/stg"
+	"punt"
+	"punt/gates"
 )
 
 func main() {
-	exact := flag.Bool("exact", false, "derive exact covers by slice enumeration instead of approximation")
-	archName := flag.String("arch", "complex-gate", "implementation architecture: complex-gate, standard-c or rs-latch")
-	verilog := flag.Bool("verilog", false, "emit a behavioural Verilog module instead of boolean equations")
-	stats := flag.Bool("stats", false, "print the synthesis time breakdown (UnfTim/SynTim/EspTim)")
-	maxEvents := flag.Int("max-events", 0, "abort if the unfolding segment exceeds this many events (0 = default)")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: punt [flags] file.g")
-		flag.PrintDefaults()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it drives the whole command through the
+// public punt facade and returns the process exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("punt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exact := fs.Bool("exact", false, "derive exact covers by slice enumeration instead of approximation")
+	archName := fs.String("arch", "complex-gate", "implementation architecture: complex-gate, standard-c or rs-latch")
+	verilog := fs.Bool("verilog", false, "emit a behavioural Verilog module instead of boolean equations")
+	stats := fs.Bool("stats", false, "print the synthesis time breakdown (UnfTim/SynTim/EspTim)")
+	maxEvents := fs.Int("max-events", 0, "abort if the unfolding segment exceeds this many events (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: punt [flags] file.g")
+		fs.PrintDefaults()
+		return 2
 	}
 
-	g, err := readSTG(flag.Arg(0))
+	arch, err := gates.ParseArchitecture(*archName)
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
-	var arch gatelib.Architecture
-	switch *archName {
-	case "complex-gate":
-		arch = gatelib.ComplexGate
-	case "standard-c":
-		arch = gatelib.StandardC
-	case "rs-latch":
-		arch = gatelib.RSLatch
-	default:
-		fail(fmt.Errorf("unknown architecture %q", *archName))
+	spec, err := punt.LoadFileFrom(fs.Arg(0), stdin)
+	if err != nil {
+		return fail(stderr, err)
 	}
-	mode := core.Approximate
+	opts := []punt.Option{punt.WithArch(arch), punt.WithMaxEvents(*maxEvents)}
 	if *exact {
-		mode = core.Exact
+		opts = append(opts, punt.WithMode(punt.Exact))
 	}
-	im, st, err := core.New(core.Options{Mode: mode, Arch: arch, MaxEvents: *maxEvents}).Synthesize(g)
+	res, err := punt.New(opts...).Synthesize(context.Background(), spec)
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
 	if *stats {
-		fmt.Fprintf(os.Stderr, "%s\n", st)
+		fmt.Fprintf(stderr, "%s\n", &res.Stats)
 	}
 	if *verilog {
-		fmt.Print(im.Verilog())
+		fmt.Fprint(stdout, res.Verilog())
 	} else {
-		fmt.Print(im.Eqn())
+		fmt.Fprint(stdout, res.Eqn())
 	}
+	return 0
 }
 
-func readSTG(path string) (*stg.STG, error) {
-	if path == "-" {
-		return stg.Parse(os.Stdin)
-	}
-	return stg.ParseFile(path)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "punt:", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "punt:", err)
+	return 1
 }

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The CLI golden tests drive the whole command in-process through run(),
+// which exercises exactly the public facade path a user's shell invocation
+// takes: flag parsing, LoadFile/stdin, the Synthesizer and the emitters.
+
+const fig1Eqn = "# implementation of paper-fig1 (2 literals)\nb = a + c\n"
+
+func runCmd(t *testing.T, args []string, stdin string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestEquationsGolden(t *testing.T) {
+	code, stdout, stderr := runCmd(t, []string{"../../testdata/fig1.g"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if stdout != fig1Eqn {
+		t.Errorf("stdout = %q, want the Figure 1 cover b = a + c:\n%q", stdout, fig1Eqn)
+	}
+}
+
+func TestVerilogFlag(t *testing.T) {
+	code, stdout, stderr := runCmd(t, []string{"-verilog", "../../testdata/fig1.g"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"module paper_fig1", "assign b = (a) | (c);", "endmodule"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("verilog output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	code, stdout, stderr := runCmd(t, []string{"-stats", "../../testdata/fig1.g"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if stdout != fig1Eqn {
+		t.Errorf("equations must still go to stdout, got %q", stdout)
+	}
+	// The paper's Figure 1 segment has 8 events and 2 cut-offs.
+	for _, want := range []string{"events=8", "cutoffs=2"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stats output missing %q: %s", want, stderr)
+		}
+	}
+}
+
+func TestExactModeMatchesApproximate(t *testing.T) {
+	code, stdout, stderr := runCmd(t, []string{"-exact", "../../testdata/fig1.g"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if stdout != fig1Eqn {
+		t.Errorf("-exact changed the Figure 1 cover: %q", stdout)
+	}
+}
+
+func TestStdinDash(t *testing.T) {
+	spec := `
+.model tiny
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.initial_state 00
+.end
+`
+	code, stdout, stderr := runCmd(t, []string{"-"}, spec)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "b = a") {
+		t.Errorf("stdin synthesis output: %q", stdout)
+	}
+}
+
+func TestNonSemiModularErrorExit(t *testing.T) {
+	code, stdout, stderr := runCmd(t, []string{"../../testdata/nonsm.g"}, "")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout: %s", code, stdout)
+	}
+	if stdout != "" {
+		t.Errorf("no implementation must be printed on failure, got %q", stdout)
+	}
+	if !strings.Contains(stderr, "not semi-modular") {
+		t.Errorf("stderr should report the semi-modularity violation: %s", stderr)
+	}
+}
+
+func TestBadArchitectureAndUsageExits(t *testing.T) {
+	if code, _, stderr := runCmd(t, []string{"-arch", "nand-only", "../../testdata/fig1.g"}, ""); code != 1 ||
+		!strings.Contains(stderr, "unknown architecture") {
+		t.Errorf("bad -arch: exit=%d stderr=%s", code, stderr)
+	}
+	if code, _, _ := runCmd(t, nil, ""); code != 2 {
+		t.Errorf("missing file argument must exit 2, got %d", code)
+	}
+	if code, _, stderr := runCmd(t, []string{"no-such-file.g"}, ""); code != 1 ||
+		!strings.Contains(stderr, "no-such-file.g") {
+		t.Errorf("missing file: exit=%d stderr=%s", code, stderr)
+	}
+}

@@ -1,7 +1,7 @@
 // Command sgsynth synthesises a speed-independent circuit from an STG using
 // the state-graph-based baseline flows: explicit enumeration (SIS-like) or
 // symbolic BDD-based reachability (Petrify-like).  It exists to compare
-// against the unfolding-based punt command.
+// against the unfolding-based punt command; both drive the same public API.
 //
 // Usage:
 //
@@ -9,76 +9,76 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"punt/internal/baseline"
-	"punt/internal/gatelib"
-	"punt/internal/stg"
+	"punt"
+	"punt/gates"
 )
 
 func main() {
-	symbolic := flag.Bool("symbolic", false, "use the BDD-based symbolic flow instead of explicit enumeration")
-	archName := flag.String("arch", "complex-gate", "implementation architecture: complex-gate, standard-c or rs-latch")
-	verilog := flag.Bool("verilog", false, "emit a behavioural Verilog module instead of boolean equations")
-	stats := flag.Bool("stats", false, "print the synthesis time breakdown")
-	maxStates := flag.Int("max-states", 0, "abort explicit enumeration beyond this many states (0 = unlimited)")
-	maxNodes := flag.Int("max-nodes", 0, "abort symbolic reachability beyond this many BDD nodes (0 = unlimited)")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: sgsynth [flags] file.g")
-		flag.PrintDefaults()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sgsynth", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	symbolic := fs.Bool("symbolic", false, "use the BDD-based symbolic flow instead of explicit enumeration")
+	archName := fs.String("arch", "complex-gate", "implementation architecture: complex-gate, standard-c or rs-latch")
+	verilog := fs.Bool("verilog", false, "emit a behavioural Verilog module instead of boolean equations")
+	stats := fs.Bool("stats", false, "print the synthesis time breakdown")
+	maxStates := fs.Int("max-states", 0, "abort explicit enumeration beyond this many states (0 = unlimited)")
+	maxNodes := fs.Int("max-nodes", 0, "abort symbolic reachability beyond this many BDD nodes (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
-	g, err := readSTG(flag.Arg(0))
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: sgsynth [flags] file.g")
+		fs.PrintDefaults()
+		return 2
+	}
+
+	arch, err := gates.ParseArchitecture(*archName)
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
-	var arch gatelib.Architecture
-	switch *archName {
-	case "complex-gate":
-		arch = gatelib.ComplexGate
-	case "standard-c":
-		arch = gatelib.StandardC
-	case "rs-latch":
-		arch = gatelib.RSLatch
-	default:
-		fail(fmt.Errorf("unknown architecture %q", *archName))
+	spec, err := punt.LoadFileFrom(fs.Arg(0), stdin)
+	if err != nil {
+		return fail(stderr, err)
 	}
-	var (
-		im  *gatelib.Implementation
-		st  *baseline.Stats
-		rer error
-	)
+	engine := punt.Explicit
 	if *symbolic {
-		s := &baseline.SymbolicSynthesizer{Arch: arch, MaxNodes: *maxNodes}
-		im, st, rer = s.Synthesize(g)
-	} else {
-		s := &baseline.ExplicitSynthesizer{Arch: arch, MaxStates: *maxStates}
-		im, st, rer = s.Synthesize(g)
+		engine = punt.Symbolic
 	}
-	if rer != nil {
-		fail(rer)
+	res, err := punt.New(
+		punt.WithBaseline(engine),
+		punt.WithArch(arch),
+		punt.WithMaxStates(*maxStates),
+		punt.WithMaxNodes(*maxNodes),
+	).Synthesize(context.Background(), spec)
+	if err != nil {
+		return fail(stderr, err)
 	}
 	if *stats {
-		fmt.Fprintf(os.Stderr, "%s\n", st)
+		fmt.Fprintf(stderr, "%s\n", &res.Stats)
 	}
 	if *verilog {
-		fmt.Print(im.Verilog())
+		fmt.Fprint(stdout, res.Verilog())
 	} else {
-		fmt.Print(im.Eqn())
+		fmt.Fprint(stdout, res.Eqn())
 	}
+	return 0
 }
 
-func readSTG(path string) (*stg.STG, error) {
-	if path == "-" {
-		return stg.Parse(os.Stdin)
-	}
-	return stg.ParseFile(path)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "sgsynth:", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "sgsynth:", err)
+	return 1
 }

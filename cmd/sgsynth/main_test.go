@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// In-process golden tests for the baseline CLI: both state-graph flows must
+// reproduce the Figure 1 cover through the facade, and CSC violations must
+// exit non-zero with a diagnostic.
+
+const fig1Eqn = "# implementation of paper-fig1 (2 literals)\nb = a + c\n"
+
+func runCmd(t *testing.T, args []string, stdin string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExplicitGolden(t *testing.T) {
+	code, stdout, stderr := runCmd(t, []string{"../../testdata/fig1.g"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if stdout != fig1Eqn {
+		t.Errorf("explicit flow: stdout = %q, want %q", stdout, fig1Eqn)
+	}
+}
+
+func TestSymbolicGoldenWithStats(t *testing.T) {
+	code, stdout, stderr := runCmd(t, []string{"-symbolic", "-stats", "../../testdata/fig1.g"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if stdout != fig1Eqn {
+		t.Errorf("symbolic flow: stdout = %q, want %q", stdout, fig1Eqn)
+	}
+	// Figure 1 has 8 reachable states; the stats line must carry the engine
+	// name and the state count.
+	for _, want := range []string{"engine=symbolic", "states=8"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stats output missing %q: %s", want, stderr)
+		}
+	}
+}
+
+func TestVerilogFlag(t *testing.T) {
+	code, stdout, stderr := runCmd(t, []string{"-verilog", "../../testdata/fig1.g"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "module paper_fig1") || !strings.Contains(stdout, "endmodule") {
+		t.Errorf("verilog output: %s", stdout)
+	}
+}
+
+func TestCSCConflictErrorExit(t *testing.T) {
+	for _, flow := range [][]string{
+		{"../../testdata/csc.g"},
+		{"-symbolic", "../../testdata/csc.g"},
+	} {
+		code, stdout, stderr := runCmd(t, flow, "")
+		if code != 1 {
+			t.Fatalf("%v: exit = %d, want 1; stdout: %s", flow, code, stdout)
+		}
+		if !strings.Contains(stderr, "CSC") {
+			t.Errorf("%v: stderr should name the CSC conflict: %s", flow, stderr)
+		}
+	}
+}
+
+func TestStateLimitErrorExit(t *testing.T) {
+	code, _, stderr := runCmd(t, []string{"-max-states", "3", "../../testdata/fig1.g"}, "")
+	if code != 1 || !strings.Contains(stderr, "limit") {
+		t.Errorf("state limit: exit=%d stderr=%s", code, stderr)
+	}
+}

@@ -10,59 +10,62 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"punt/internal/stategraph"
-	"punt/internal/stg"
-	"punt/internal/unfolding"
+	"punt"
 )
 
 func main() {
-	maxStates := flag.Int("max-states", 1000000, "abort state graph construction beyond this many states")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: stginfo [flags] file.g")
-		flag.PrintDefaults()
-		os.Exit(2)
-	}
-	g, err := readSTG(flag.Arg(0))
-	if err != nil {
-		fail(err)
-	}
-	fmt.Print(stg.Describe(g))
-	net := g.Net()
-	fmt.Printf("marked graph: %v, free choice: %v\n", net.IsMarkedGraph(), net.IsFreeChoice())
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	u, err := unfolding.Build(g, unfolding.Options{})
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("stginfo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	maxStates := fs.Int("max-states", 1000000, "abort state graph construction beyond this many states")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: stginfo [flags] file.g")
+		fs.PrintDefaults()
+		return 2
+	}
+	spec, err := punt.LoadFileFrom(fs.Arg(0), stdin)
 	if err != nil {
-		fmt.Printf("unfolding: failed: %v\n", err)
+		fmt.Fprintln(stderr, "stginfo:", err)
+		return 1
+	}
+	ctx := context.Background()
+	fmt.Fprint(stdout, spec.Describe())
+	fmt.Fprintf(stdout, "marked graph: %v, free choice: %v\n", spec.IsMarkedGraph(), spec.IsFreeChoice())
+
+	seg, err := punt.Unfold(ctx, spec)
+	if err != nil {
+		fmt.Fprintf(stdout, "unfolding: failed: %v\n", err)
 	} else {
-		fmt.Printf("unfolding segment: %s\n", u.Statistics())
-		if v := u.CheckSemiModularity(); len(v) > 0 {
-			fmt.Printf("unfolding semi-modularity: %d potential violations (first: %s)\n", len(v), v[0])
+		fmt.Fprintf(stdout, "unfolding segment: %s\n", seg.Stats())
+		if v := seg.SemiModularityViolations(); len(v) > 0 {
+			fmt.Fprintf(stdout, "unfolding semi-modularity: %d potential violations (first: %s)\n", len(v), v[0])
 		} else {
-			fmt.Println("unfolding semi-modularity: ok")
+			fmt.Fprintln(stdout, "unfolding semi-modularity: ok")
 		}
 	}
 
-	sg, err := stategraph.Build(g, stategraph.Options{MaxStates: *maxStates})
+	sg, err := punt.BuildStateGraph(ctx, spec, punt.WithMaxStates(*maxStates))
 	if err != nil {
-		fmt.Printf("state graph: failed: %v\n", err)
-		return
+		fmt.Fprintf(stdout, "state graph: failed: %v\n", err)
+		return 0
 	}
-	fmt.Print(sg.Report())
-}
-
-func readSTG(path string) (*stg.STG, error) {
-	if path == "-" {
-		return stg.Parse(os.Stdin)
-	}
-	return stg.ParseFile(path)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "stginfo:", err)
-	os.Exit(1)
+	fmt.Fprint(stdout, sg.Report())
+	return 0
 }

@@ -8,41 +8,46 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"punt/internal/stg"
-	"punt/internal/unfolding"
+	"punt"
 )
 
 func main() {
-	maxEvents := flag.Int("max-events", 0, "abort if the segment exceeds this many events (0 = default)")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: unfdump [flags] file.g")
-		flag.PrintDefaults()
-		os.Exit(2)
-	}
-	g, err := readSTG(flag.Arg(0))
-	if err != nil {
-		fail(err)
-	}
-	u, err := unfolding.Build(g, unfolding.Options{MaxEvents: *maxEvents})
-	if err != nil {
-		fail(err)
-	}
-	fmt.Print(u.Dump())
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func readSTG(path string) (*stg.STG, error) {
-	if path == "-" {
-		return stg.Parse(os.Stdin)
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("unfdump", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	maxEvents := fs.Int("max-events", 0, "abort if the segment exceeds this many events (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
-	return stg.ParseFile(path)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "unfdump:", err)
-	os.Exit(1)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: unfdump [flags] file.g")
+		fs.PrintDefaults()
+		return 2
+	}
+	spec, err := punt.LoadFileFrom(fs.Arg(0), stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "unfdump:", err)
+		return 1
+	}
+	seg, err := punt.Unfold(context.Background(), spec, punt.WithMaxEvents(*maxEvents))
+	if err != nil {
+		fmt.Fprintln(stderr, "unfdump:", err)
+		return 1
+	}
+	fmt.Fprint(stdout, seg.Dump())
+	return 0
 }

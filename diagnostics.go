@@ -1,0 +1,213 @@
+package punt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"punt/internal/baseline"
+	"punt/internal/core"
+	"punt/internal/stategraph"
+	"punt/internal/unfolding"
+)
+
+// Sentinel errors of the public API.  The first three are re-exported from
+// the engine packages, so errors.Is works on errors that cross the facade in
+// either direction; the remaining two unify failure classes that the engines
+// report with distinct types.
+var (
+	// ErrNotSafe: the underlying Petri net is not 1-safe.
+	ErrNotSafe = unfolding.ErrNotSafe
+	// ErrEventLimit: the unfolding segment exceeded its event budget.
+	ErrEventLimit = unfolding.ErrEventLimit
+	// ErrNotSemiModular: the specification violates semi-modularity (output
+	// persistency) and has no hazard-free speed-independent implementation.
+	ErrNotSemiModular = core.ErrNotSemiModular
+	// ErrCSC: the specification violates Complete State Coding; matched by
+	// CSC conflicts from the unfolding flow and from both baselines.
+	ErrCSC = errors.New("punt: specification has a Complete State Coding conflict")
+	// ErrLimit: a state, node or event resource budget was exceeded; matched
+	// by every flavour of resource exhaustion, ErrEventLimit included.
+	ErrLimit = errors.New("punt: resource limit exceeded")
+)
+
+// DiagKind classifies a Diagnostic.
+type DiagKind int
+
+// Diagnostic kinds.
+const (
+	KindUnknown DiagKind = iota
+	// KindParse: the ".g" input could not be parsed or finalised.
+	KindParse
+	// KindNotSafe: the net is not 1-safe.
+	KindNotSafe
+	// KindInconsistent: the specification violates consistent state
+	// assignment (a signal rises when already 1, or a marking is reachable
+	// with two codes).
+	KindInconsistent
+	// KindNotSemiModular: an excited output signal can be disabled.
+	KindNotSemiModular
+	// KindCSC: two reachable states share a binary code but disagree on the
+	// excited outputs.
+	KindCSC
+	// KindLimit: an event/state/node resource budget was exceeded.
+	KindLimit
+	// KindCanceled: the context was cancelled or its deadline expired.
+	KindCanceled
+)
+
+// String names the kind.
+func (k DiagKind) String() string {
+	switch k {
+	case KindParse:
+		return "parse error"
+	case KindNotSafe:
+		return "not safe"
+	case KindInconsistent:
+		return "inconsistent state assignment"
+	case KindNotSemiModular:
+		return "not semi-modular"
+	case KindCSC:
+		return "CSC conflict"
+	case KindLimit:
+		return "resource limit"
+	case KindCanceled:
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
+// Diagnostic is the structured error type of the public API: every failing
+// facade operation returns one (possibly wrapping a lower-level engine
+// error), so callers branch on Kind or on the offending Signal/Place/Trace
+// instead of parsing error strings.
+//
+// errors.Is continues to work through a Diagnostic: the wrapped engine error
+// is reachable via Unwrap, and the unified sentinels ErrCSC and ErrLimit are
+// matched by Kind.
+type Diagnostic struct {
+	// Op is the facade operation that failed: "parse", "load", "synthesize",
+	// "unfold" or "stategraph".
+	Op string
+	// Spec names the specification, when known.
+	Spec string
+	// Kind classifies the failure.
+	Kind DiagKind
+	// Signal is the offending signal name, when the failure pins one down
+	// (CSC conflicts, inconsistency on a signal edge).
+	Signal string
+	// Place is the offending place name, when one is known (safeness
+	// violations, shared conflict places of persistency violations).
+	Place string
+	// Trace lists the offending transitions/events leading to the failure,
+	// when known: the overloading transition of a safeness violation, the
+	// inconsistent transition, or the disabled/disabling event pairs of a
+	// semi-modularity violation.
+	Trace []string
+	// Err is the underlying engine error.
+	Err error
+}
+
+// Error renders the diagnostic.
+func (d *Diagnostic) Error() string {
+	var sb strings.Builder
+	sb.WriteString("punt: ")
+	if d.Op != "" {
+		sb.WriteString(d.Op)
+	}
+	if d.Spec != "" {
+		fmt.Fprintf(&sb, " %s", d.Spec)
+	}
+	sb.WriteString(": ")
+	if d.Err != nil {
+		sb.WriteString(d.Err.Error())
+	} else {
+		sb.WriteString(d.Kind.String())
+	}
+	return sb.String()
+}
+
+// Unwrap exposes the underlying engine error to errors.Is/errors.As.
+func (d *Diagnostic) Unwrap() error { return d.Err }
+
+// Is matches the unified sentinels that the engine errors cannot reach
+// through the Unwrap chain alone.
+func (d *Diagnostic) Is(target error) bool {
+	switch target {
+	case ErrCSC:
+		return d.Kind == KindCSC
+	case ErrLimit:
+		return d.Kind == KindLimit
+	default:
+		return false
+	}
+}
+
+// diagnose wraps an engine error into a Diagnostic, extracting structure from
+// the typed errors the engines report.  A nil err returns nil; an error that
+// already is a Diagnostic is returned unchanged.
+func diagnose(op, spec string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var prior *Diagnostic
+	if errors.As(err, &prior) {
+		return err
+	}
+	d := &Diagnostic{Op: op, Spec: spec, Kind: KindUnknown, Err: err}
+
+	var (
+		unsafeErr   *unfolding.UnsafeError
+		unfIncons   *unfolding.InconsistencyError
+		sgIncons    *stategraph.InconsistencyError
+		smErr       *core.SemiModularityError
+		coreCSC     *core.CSCError
+		baselineCSC *baseline.CSCError
+	)
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		d.Kind = KindCanceled
+	case errors.As(err, &unsafeErr):
+		d.Kind = KindNotSafe
+		d.Place = unsafeErr.Place
+		if unsafeErr.Transition != "" {
+			d.Trace = []string{unsafeErr.Transition}
+		}
+	case errors.As(err, &unfIncons):
+		d.Kind = KindInconsistent
+		d.Trace = []string{unfIncons.Transition}
+	case errors.As(err, &sgIncons):
+		d.Kind = KindInconsistent
+		d.Trace = []string{sgIncons.Transition}
+	case errors.As(err, &smErr):
+		d.Kind = KindNotSemiModular
+		if len(smErr.Violations) > 0 {
+			d.Place = smErr.Violations[0].Place
+		}
+		for _, v := range smErr.Violations {
+			d.Trace = append(d.Trace, v.String())
+		}
+	case errors.As(err, &coreCSC):
+		d.Kind = KindCSC
+		d.Signal = coreCSC.Signal
+	case errors.As(err, &baselineCSC):
+		d.Kind = KindCSC
+		d.Signal = baselineCSC.Signal
+		if baselineCSC.Conflict != "" {
+			d.Trace = []string{baselineCSC.Conflict}
+		}
+	case errors.Is(err, unfolding.ErrEventLimit),
+		errors.Is(err, baseline.ErrLimit),
+		errors.Is(err, stategraph.ErrStateLimit):
+		d.Kind = KindLimit
+	case errors.Is(err, unfolding.ErrNotSafe):
+		d.Kind = KindNotSafe
+	case errors.Is(err, core.ErrNotSemiModular):
+		d.Kind = KindNotSemiModular
+	case errors.Is(err, baseline.ErrCSC):
+		d.Kind = KindCSC
+	}
+	return d
+}

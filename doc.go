@@ -11,6 +11,19 @@
 // the baselines the paper compares against, together with the benchmark
 // generators and the harness that regenerates Table 1 and Figure 6.
 //
+// This package is the public facade over the whole flow.  Load, LoadFile and
+// Parse read ".g" specifications into an immutable Spec; New builds a
+// Synthesizer from functional options (WithMode, WithArch, WithBaseline,
+// resource budgets, WithProgress); Synthesize(ctx, spec) runs the configured
+// engine under context cancellation and returns a Result with the gate-level
+// implementation (see punt/gates) and Table-1-style Stats.  Batch drives many
+// specifications through a bounded worker pool with per-item error isolation.
+// Failures are structured *Diagnostic values carrying the offending signal,
+// place and trace, matchable against the package sentinels (ErrNotSafe,
+// ErrEventLimit, ErrNotSemiModular, ErrCSC, ErrLimit) with errors.Is.
+// Unfold and BuildStateGraph expose the segment and the explicit state graph
+// for analysis; punt/bench re-runs the paper's evaluation.
+//
 // The segment builder (internal/unfolding) is the hot path of the system and
 // is engineered accordingly: events carry their cut, marking and binary code
 // computed incrementally from their preset producers rather than by replaying
@@ -20,6 +33,5 @@
 // of internal/unfolding for details, and cmd/benchtab's -json flag for the
 // machine-readable perf trajectory the benchmarks are tracked with.
 //
-// See README.md for the layout, DESIGN.md for the system inventory and
-// EXPERIMENTS.md for the reproduced evaluation.
+// See README.md for the layout, a quickstart and the CLI overview.
 package punt

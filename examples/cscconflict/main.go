@@ -1,73 +1,111 @@
 // cscconflict: what happens when a specification violates Complete State
 // Coding.
 //
-// The program builds a controller in which the same input performs two
+// The program parses a controller in which the same input performs two
 // successive handshakes with two different outputs.  The specification is
 // consistent, safe and semi-modular, yet it cannot be implemented as a
 // speed-independent circuit: two reachable states carry the same binary code
 // but require different output behaviour.  The example shows how the
-// unfolding-based flow reports the conflict (after refining its approximated
-// covers to exact ones) and how the state-graph analysis pinpoints the pair
-// of conflicting states.  It then repairs the specification by inserting an
-// internal state signal and synthesises the corrected controller.
+// unfolding-based flow reports the conflict through the structured
+// *punt.Diagnostic (after refining its approximated covers to exact ones) and
+// how the state-graph analysis pinpoints the pair of conflicting states.  It
+// then repairs the specification by inserting an internal state signal and
+// synthesises the corrected controller.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
 
-	"punt/internal/core"
-	"punt/internal/stategraph"
-	"punt/internal/stg"
+	"punt"
 )
 
-func broken() *stg.STG {
-	b := stg.NewBuilder("csc-broken")
-	b.Inputs("req").Outputs("out1", "out2")
-	b.Chain("req+", "out1+", "req-", "out1-", "req+/2", "out2+", "req-/2", "out2-")
-	b.Arc("out2-", "req+").MarkBetween("out2-", "req+")
-	b.InitialState("000")
-	return b.MustBuild()
-}
+// The broken controller: input req handshakes first with out1, then with
+// out2, with no state signal distinguishing the two phases.
+const brokenSpec = `
+.model csc-broken
+.inputs req
+.outputs out1 out2
+.graph
+req+ out1+
+out1+ req-
+req- out1-
+out1- req+/2
+req+/2 out2+
+out2+ req-/2
+req-/2 out2-
+out2- req+
+.marking { <out2-,req+> }
+.initial_state 000
+.end
+`
 
-// repaired inserts an internal signal x that distinguishes the first
+// The repaired controller: an internal signal x distinguishes the first
 // handshake from the second (the standard CSC repair by signal insertion the
 // paper mentions in Section 2.2).
-func repaired() *stg.STG {
-	b := stg.NewBuilder("csc-repaired")
-	b.Inputs("req").Outputs("out1", "out2").Internals("x")
-	b.Chain("req+", "out1+", "x+", "req-", "out1-", "req+/2", "out2+", "x-", "req-/2", "out2-")
-	b.Arc("out2-", "req+").MarkBetween("out2-", "req+")
-	b.InitialState("0000")
-	return b.MustBuild()
-}
+const repairedSpec = `
+.model csc-repaired
+.inputs req
+.outputs out1 out2
+.internal x
+.graph
+req+ out1+
+out1+ x+
+x+ req-
+req- out1-
+out1- req+/2
+req+/2 out2+
+out2+ x-
+x- req-/2
+req-/2 out2-
+out2- req+
+.marking { <out2-,req+> }
+.initial_state 0000
+.end
+`
 
 func main() {
-	g := broken()
-	fmt.Println("synthesising the broken controller...")
-	_, _, err := core.New(core.Options{}).Synthesize(g)
-	var csc *core.CSCError
-	if errors.As(err, &csc) {
-		fmt.Printf("unfolding-based flow: %v\n", err)
-	} else if err != nil {
-		log.Fatalf("unexpected error: %v", err)
-	} else {
-		log.Fatal("the broken controller should not be synthesisable")
-	}
-
-	sg, err := stategraph.Build(broken(), stategraph.Options{})
+	ctx := context.Background()
+	broken, err := punt.Parse(brokenSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	conflicts := sg.CheckCSC()
+
+	fmt.Println("synthesising the broken controller...")
+	_, err = punt.New().Synthesize(ctx, broken)
+	var diag *punt.Diagnostic
+	switch {
+	case errors.As(err, &diag) && diag.Kind == punt.KindCSC:
+		fmt.Printf("unfolding-based flow: %v\n", err)
+		fmt.Printf("structured diagnostic: kind=%v signal=%q\n", diag.Kind, diag.Signal)
+	case err != nil:
+		log.Fatalf("unexpected error: %v", err)
+	default:
+		log.Fatal("the broken controller should not be synthesisable")
+	}
+	// The same failure also matches the package sentinel:
+	if !errors.Is(err, punt.ErrCSC) {
+		log.Fatal("the diagnostic should match punt.ErrCSC")
+	}
+
+	sg, err := punt.BuildStateGraph(ctx, broken)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conflicts := sg.CSCConflicts()
 	fmt.Printf("state graph analysis: %d CSC conflict(s); first: %s\n\n", len(conflicts), conflicts[0])
 
 	fmt.Println("synthesising the repaired controller (internal signal x inserted)...")
-	im, stats, err := core.New(core.Options{}).Synthesize(repaired())
+	repaired, err := punt.Parse(repairedSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := punt.New().Synthesize(ctx, repaired)
 	if err != nil {
 		log.Fatalf("repaired controller failed: %v", err)
 	}
-	fmt.Printf("success: %d literals, segment of %d events\n\n", im.Literals(), stats.Events)
-	fmt.Print(im.Eqn())
+	fmt.Printf("success: %d literals, segment of %d events\n\n", res.Literals(), res.Stats.Events)
+	fmt.Print(res.Eqn())
 }

@@ -10,15 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
-	"punt/internal/core"
-	"punt/internal/gatelib"
-	"punt/internal/stategraph"
-	"punt/internal/stg"
-	"punt/internal/unfolding"
+	"punt"
+	"punt/gates"
 )
 
 // A small memory-read controller: the processor (pr) requests a read, the
@@ -45,39 +43,40 @@ func main() {
 	path := flag.String("file", "", "path to a .g file (default: a built-in read controller)")
 	flag.Parse()
 
-	var g *stg.STG
+	var spec *punt.Spec
 	var err error
 	if *path != "" {
-		g, err = stg.ParseFile(*path)
+		spec, err = punt.LoadFile(*path)
 	} else {
-		g, err = stg.ParseString(defaultSpec)
+		spec, err = punt.Parse(defaultSpec)
 	}
 	if err != nil {
 		log.Fatalf("parse: %v", err)
 	}
-	fmt.Print(stg.Describe(g))
+	ctx := context.Background()
+	fmt.Print(spec.Describe())
 
 	// Correctness checks on the state graph.
-	sg, err := stategraph.Build(g, stategraph.Options{MaxStates: 500000})
+	sg, err := punt.BuildStateGraph(ctx, spec, punt.WithMaxStates(500000))
 	if err != nil {
 		log.Fatalf("state graph: %v", err)
 	}
 	fmt.Print(sg.Report())
 
 	// The unfolding segment the synthesis works on.
-	u, err := unfolding.Build(g, unfolding.Options{})
+	seg, err := punt.Unfold(ctx, spec)
 	if err != nil {
 		log.Fatalf("unfolding: %v", err)
 	}
-	fmt.Printf("unfolding segment: %s\n\n", u.Statistics())
+	fmt.Printf("unfolding segment: %s\n\n", seg.Stats())
 
-	im, _, err := core.New(core.Options{Arch: gatelib.StandardC}).Synthesize(g)
+	res, err := punt.New(punt.WithArch(gates.StandardC)).Synthesize(ctx, spec)
 	if err != nil {
 		log.Fatalf("synthesis: %v", err)
 	}
 	fmt.Println("set/reset equations (standard C-element architecture):")
-	fmt.Print(im.Eqn())
+	fmt.Print(res.Eqn())
 	fmt.Println()
 	fmt.Println("Verilog:")
-	fmt.Print(im.Verilog())
+	fmt.Print(res.Verilog())
 }

@@ -2,20 +2,21 @@
 //
 // The program generates an n-stage Muller pipeline control STG, synthesises
 // it with the unfolding-based flow and (for sizes where it is feasible) with
-// the explicit state-graph baseline, and reports how the two compare.  Run it
-// with increasing -stages to watch the state graph explode while the
-// unfolding segment, and therefore the synthesis time, grows gently.
+// the explicit state-graph baseline — both through the same public punt API —
+// and reports how the two compare.  Run it with increasing -stages to watch
+// the state graph explode while the unfolding segment, and therefore the
+// synthesis time, grows gently.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
-	"punt/internal/baseline"
-	"punt/internal/benchgen"
-	"punt/internal/core"
+	"punt"
 )
 
 func main() {
@@ -24,34 +25,40 @@ func main() {
 	stateLimit := flag.Int("state-limit", 200000, "state budget for the explicit baseline")
 	flag.Parse()
 
-	g := benchgen.MullerPipeline(*stages)
-	fmt.Printf("Muller pipeline with %d stages (%d signals)\n", *stages, g.NumSignals())
+	ctx := context.Background()
+	spec := punt.MullerPipeline(*stages)
+	fmt.Printf("Muller pipeline with %d stages (%d signals)\n", *stages, spec.NumSignals())
 
 	start := time.Now()
-	im, stats, err := core.New(core.Options{}).Synthesize(g)
+	res, err := punt.New().Synthesize(ctx, spec)
 	if err != nil {
 		log.Fatalf("unfolding-based synthesis failed: %v", err)
 	}
 	fmt.Printf("PUNT (unfolding): %v, %d literals, segment of %d events\n",
-		time.Since(start).Round(time.Millisecond), im.Literals(), stats.Events)
+		time.Since(start).Round(time.Millisecond), res.Literals(), res.Stats.Events)
 
 	// Print the gate of a middle stage: the classic C-element equation
 	// c_i = c_{i-1}·c_i + c_i·¬c_{i+1} + c_{i-1}·¬c_{i+1}.
 	mid := fmt.Sprintf("c%d", (*stages+1)/2)
-	if gate, ok := im.Gate(mid); ok {
+	if gate, ok := res.Gate(mid); ok {
 		fmt.Printf("gate for %s: %d literals\n", mid, gate.Literals())
 	}
 
 	if *withBaseline {
 		start = time.Now()
-		s := &baseline.ExplicitSynthesizer{MaxStates: *stateLimit}
-		imB, statsB, err := s.Synthesize(benchgen.MullerPipeline(*stages))
-		if err != nil {
+		resB, err := punt.New(
+			punt.WithBaseline(punt.Explicit),
+			punt.WithMaxStates(*stateLimit),
+		).Synthesize(ctx, punt.MullerPipeline(*stages))
+		switch {
+		case errors.Is(err, punt.ErrLimit):
 			fmt.Printf("SIS-like (explicit SG): gave up after %v: %v\n",
 				time.Since(start).Round(time.Millisecond), err)
-		} else {
+		case err != nil:
+			log.Fatalf("explicit baseline failed: %v", err)
+		default:
 			fmt.Printf("SIS-like (explicit SG): %v, %d literals, %d states\n",
-				time.Since(start).Round(time.Millisecond), imB.Literals(), statsB.States)
+				time.Since(start).Round(time.Millisecond), resB.Literals(), resB.Stats.States)
 		}
 	}
 }

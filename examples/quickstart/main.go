@@ -1,40 +1,39 @@
 // Quickstart: synthesise the worked example of the paper (Figure 1).
 //
-// The program builds the three-signal STG of Figure 1 programmatically,
-// derives a speed-independent implementation with the unfolding-based flow
-// (approximated covers, refined where needed) and prints the resulting
-// complex-gate equations together with the synthesis statistics.  The
-// expected result for the output signal b is the cover a + c, exactly as in
-// Section 4.1 of the paper.
+// The program takes the built-in three-signal STG of Figure 1, derives a
+// speed-independent implementation with the unfolding-based flow (approximated
+// covers, refined where needed) through the public punt API and prints the
+// resulting complex-gate equations together with the synthesis statistics.
+// The expected result for the output signal b is the cover a + c, exactly as
+// in Section 4.1 of the paper.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"punt/internal/benchgen"
-	"punt/internal/core"
-	"punt/internal/stg"
+	"punt"
 )
 
 func main() {
-	g := benchgen.PaperFig1()
-	fmt.Print(stg.Describe(g))
+	spec := punt.Fig1()
+	fmt.Print(spec.Describe())
 	fmt.Println("specification (.g format):")
-	fmt.Println(stg.Format(g))
+	fmt.Println(spec.Text())
 
-	synth := core.New(core.Options{}) // approximate mode, complex gate per signal
-	im, stats, err := synth.Synthesize(g)
+	res, err := punt.New().Synthesize(context.Background(), spec) // approximate mode, complex gate per signal
 	if err != nil {
 		log.Fatalf("synthesis failed: %v", err)
 	}
 
 	fmt.Println("implementation:")
-	fmt.Print(im.Eqn())
+	fmt.Print(res.Eqn())
 	fmt.Println()
+	st := res.Stats
 	fmt.Printf("unfolding segment: %d events (%d cut-offs), %d conditions\n",
-		stats.Events, stats.Cutoffs, stats.Conditions)
+		st.Events, st.Cutoffs, st.Conditions)
 	fmt.Printf("time breakdown: unfolding=%v covers=%v minimisation=%v total=%v\n",
-		stats.UnfTime, stats.SynTime, stats.EspTime, stats.Total)
-	fmt.Printf("approximation terms refined: %d\n", stats.TermsRefined)
+		st.UnfTime, st.SynTime, st.EspTime, st.Total)
+	fmt.Printf("approximation terms refined: %d\n", st.TermsRefined)
 }

@@ -1,0 +1,50 @@
+// Package gates re-exports the gate-level implementation model of the punt
+// synthesizer: the target architectures, the per-signal Gate and the circuit
+// Implementation with its equation and Verilog emitters.  It exists so that
+// programs using the public punt API can name these types without reaching
+// into punt/internal.
+package gates
+
+import (
+	"fmt"
+
+	"punt/internal/gatelib"
+)
+
+// Architecture selects the gate-level target of synthesis.
+type Architecture = gatelib.Architecture
+
+// The three architectures of the paper.
+const (
+	// ComplexGate implements each signal as a single atomic complex gate of
+	// its minimised on-set cover (the architecture Table 1 reports).
+	ComplexGate Architecture = gatelib.ComplexGate
+	// StandardC implements each signal as a C-element with set/reset networks.
+	StandardC Architecture = gatelib.StandardC
+	// RSLatch implements each signal as an RS latch with set/reset networks.
+	RSLatch Architecture = gatelib.RSLatch
+)
+
+// Gate is the implementation of one output or internal signal: a single
+// minimised cover for ComplexGate, or set/reset covers for the memory-element
+// architectures.
+type Gate = gatelib.Gate
+
+// Implementation is a synthesised circuit: one Gate per output and internal
+// signal, with Eqn and Verilog emitters and a literal-count metric.
+type Implementation = gatelib.Implementation
+
+// ParseArchitecture resolves the command-line names of the architectures:
+// "complex-gate", "standard-c" or "rs-latch".
+func ParseArchitecture(name string) (Architecture, error) {
+	switch name {
+	case "complex-gate":
+		return ComplexGate, nil
+	case "standard-c":
+		return StandardC, nil
+	case "rs-latch":
+		return RSLatch, nil
+	default:
+		return ComplexGate, fmt.Errorf("gates: unknown architecture %q (want complex-gate, standard-c or rs-latch)", name)
+	}
+}

@@ -1,0 +1,20 @@
+package gates
+
+import "testing"
+
+func TestParseArchitecture(t *testing.T) {
+	cases := map[string]Architecture{
+		"complex-gate": ComplexGate,
+		"standard-c":   StandardC,
+		"rs-latch":     RSLatch,
+	}
+	for name, want := range cases {
+		got, err := ParseArchitecture(name)
+		if err != nil || got != want {
+			t.Errorf("ParseArchitecture(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseArchitecture("nand-only"); err == nil {
+		t.Error("unknown architecture must be rejected")
+	}
+}

@@ -1,6 +1,7 @@
 package punt
 
 import (
+	"context"
 	"testing"
 
 	"punt/internal/baseline"
@@ -16,7 +17,7 @@ import (
 func verify(t *testing.T, mk func() *stg.STG, im *gatelib.Implementation) {
 	t.Helper()
 	g := mk()
-	sg, err := stategraph.Build(g, stategraph.Options{MaxStates: 2000000})
+	sg, err := stategraph.Build(context.Background(), g, stategraph.Options{MaxStates: 2000000})
 	if err != nil {
 		t.Fatalf("%s: state graph: %v", g.Name(), err)
 	}
@@ -52,14 +53,14 @@ func TestPUNTCorrectOnTable1Suite(t *testing.T) {
 			continue // too large for explicit verification; covered by benchmarks
 		}
 		t.Run(entry.Name, func(t *testing.T) {
-			im, stats, err := core.New(core.Options{}).Synthesize(entry.Build())
+			im, stats, err := core.New(core.Options{}).Synthesize(context.Background(), entry.Build())
 			if err != nil {
 				t.Fatalf("punt: %v", err)
 			}
 			verify(t, entry.Build, im)
 
 			ex := &baseline.ExplicitSynthesizer{MaxStates: 2000000}
-			imSG, _, err := ex.Synthesize(entry.Build())
+			imSG, _, err := ex.Synthesize(context.Background(), entry.Build())
 			if err != nil {
 				t.Fatalf("explicit baseline: %v", err)
 			}
@@ -77,7 +78,7 @@ func TestPUNTCorrectOnTable1Suite(t *testing.T) {
 func TestPUNTCorrectOnPipelines(t *testing.T) {
 	for _, stages := range []int{1, 3, 6, 9} {
 		mk := func() *stg.STG { return benchgen.MullerPipeline(stages) }
-		im, stats, err := core.New(core.Options{}).Synthesize(mk())
+		im, stats, err := core.New(core.Options{}).Synthesize(context.Background(), mk())
 		if err != nil {
 			t.Fatalf("stages=%d: %v", stages, err)
 		}
@@ -108,7 +109,7 @@ func gateName(i int) string {
 // TestPUNTCorrectOnChoiceController exercises input choice end to end.
 func TestPUNTCorrectOnChoiceController(t *testing.T) {
 	mk := func() *stg.STG { return benchgen.ChoiceController("choice", 5, 11) }
-	im, _, err := core.New(core.Options{}).Synthesize(mk())
+	im, _, err := core.New(core.Options{}).Synthesize(context.Background(), mk())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestPUNTCorrectOnChoiceController(t *testing.T) {
 func TestAllArchitecturesOnReadController(t *testing.T) {
 	mk := func() *stg.STG { return benchgen.SyntheticController("read-ctl", 8, 3) }
 	for _, arch := range []gatelib.Architecture{gatelib.ComplexGate, gatelib.StandardC, gatelib.RSLatch} {
-		im, _, err := core.New(core.Options{Arch: arch}).Synthesize(mk())
+		im, _, err := core.New(core.Options{Arch: arch}).Synthesize(context.Background(), mk())
 		if err != nil {
 			t.Fatalf("%s: %v", arch, err)
 		}
@@ -136,11 +137,11 @@ func TestExactModeMatchesApproximateMode(t *testing.T) {
 		if entry.Signals > 10 {
 			continue
 		}
-		approx, _, err := core.New(core.Options{}).Synthesize(entry.Build())
+		approx, _, err := core.New(core.Options{}).Synthesize(context.Background(), entry.Build())
 		if err != nil {
 			t.Fatalf("%s approx: %v", entry.Name, err)
 		}
-		exact, _, err := core.New(core.Options{Mode: core.Exact}).Synthesize(entry.Build())
+		exact, _, err := core.New(core.Options{Mode: core.Exact}).Synthesize(context.Background(), entry.Build())
 		if err != nil {
 			t.Fatalf("%s exact: %v", entry.Name, err)
 		}

@@ -25,9 +25,35 @@ import (
 // therefore cannot be implemented without changing the specification.
 var ErrCSC = errors.New("baseline: specification has a CSC conflict")
 
+// CSCError carries the offending signal and/or a description of the state
+// pair of a Complete State Coding conflict.  It wraps ErrCSC.
+type CSCError struct {
+	Signal   string // the conflicting signal, when identified
+	Conflict string // human-readable description of the conflicting states
+}
+
+func (e *CSCError) Error() string {
+	switch {
+	case e.Signal != "" && e.Conflict != "":
+		return fmt.Sprintf("%v: signal %q: %s", ErrCSC, e.Signal, e.Conflict)
+	case e.Signal != "":
+		return fmt.Sprintf("%v: signal %q", ErrCSC, e.Signal)
+	default:
+		return fmt.Sprintf("%v: %s", ErrCSC, e.Conflict)
+	}
+}
+
+func (e *CSCError) Unwrap() error { return ErrCSC }
+
 // ErrLimit is returned when a synthesis run exceeds its configured state or
 // node budget (the state-explosion guard used by the Figure 6 experiment).
 var ErrLimit = errors.New("baseline: resource limit exceeded")
+
+// ProgressFunc receives coarse progress notifications during a baseline
+// synthesis run: stage "build" once the state space has been constructed
+// (states = its size) and "covers" before each signal's cover extraction.
+// It must be cheap; it runs on the synthesizing goroutine.
+type ProgressFunc func(stage, signal string, states int)
 
 // Stats is the timing breakdown of a baseline synthesis run.
 type Stats struct {

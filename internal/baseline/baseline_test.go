@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -15,7 +16,7 @@ import (
 // explicit state graph.
 func verifyImplementation(t *testing.T, g *stg.STG, im *gatelib.Implementation) {
 	t.Helper()
-	sg, err := stategraph.Build(g, stategraph.Options{})
+	sg, err := stategraph.Build(context.Background(), g, stategraph.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func verifyImplementation(t *testing.T, g *stg.STG, im *gatelib.Implementation) 
 func TestExplicitFig1(t *testing.T) {
 	g := benchgen.PaperFig1()
 	s := &ExplicitSynthesizer{}
-	im, stats, err := s.Synthesize(g)
+	im, stats, err := s.Synthesize(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestExplicitFig1(t *testing.T) {
 func TestSymbolicFig1(t *testing.T) {
 	g := benchgen.PaperFig1()
 	s := &SymbolicSynthesizer{}
-	im, stats, err := s.Synthesize(g)
+	im, stats, err := s.Synthesize(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,13 +86,13 @@ func TestExplicitAndSymbolicAgree(t *testing.T) {
 	for _, build := range []func() *stg.STG{benchgen.PaperFig1, benchgen.PaperFig4, benchgen.Handshake} {
 		g := build()
 		e := &ExplicitSynthesizer{}
-		imE, statsE, err := e.Synthesize(g)
+		imE, statsE, err := e.Synthesize(context.Background(), g)
 		if err != nil {
 			t.Fatalf("%s explicit: %v", g.Name(), err)
 		}
 		g2 := build()
 		y := &SymbolicSynthesizer{}
-		imS, statsS, err := y.Synthesize(g2)
+		imS, statsS, err := y.Synthesize(context.Background(), g2)
 		if err != nil {
 			t.Fatalf("%s symbolic: %v", g.Name(), err)
 		}
@@ -115,7 +116,7 @@ func TestCElementArchitecture(t *testing.T) {
 	for _, arch := range []gatelib.Architecture{gatelib.StandardC, gatelib.RSLatch} {
 		g := benchgen.PaperFig4()
 		s := &ExplicitSynthesizer{Arch: arch}
-		im, _, err := s.Synthesize(g)
+		im, _, err := s.Synthesize(context.Background(), g)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func TestCElementArchitecture(t *testing.T) {
 func TestExplicitStateLimit(t *testing.T) {
 	g := benchgen.PaperFig4()
 	s := &ExplicitSynthesizer{MaxStates: 4}
-	_, _, err := s.Synthesize(g)
+	_, _, err := s.Synthesize(context.Background(), g)
 	if !errors.Is(err, ErrLimit) {
 		t.Fatalf("expected ErrLimit, got %v", err)
 	}
@@ -140,7 +141,7 @@ func TestExplicitStateLimit(t *testing.T) {
 func TestSymbolicNodeLimit(t *testing.T) {
 	g := benchgen.PaperFig4()
 	s := &SymbolicSynthesizer{MaxNodes: 16}
-	_, _, err := s.Synthesize(g)
+	_, _, err := s.Synthesize(context.Background(), g)
 	if !errors.Is(err, ErrLimit) {
 		t.Fatalf("expected ErrLimit, got %v", err)
 	}
@@ -156,11 +157,11 @@ func TestCSCConflictReported(t *testing.T) {
 	g := b.MustBuild()
 
 	e := &ExplicitSynthesizer{}
-	if _, _, err := e.Synthesize(g); !errors.Is(err, ErrCSC) {
+	if _, _, err := e.Synthesize(context.Background(), g); !errors.Is(err, ErrCSC) {
 		t.Fatalf("explicit: expected ErrCSC, got %v", err)
 	}
 	y := &SymbolicSynthesizer{}
-	if _, _, err := y.Synthesize(b.MustBuild()); !errors.Is(err, ErrCSC) {
+	if _, _, err := y.Synthesize(context.Background(), b.MustBuild()); !errors.Is(err, ErrCSC) {
 		t.Fatalf("symbolic: expected ErrCSC, got %v", err)
 	}
 }
@@ -168,7 +169,7 @@ func TestCSCConflictReported(t *testing.T) {
 func TestHandshakeLiteralCount(t *testing.T) {
 	g := benchgen.Handshake()
 	e := &ExplicitSynthesizer{}
-	im, _, err := e.Synthesize(g)
+	im, _, err := e.Synthesize(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -20,16 +21,19 @@ type ExplicitSynthesizer struct {
 	MaxStates int
 	// Arch selects the implementation architecture (default ComplexGate).
 	Arch gatelib.Architecture
+	// Progress, when non-nil, receives coarse progress notifications.
+	Progress ProgressFunc
 }
 
 // Synthesize derives an implementation for every output and internal signal
-// of the STG.
-func (s *ExplicitSynthesizer) Synthesize(g *stg.STG) (*gatelib.Implementation, *Stats, error) {
+// of the STG.  Cancellation of ctx aborts the state-graph exploration and the
+// per-signal cover loop promptly.
+func (s *ExplicitSynthesizer) Synthesize(ctx context.Context, g *stg.STG) (*gatelib.Implementation, *Stats, error) {
 	stats := &Stats{}
 	total := time.Now()
 
 	start := time.Now()
-	sg, err := stategraph.Build(g, stategraph.Options{MaxStates: s.MaxStates})
+	sg, err := stategraph.Build(ctx, g, stategraph.Options{MaxStates: s.MaxStates})
 	stats.BuildTime = time.Since(start)
 	if err != nil {
 		if errors.Is(err, stategraph.ErrStateLimit) {
@@ -38,13 +42,22 @@ func (s *ExplicitSynthesizer) Synthesize(g *stg.STG) (*gatelib.Implementation, *
 		return nil, stats, err
 	}
 	stats.States = sg.NumStates()
+	if s.Progress != nil {
+		s.Progress("build", "", stats.States)
+	}
 
 	if conflicts := sg.CheckCSC(); len(conflicts) > 0 {
-		return nil, stats, fmt.Errorf("%w: %s", ErrCSC, conflicts[0])
+		return nil, stats, &CSCError{Conflict: conflicts[0].String()}
 	}
 
 	im := &gatelib.Implementation{Name: g.Name(), SignalNames: g.SignalNames()}
 	for _, sig := range g.OutputSignals() {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		if s.Progress != nil {
+			s.Progress("covers", g.Signal(sig).Name, stats.States)
+		}
 		coverStart := time.Now()
 		on := sg.OnSet(sig)
 		off := sg.OffSet(sig)

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -21,10 +22,14 @@ type SymbolicSynthesizer struct {
 	MaxNodes int
 	// Arch selects the implementation architecture (default ComplexGate).
 	Arch gatelib.Architecture
+	// Progress, when non-nil, receives coarse progress notifications.
+	Progress ProgressFunc
 }
 
 // Synthesize derives an implementation for every output and internal signal.
-func (s *SymbolicSynthesizer) Synthesize(g *stg.STG) (*gatelib.Implementation, *Stats, error) {
+// Cancellation of ctx is checked on every image-computation iteration and
+// before every signal's cover extraction.
+func (s *SymbolicSynthesizer) Synthesize(ctx context.Context, g *stg.STG) (*gatelib.Implementation, *Stats, error) {
 	stats := &Stats{}
 	total := time.Now()
 	if !g.HasInitialState() {
@@ -121,6 +126,10 @@ func (s *SymbolicSynthesizer) Synthesize(g *stg.STG) (*gatelib.Implementation, *
 	reached := init
 	frontier := init
 	for frontier != bdd.False {
+		if err := ctx.Err(); err != nil {
+			stats.BuildTime = time.Since(buildStart)
+			return nil, stats, err
+		}
 		next := bdd.False
 		for _, rel := range rels {
 			from := m.And(frontier, rel.enabled)
@@ -142,6 +151,9 @@ func (s *SymbolicSynthesizer) Synthesize(g *stg.STG) (*gatelib.Implementation, *
 	// Every satisfying assignment of `reached` fixes all place and signal
 	// variables, so the satisfy count equals the number of reachable states.
 	stats.States = int(m.SatCount(reached))
+	if s.Progress != nil {
+		s.Progress("build", "", stats.States)
+	}
 
 	// Consistency of the specification is enforced by construction above: a
 	// rising edge is only enabled when the signal is 0.  A specification that
@@ -155,6 +167,12 @@ func (s *SymbolicSynthesizer) Synthesize(g *stg.STG) (*gatelib.Implementation, *
 
 	im := &gatelib.Implementation{Name: g.Name(), SignalNames: g.SignalNames()}
 	for _, sig := range g.OutputSignals() {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		if s.Progress != nil {
+			s.Progress("covers", g.Signal(sig).Name, stats.States)
+		}
 		coverStart := time.Now()
 		excitedPlus := bdd.False
 		excitedMinus := bdd.False
@@ -177,7 +195,7 @@ func (s *SymbolicSynthesizer) Synthesize(g *stg.STG) (*gatelib.Implementation, *
 		if m.And(onCodes, offCodes) != bdd.False {
 			stats.CoverTime += time.Since(coverStart)
 			stats.Total = time.Since(total)
-			return nil, stats, fmt.Errorf("%w: signal %q", ErrCSC, g.Signal(sig).Name)
+			return nil, stats, &CSCError{Signal: g.Signal(sig).Name}
 		}
 		on := coverFromBDD(m, onCodes, nPlaces, nSignals)
 		off := coverFromBDD(m, offCodes, nPlaces, nSignals)

@@ -1,6 +1,7 @@
 package benchgen
 
 import (
+	"context"
 	"testing"
 
 	"punt/internal/stategraph"
@@ -17,7 +18,7 @@ func checkWellFormed(t *testing.T, g *stg.STG, maxStates int) *stategraph.Graph 
 	if err := g.Validate(); err != nil {
 		t.Fatalf("%s: invalid STG: %v", g.Name(), err)
 	}
-	sg, err := stategraph.Build(g, stategraph.Options{MaxStates: maxStates})
+	sg, err := stategraph.Build(context.Background(), g, stategraph.Options{MaxStates: maxStates})
 	if err != nil {
 		t.Fatalf("%s: %v", g.Name(), err)
 	}
@@ -68,11 +69,11 @@ func TestMullerPipelineSGGrowsUnfoldingDoesNot(t *testing.T) {
 	var prevEvents int
 	for _, stages := range []int{2, 4, 6, 8} {
 		g := MullerPipeline(stages)
-		sg, err := stategraph.Build(g, stategraph.Options{})
+		sg, err := stategraph.Build(context.Background(), g, stategraph.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		u, err := unfolding.Build(MullerPipeline(stages), unfolding.Options{})
+		u, err := unfolding.Build(context.Background(), MullerPipeline(stages), unfolding.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -175,7 +176,7 @@ func TestCounterflowPipelineShape(t *testing.T) {
 		t.Fatalf("counterflow stand-in has %d signals, want 34", g.NumSignals())
 	}
 	// Its unfolding must stay small even though the state graph is enormous.
-	u, err := unfolding.Build(g, unfolding.Options{})
+	u, err := unfolding.Build(context.Background(), g, unfolding.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -17,7 +18,7 @@ import (
 func verifyAgainstSG(t *testing.T, mk func() *stg.STG, im *gatelib.Implementation) {
 	t.Helper()
 	g := mk()
-	sg, err := stategraph.Build(g, stategraph.Options{})
+	sg, err := stategraph.Build(context.Background(), g, stategraph.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func verifyAgainstSG(t *testing.T, mk func() *stg.STG, im *gatelib.Implementatio
 func TestFig1ApproximateSynthesis(t *testing.T) {
 	g := benchgen.PaperFig1()
 	s := New(Options{})
-	im, stats, err := s.Synthesize(g)
+	im, stats, err := s.Synthesize(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestRefinementExercised(t *testing.T) {
 	// opposite phase (the situation of Section 4.3); the refinement loop must
 	// resolve them and the result must still verify against the state graph.
 	g := benchgen.PaperFig4()
-	im, stats, err := New(Options{}).Synthesize(g)
+	im, stats, err := New(Options{}).Synthesize(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestRefinementExercised(t *testing.T) {
 func TestFig1ExactSynthesis(t *testing.T) {
 	g := benchgen.PaperFig1()
 	s := New(Options{Mode: Exact})
-	im, _, err := s.Synthesize(g)
+	im, _, err := s.Synthesize(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestFig1ExactSliceStatesMatchPaper(t *testing.T) {
 	// consists of two slices covering {100,110,101,111} and {001,011}; the
 	// off-set slices cover {000,010}.
 	g := benchgen.PaperFig1()
-	u, err := unfolding.Build(g, unfolding.Options{})
+	u, err := unfolding.Build(context.Background(), g, unfolding.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestFig4ApproximateSynthesis(t *testing.T) {
 	// that the explicit state graph verifies.
 	g := benchgen.PaperFig4()
 	s := New(Options{})
-	im, stats, err := s.Synthesize(g)
+	im, stats, err := s.Synthesize(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,11 +151,11 @@ func TestFig4ApproximateSynthesis(t *testing.T) {
 func TestExactAndApproximateAgreeOnLiterals(t *testing.T) {
 	for _, mk := range []func() *stg.STG{benchgen.PaperFig1, benchgen.PaperFig4, benchgen.Handshake} {
 		g := mk()
-		approx, _, err := New(Options{}).Synthesize(g)
+		approx, _, err := New(Options{}).Synthesize(context.Background(), g)
 		if err != nil {
 			t.Fatalf("%s approx: %v", g.Name(), err)
 		}
-		exact, _, err := New(Options{Mode: Exact}).Synthesize(mk())
+		exact, _, err := New(Options{Mode: Exact}).Synthesize(context.Background(), mk())
 		if err != nil {
 			t.Fatalf("%s exact: %v", g.Name(), err)
 		}
@@ -173,11 +174,11 @@ func TestAgreementWithStateGraphBaseline(t *testing.T) {
 	// literal counts on these benchmarks.
 	for _, mk := range []func() *stg.STG{benchgen.PaperFig1, benchgen.PaperFig4, benchgen.Handshake} {
 		g := mk()
-		punt, _, err := New(Options{}).Synthesize(g)
+		punt, _, err := New(Options{}).Synthesize(context.Background(), g)
 		if err != nil {
 			t.Fatalf("%s punt: %v", g.Name(), err)
 		}
-		sg, err := stategraph.Build(mk(), stategraph.Options{})
+		sg, err := stategraph.Build(context.Background(), mk(), stategraph.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -197,7 +198,7 @@ func TestAgreementWithStateGraphBaseline(t *testing.T) {
 func TestCElementArchitecture(t *testing.T) {
 	for _, arch := range []gatelib.Architecture{gatelib.StandardC, gatelib.RSLatch} {
 		g := benchgen.PaperFig4()
-		im, _, err := New(Options{Arch: arch}).Synthesize(g)
+		im, _, err := New(Options{Arch: arch}).Synthesize(context.Background(), g)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -219,7 +220,7 @@ func TestCSCConflictDetected(t *testing.T) {
 	g := b.MustBuild()
 
 	for _, mode := range []Mode{Approximate, Exact} {
-		_, _, err := New(Options{Mode: mode}).Synthesize(b.MustBuild())
+		_, _, err := New(Options{Mode: mode}).Synthesize(context.Background(), b.MustBuild())
 		var csc *CSCError
 		if !errors.As(err, &csc) {
 			t.Fatalf("mode %s: expected CSCError, got %v", mode, err)
@@ -252,7 +253,7 @@ func TestNonSemiModularRejected(t *testing.T) {
 	if err := g.InferInitialState(0); err != nil {
 		t.Fatal(err)
 	}
-	_, _, err := New(Options{}).Synthesize(g)
+	_, _, err := New(Options{}).Synthesize(context.Background(), g)
 	if !errors.Is(err, ErrNotSemiModular) {
 		t.Fatalf("expected ErrNotSemiModular, got %v", err)
 	}
@@ -265,7 +266,7 @@ func TestConstantSignal(t *testing.T) {
 	b.Arc("req+", "ack+").Arc("ack+", "req-").Arc("req-", "ack-").Arc("ack-", "req+").MarkBetween("ack-", "req+")
 	b.InitialState("000")
 	g := b.MustBuild()
-	im, _, err := New(Options{}).Synthesize(g)
+	im, _, err := New(Options{}).Synthesize(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestModeString(t *testing.T) {
 }
 
 func TestUnfoldHelper(t *testing.T) {
-	u, err := Unfold(benchgen.Handshake(), Options{})
+	u, err := Unfold(context.Background(), benchgen.Handshake(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

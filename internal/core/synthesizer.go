@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -37,6 +38,27 @@ func (m Mode) String() string {
 // speed-independent implementation.
 var ErrNotSemiModular = errors.New("core: specification is not semi-modular")
 
+// SemiModularityError carries the structural persistency violations found on
+// the segment.  It wraps ErrNotSemiModular, so errors.Is keeps working.
+type SemiModularityError struct {
+	Violations []unfolding.PersistencyViolation
+}
+
+func (e *SemiModularityError) Error() string {
+	if len(e.Violations) == 1 {
+		return fmt.Sprintf("%v: %s", ErrNotSemiModular, e.Violations[0])
+	}
+	return fmt.Sprintf("%v: %s (and %d more)", ErrNotSemiModular, e.Violations[0], len(e.Violations)-1)
+}
+
+func (e *SemiModularityError) Unwrap() error { return ErrNotSemiModular }
+
+// ProgressFunc receives coarse progress notifications during synthesis.
+// Stage is "unfold" while the segment is under construction (signal empty,
+// events = segment size so far) and "covers" when the covers of a signal are
+// about to be derived (signal names it, events = final segment size).
+type ProgressFunc func(stage, signal string, events int)
+
 // Options configures the PUNT synthesizer.
 type Options struct {
 	// Mode selects exact or approximate cover derivation (default
@@ -50,6 +72,9 @@ type Options struct {
 	// SkipSemiModularityCheck disables the structural semi-modularity check
 	// (useful for benchmarking the synthesis core in isolation).
 	SkipSemiModularityCheck bool
+	// Progress, when non-nil, receives coarse progress notifications.  It must
+	// be cheap and safe to call from the synthesis goroutine.
+	Progress ProgressFunc
 }
 
 // Stats is the timing breakdown reported for a synthesis run; the field names
@@ -99,13 +124,19 @@ func New(opts Options) *Synthesizer {
 }
 
 // Synthesize derives a speed-independent implementation for every output and
-// internal signal of the STG.
-func (s *Synthesizer) Synthesize(g *stg.STG) (*gatelib.Implementation, *Stats, error) {
+// internal signal of the STG.  It checks ctx between phases (and, via the
+// unfolding builder, inside the segment construction loop) and aborts with
+// the context's error when cancelled.
+func (s *Synthesizer) Synthesize(ctx context.Context, g *stg.STG) (*gatelib.Implementation, *Stats, error) {
 	stats := &Stats{}
 	totalStart := time.Now()
 
+	uopts := unfolding.Options{MaxEvents: s.Options.MaxEvents}
+	if p := s.Options.Progress; p != nil {
+		uopts.Progress = func(events int) { p("unfold", "", events) }
+	}
 	unfStart := time.Now()
-	u, err := unfolding.Build(g, unfolding.Options{MaxEvents: s.Options.MaxEvents})
+	u, err := unfolding.Build(ctx, g, uopts)
 	stats.UnfTime = time.Since(unfStart)
 	if err != nil {
 		return nil, stats, err
@@ -115,13 +146,19 @@ func (s *Synthesizer) Synthesize(g *stg.STG) (*gatelib.Implementation, *Stats, e
 
 	if !s.Options.SkipSemiModularityCheck {
 		if v := u.CheckSemiModularity(); len(v) > 0 {
-			return nil, stats, fmt.Errorf("%w: %s", ErrNotSemiModular, v[0])
+			return nil, stats, &SemiModularityError{Violations: v}
 		}
 	}
 
 	im := &gatelib.Implementation{Name: g.Name(), SignalNames: g.SignalNames()}
 	nvars := g.NumSignals()
 	for _, sig := range g.OutputSignals() {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		if p := s.Options.Progress; p != nil {
+			p("covers", g.Signal(sig).Name, stats.Events)
+		}
 		synStart := time.Now()
 		on, off, erPlus, erMinus, refined, err := s.coversFor(u, sig)
 		stats.SynTime += time.Since(synStart)
@@ -223,8 +260,12 @@ func (s *Synthesizer) buildGate(g *stg.STG, sig int, on, off, erPlus, erMinus *b
 }
 
 // Unfold exposes the segment construction on its own, with the same options
-// as the synthesizer; used by the unfdump tool and by callers that only need
+// as the synthesizer; used by callers that only need the segment or its
 // verification.
-func Unfold(g *stg.STG, opts Options) (*unfolding.Unfolding, error) {
-	return unfolding.Build(g, unfolding.Options{MaxEvents: opts.MaxEvents})
+func Unfold(ctx context.Context, g *stg.STG, opts Options) (*unfolding.Unfolding, error) {
+	uopts := unfolding.Options{MaxEvents: opts.MaxEvents}
+	if p := opts.Progress; p != nil {
+		uopts.Progress = func(events int) { p("unfold", "", events) }
+	}
+	return unfolding.Build(ctx, g, uopts)
 }

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -56,11 +57,11 @@ type Table1Options struct {
 }
 
 // RunTable1Entry synthesises one benchmark with all three flows.
-func RunTable1Entry(entry benchgen.BenchmarkEntry, opts Table1Options) Table1Row {
+func RunTable1Entry(ctx context.Context, entry benchgen.BenchmarkEntry, opts Table1Options) Table1Row {
 	row := Table1Row{Name: entry.Name, Signals: entry.Signals}
 
 	g := entry.Build()
-	im, stats, err := core.New(core.Options{}).Synthesize(g)
+	im, stats, err := core.New(core.Options{}).Synthesize(ctx, g)
 	if err == nil {
 		row.UnfTime = stats.UnfTime
 		row.SynTime = stats.SynTime
@@ -76,28 +77,28 @@ func RunTable1Entry(entry benchgen.BenchmarkEntry, opts Table1Options) Table1Row
 	if opts.SkipBaselines {
 		return row
 	}
-	row.Petrify = runSymbolic(entry.Build(), opts)
-	row.SIS = runExplicit(entry.Build(), opts)
+	row.Petrify = runSymbolic(ctx, entry.Build(), opts)
+	row.SIS = runExplicit(ctx, entry.Build(), opts)
 	return row
 }
 
 // RunTable1 synthesises the whole suite.
-func RunTable1(entries []benchgen.BenchmarkEntry, opts Table1Options) []Table1Row {
+func RunTable1(ctx context.Context, entries []benchgen.BenchmarkEntry, opts Table1Options) []Table1Row {
 	rows := make([]Table1Row, 0, len(entries))
 	for _, e := range entries {
-		rows = append(rows, RunTable1Entry(e, opts))
+		rows = append(rows, RunTable1Entry(ctx, e, opts))
 	}
 	return rows
 }
 
-func runExplicit(g *stg.STG, opts Table1Options) ToolResult {
+func runExplicit(ctx context.Context, g *stg.STG, opts Table1Options) ToolResult {
 	maxStates := opts.MaxStates
 	if maxStates == 0 {
 		maxStates = 2000000
 	}
 	s := &baseline.ExplicitSynthesizer{MaxStates: maxStates, Arch: gatelib.ComplexGate}
 	start := time.Now()
-	im, _, err := s.Synthesize(g)
+	im, _, err := s.Synthesize(ctx, g)
 	elapsed := time.Since(start)
 	if err != nil {
 		return ToolResult{Ok: false, Reason: err.Error(), Time: elapsed, Literals: -1}
@@ -105,14 +106,14 @@ func runExplicit(g *stg.STG, opts Table1Options) ToolResult {
 	return ToolResult{Ok: true, Time: elapsed, Literals: im.Literals()}
 }
 
-func runSymbolic(g *stg.STG, opts Table1Options) ToolResult {
+func runSymbolic(ctx context.Context, g *stg.STG, opts Table1Options) ToolResult {
 	maxNodes := opts.MaxNodes
 	if maxNodes == 0 {
 		maxNodes = 4000000
 	}
 	s := &baseline.SymbolicSynthesizer{MaxNodes: maxNodes, Arch: gatelib.ComplexGate}
 	start := time.Now()
-	im, _, err := s.Synthesize(g)
+	im, _, err := s.Synthesize(ctx, g)
 	elapsed := time.Since(start)
 	if err != nil {
 		return ToolResult{Ok: false, Reason: err.Error(), Time: elapsed, Literals: -1}
@@ -177,6 +178,35 @@ func fmtTool(t ToolResult) string {
 	return fmtDur(t.Time)
 }
 
+// FacadePoint is one end-to-end public-API measurement: the full
+// parse → synthesize pipeline through the root punt facade on one
+// specification.  It tracks the overhead of the public API on the perf
+// trajectory, next to the raw-core measurements of Table 1 and Figure 6.
+// The measurement itself lives in punt/bench, which can import the facade.
+type FacadePoint struct {
+	Spec     string
+	Runs     int
+	Parse    time.Duration // average per-run parse time
+	Synth    time.Duration // average per-run synthesis time
+	Total    time.Duration // average per-run end-to-end time
+	Literals int
+	Events   int
+}
+
+// FormatFacade renders the facade measurements.
+func FormatFacade(points []FacadePoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %5s | %10s %10s %10s | %7s %7s\n",
+		"Spec", "Runs", "Parse", "Synth", "Total", "LitCnt", "Events")
+	sb.WriteString(strings.Repeat("-", 76) + "\n")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-14s %5d | %10v %10v %10v | %7d %7d\n",
+			p.Spec, p.Runs, p.Parse.Round(time.Microsecond), p.Synth.Round(time.Microsecond),
+			p.Total.Round(time.Microsecond), p.Literals, p.Events)
+	}
+	return sb.String()
+}
+
 // Figure6Point is one measurement of the Figure 6 experiment: synthesis time
 // of each tool for a Muller pipeline with the given number of signals.
 type Figure6Point struct {
@@ -206,7 +236,7 @@ type Figure6Options struct {
 func DefaultFigure6Signals() []int { return []int{5, 8, 12, 17, 22, 27, 32, 42, 50} }
 
 // RunFigure6 measures the scaling experiment.
-func RunFigure6(opts Figure6Options) []Figure6Point {
+func RunFigure6(ctx context.Context, opts Figure6Options) []Figure6Point {
 	signals := opts.Signals
 	if len(signals) == 0 {
 		signals = DefaultFigure6Signals()
@@ -223,15 +253,15 @@ func RunFigure6(opts Figure6Options) []Figure6Point {
 	measure := func(name string, mk func() *stg.STG, signals int) Figure6Point {
 		p := Figure6Point{Signals: signals}
 		start := time.Now()
-		im, _, err := core.New(core.Options{}).Synthesize(mk())
+		im, _, err := core.New(core.Options{}).Synthesize(ctx, mk())
 		if err != nil {
 			p.PUNT = ToolResult{Ok: false, Reason: err.Error(), Time: time.Since(start), Literals: -1}
 		} else {
 			p.PUNT = ToolResult{Ok: true, Time: time.Since(start), Literals: im.Literals()}
 		}
 		if !opts.SkipBaselines {
-			p.Petrify = runSymbolic(mk(), Table1Options{MaxNodes: symbolicLimit})
-			p.SIS = runExplicit(mk(), Table1Options{MaxStates: explicitLimit})
+			p.Petrify = runSymbolic(ctx, mk(), Table1Options{MaxNodes: symbolicLimit})
+			p.SIS = runExplicit(ctx, mk(), Table1Options{MaxStates: explicitLimit})
 		}
 		_ = name
 		return p

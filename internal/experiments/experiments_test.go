@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ func TestRunTable1SmallSubset(t *testing.T) {
 			small = append(small, e)
 		}
 	}
-	rows := RunTable1(small, Table1Options{})
+	rows := RunTable1(context.Background(), small, Table1Options{})
 	if len(rows) != len(small) {
 		t.Fatalf("rows = %d, want %d", len(rows), len(small))
 	}
@@ -43,7 +44,7 @@ func TestRunTable1SmallSubset(t *testing.T) {
 
 func TestRunTable1SkipBaselines(t *testing.T) {
 	entry := benchgen.Table1Suite()[2] // nowick, 6 signals
-	row := RunTable1Entry(entry, Table1Options{SkipBaselines: true})
+	row := RunTable1Entry(context.Background(), entry, Table1Options{SkipBaselines: true})
 	if row.Literals <= 0 {
 		t.Fatalf("no PUNT result: %+v", row)
 	}
@@ -53,7 +54,7 @@ func TestRunTable1SkipBaselines(t *testing.T) {
 }
 
 func TestRunFigure6SmallSweep(t *testing.T) {
-	points := RunFigure6(Figure6Options{
+	points := RunFigure6(context.Background(), Figure6Options{
 		Signals:       []int{5, 8, 12},
 		ExplicitLimit: 50000,
 		SymbolicLimit: 500000,
@@ -82,7 +83,7 @@ func TestFigure6BaselineChokesWherePUNTDoesNot(t *testing.T) {
 	}
 	// With a deliberately small state budget the explicit baseline must give
 	// up on a deep pipeline while PUNT completes: the crossover of Figure 6.
-	points := RunFigure6(Figure6Options{
+	points := RunFigure6(context.Background(), Figure6Options{
 		Signals:       []int{22},
 		ExplicitLimit: 20000,
 		SymbolicLimit: 100000,
@@ -98,12 +99,16 @@ func TestFigure6BaselineChokesWherePUNTDoesNot(t *testing.T) {
 
 func TestJSONReportRoundTrip(t *testing.T) {
 	suite := benchgen.Table1Suite()[:2]
-	rows := RunTable1(suite, Table1Options{SkipBaselines: true})
-	points := RunFigure6(Figure6Options{Signals: []int{5}, SkipBaselines: true})
-	report := NewReport(rows, points, time.Unix(0, 0))
+	rows := RunTable1(context.Background(), suite, Table1Options{SkipBaselines: true})
+	points := RunFigure6(context.Background(), Figure6Options{Signals: []int{5}, SkipBaselines: true})
+	facade := []FacadePoint{{Spec: "fig1", Runs: 3, Parse: time.Millisecond, Synth: 2 * time.Millisecond, Total: 3 * time.Millisecond, Literals: 5, Events: 8}}
+	report := NewReport(rows, points, facade, time.Unix(0, 0))
 
 	if len(report.Table1) != len(rows) || len(report.Figure6) != len(points) {
 		t.Fatalf("report sizes: table1=%d figure6=%d", len(report.Table1), len(report.Figure6))
+	}
+	if len(report.Facade) != 1 || report.Facade[0].Spec != "fig1" || report.Facade[0].SynthSeconds != 0.002 {
+		t.Fatalf("facade point not carried into the report: %+v", report.Facade)
 	}
 	if report.Table1[0].Name != rows[0].Name || report.Table1[0].Events != rows[0].Events {
 		t.Fatal("table1 row not carried into the report")

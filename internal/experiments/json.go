@@ -45,16 +45,40 @@ type JSONFigure6Point struct {
 	SIS     JSONTool `json:"sis"`
 }
 
+// JSONFacadePoint is the JSON shape of one end-to-end public-API
+// measurement.
+type JSONFacadePoint struct {
+	Spec         string  `json:"spec"`
+	Runs         int     `json:"runs"`
+	ParseSeconds float64 `json:"parse_seconds"`
+	SynthSeconds float64 `json:"synth_seconds"`
+	TotalSeconds float64 `json:"total_seconds"`
+	Literals     int     `json:"literals"`
+	Events       int     `json:"events"`
+}
+
 // Report is the top-level JSON document emitted by benchtab -json.
 type Report struct {
 	GeneratedAt string             `json:"generated_at"`
 	Table1      []JSONTable1Row    `json:"table1,omitempty"`
 	Figure6     []JSONFigure6Point `json:"figure6,omitempty"`
+	Facade      []JSONFacadePoint  `json:"facade,omitempty"`
 }
 
 // NewReport converts measured rows and points into the JSON report shape.
-func NewReport(rows []Table1Row, points []Figure6Point, now time.Time) Report {
+func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, now time.Time) Report {
 	r := Report{GeneratedAt: now.UTC().Format(time.RFC3339)}
+	for _, p := range facade {
+		r.Facade = append(r.Facade, JSONFacadePoint{
+			Spec:         p.Spec,
+			Runs:         p.Runs,
+			ParseSeconds: p.Parse.Seconds(),
+			SynthSeconds: p.Synth.Seconds(),
+			TotalSeconds: p.Total.Seconds(),
+			Literals:     p.Literals,
+			Events:       p.Events,
+		})
+	}
 	for _, row := range rows {
 		r.Table1 = append(r.Table1, JSONTable1Row{
 			Name:         row.Name,

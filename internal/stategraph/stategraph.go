@@ -9,6 +9,7 @@
 package stategraph
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -84,13 +85,21 @@ type Options struct {
 	// Bound is the place-token bound; 0 means 1-safe, which is what STGs
 	// require.
 	Bound int
+	// Progress, when non-nil, is called periodically with the number of
+	// states discovered so far.  It must be cheap; it runs inside the
+	// exploration loop.
+	Progress func(states int)
 }
+
+// cancelCheckInterval is how many states are expanded between context
+// cancellation checks.
+const cancelCheckInterval = 1024
 
 // Build explores the reachable state space of the STG.  The STG must have an
 // initial binary state (set explicitly or inferred).  Build fails on
-// unbounded nets, on violations of consistent state assignment and when the
-// state limit is exceeded.
-func Build(g *stg.STG, opts Options) (*Graph, error) {
+// unbounded nets, on violations of consistent state assignment, when the
+// state limit is exceeded and when ctx is cancelled.
+func Build(ctx context.Context, g *stg.STG, opts Options) (*Graph, error) {
 	if !g.HasInitialState() {
 		if err := g.InferInitialState(opts.MaxStates); err != nil {
 			return nil, err
@@ -121,7 +130,17 @@ func Build(g *stg.STG, opts Options) (*Graph, error) {
 	}
 
 	queue := []int{0}
+	expanded := 0
 	for len(queue) > 0 {
+		if expanded%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if opts.Progress != nil {
+				opts.Progress(len(sg.States))
+			}
+		}
+		expanded++
 		cur := queue[0]
 		queue = queue[1:]
 		st := sg.States[cur]

@@ -1,6 +1,7 @@
 package stategraph
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 func buildFig1(t *testing.T) *Graph {
 	t.Helper()
 	g := benchgen.PaperFig1()
-	sg, err := Build(g, Options{})
+	sg, err := Build(context.Background(), g, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestFig1Regions(t *testing.T) {
 
 func TestHandshakeStateGraph(t *testing.T) {
 	g := benchgen.Handshake()
-	sg, err := Build(g, Options{})
+	sg, err := Build(context.Background(), g, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestHandshakeStateGraph(t *testing.T) {
 
 func TestFig4StateGraph(t *testing.T) {
 	g := benchgen.PaperFig4()
-	sg, err := Build(g, Options{})
+	sg, err := Build(context.Background(), g, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestInconsistentSTGDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = Build(g, Options{})
+	_, err = Build(context.Background(), g, Options{})
 	var ie *InconsistencyError
 	if !errors.As(err, &ie) {
 		t.Fatalf("expected InconsistencyError, got %v", err)
@@ -152,7 +153,7 @@ func TestInconsistentSTGDetected(t *testing.T) {
 
 func TestStateLimit(t *testing.T) {
 	g := benchgen.PaperFig4()
-	_, err := Build(g, Options{MaxStates: 5})
+	_, err := Build(context.Background(), g, Options{MaxStates: 5})
 	if !errors.Is(err, ErrStateLimit) {
 		t.Fatalf("expected ErrStateLimit, got %v", err)
 	}
@@ -172,7 +173,7 @@ func TestCSCConflictDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sg, err := Build(g, Options{})
+	sg, err := Build(context.Background(), g, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestPersistencyViolationDetected(t *testing.T) {
 	g.AddArcTP(tInM, p0)
 	g.MarkInitially(p0)
 	g.SetInitialState(bitvec.New(2))
-	sg, err := Build(g, Options{})
+	sg, err := Build(context.Background(), g, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

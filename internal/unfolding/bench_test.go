@@ -1,6 +1,7 @@
 package unfolding
 
 import (
+	"context"
 	"testing"
 
 	"punt/internal/benchgen"
@@ -32,7 +33,7 @@ func BenchmarkUnfoldIncremental(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := Build(g, Options{}); err != nil {
+				if _, err := Build(context.Background(), g, Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -48,7 +49,7 @@ func BenchmarkUnfoldDebugCheck(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Build(g, Options{DebugCheck: true}); err != nil {
+		if _, err := Build(context.Background(), g, Options{DebugCheck: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -66,7 +67,7 @@ func BenchmarkTable1Unfold(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j, g := range specs {
-			if _, err := Build(g, Options{}); err != nil {
+			if _, err := Build(context.Background(), g, Options{}); err != nil {
 				b.Fatalf("%s: %v", entries[j].Name, err)
 			}
 		}
@@ -78,7 +79,7 @@ var sinkStats Stats
 // BenchmarkRelationQueries measures the relation predicates downstream
 // consumers (slicing, cover derivation) issue against the segment.
 func BenchmarkRelationQueries(b *testing.B) {
-	u, err := Build(benchgen.MullerPipelineWithSignals(22), Options{})
+	u, err := Build(context.Background(), benchgen.MullerPipelineWithSignals(22), Options{})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package unfolding
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -19,6 +20,38 @@ var ErrNotSafe = errors.New("unfolding: the net is not safe")
 // ErrEventLimit is returned when the segment exceeds the configured maximum
 // number of events.
 var ErrEventLimit = errors.New("unfolding: event limit exceeded")
+
+// UnsafeError reports where 1-safeness is violated: the place that receives a
+// second token and, unless the initial marking itself is unsafe, the
+// transition whose firing overloads it.  It wraps ErrNotSafe, so
+// errors.Is(err, ErrNotSafe) keeps working.
+type UnsafeError struct {
+	Place      string
+	Transition string // empty when the initial marking is already unsafe
+	Tokens     int    // token count on Place when the violation was detected
+}
+
+func (e *UnsafeError) Error() string {
+	if e.Transition == "" {
+		return fmt.Sprintf("%v: place %q initially holds %d tokens", ErrNotSafe, e.Place, e.Tokens)
+	}
+	return fmt.Sprintf("%v: firing %s marks the already marked place %q", ErrNotSafe, e.Transition, e.Place)
+}
+
+func (e *UnsafeError) Unwrap() error { return ErrNotSafe }
+
+// EventLimitError reports that the segment construction was aborted after
+// exceeding its event budget.  It wraps ErrEventLimit.
+type EventLimitError struct {
+	Events int
+	Limit  int
+}
+
+func (e *EventLimitError) Error() string {
+	return fmt.Sprintf("%v (%d events, limit %d)", ErrEventLimit, e.Events, e.Limit)
+}
+
+func (e *EventLimitError) Unwrap() error { return ErrEventLimit }
 
 // InconsistencyError reports a violation of consistent state assignment
 // detected while assigning binary codes to events.
@@ -40,7 +73,17 @@ type Options struct {
 	// against a full replay of every local configuration (the original
 	// construction).  It is quadratic and meant for tests only.
 	DebugCheck bool
+	// Progress, when non-nil, is called periodically with the number of
+	// events instantiated so far.  It must be cheap; it runs inside the
+	// possible-extension loop.
+	Progress func(events int)
 }
+
+// cancelCheckInterval is how many possible-extension pops go by between
+// context cancellation checks (and Progress callbacks).  Checking on every pop
+// would put a synchronised load on the hottest loop of the system for no
+// benefit: cancellation only needs to be prompt on the human timescale.
+const cancelCheckInterval = 256
 
 // possibleExtension is a transition instance that may be appended to the
 // segment: a transition together with a co-set of conditions forming its
@@ -126,8 +169,10 @@ type builder struct {
 	coScratch   []*idSet // per-recursion-depth accumulated co-sets
 }
 
-// Build constructs the STG-unfolding segment of the STG.
-func Build(g *stg.STG, opts Options) (*Unfolding, error) {
+// Build constructs the STG-unfolding segment of the STG.  The construction
+// checks ctx periodically and aborts with the context's error when it is
+// cancelled.
+func Build(ctx context.Context, g *stg.STG, opts Options) (*Unfolding, error) {
 	if !g.HasInitialState() {
 		if err := g.InferInitialState(0); err != nil {
 			return nil, err
@@ -149,13 +194,23 @@ func Build(g *stg.STG, opts Options) (*Unfolding, error) {
 	if err := b.createRoot(); err != nil {
 		return nil, err
 	}
+	pops := 0
 	for b.queue.Len() > 0 {
+		if pops%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if b.opts.Progress != nil {
+				b.opts.Progress(b.u.NumEvents())
+			}
+		}
+		pops++
 		pe := heap.Pop(&b.queue).(*possibleExtension)
 		if err := b.instantiate(pe); err != nil {
 			return nil, err
 		}
 		if b.u.NumEvents() > b.opts.MaxEvents {
-			return nil, fmt.Errorf("%w (%d events)", ErrEventLimit, b.u.NumEvents())
+			return nil, &EventLimitError{Events: b.u.NumEvents(), Limit: b.opts.MaxEvents}
 		}
 	}
 	return b.u, nil
@@ -176,7 +231,7 @@ func (b *builder) createRoot() error {
 	initial := b.net.Initial()
 	for _, p := range initial.Places() {
 		if initial.Tokens(p) > 1 {
-			return fmt.Errorf("%w: place %q initially holds %d tokens", ErrNotSafe, b.net.PlaceName(p), initial.Tokens(p))
+			return &UnsafeError{Place: b.net.PlaceName(p), Tokens: initial.Tokens(p)}
 		}
 		c := b.newCondition(p, root)
 		root.Postset = append(root.Postset, c)
@@ -418,6 +473,7 @@ func (b *builder) instantiate(pe *possibleExtension) error {
 		c := b.newCondition(p, e)
 		e.Postset = append(e.Postset, c)
 	}
+	var unsafePlace petri.PlaceID
 	unsafe := false
 	for _, c := range e.Postset {
 		co := b.u.co[c.ID]
@@ -425,6 +481,7 @@ func (b *builder) instantiate(pe *possibleExtension) error {
 			other := b.u.Conditions[otherID]
 			if other.Place == c.Place {
 				unsafe = true
+				unsafePlace = c.Place
 				return
 			}
 			co.add(otherID)
@@ -437,7 +494,11 @@ func (b *builder) instantiate(pe *possibleExtension) error {
 		}
 	}
 	if unsafe {
-		return fmt.Errorf("%w: firing %s marks an already marked place", ErrNotSafe, b.g.TransitionString(pe.transition))
+		return &UnsafeError{
+			Place:      b.net.PlaceName(unsafePlace),
+			Transition: b.g.TransitionString(pe.transition),
+			Tokens:     2,
+		}
 	}
 
 	// Final state of the local configuration, derived incrementally from the

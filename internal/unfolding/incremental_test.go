@@ -1,6 +1,7 @@
 package unfolding
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -46,11 +47,11 @@ func incrementalSuite() []struct {
 // implementation and fails on the first mismatch.
 func TestIncrementalMatchesReplay(t *testing.T) {
 	for _, c := range incrementalSuite() {
-		u, err := Build(c.mk(), Options{DebugCheck: true})
+		u, err := Build(context.Background(), c.mk(), Options{DebugCheck: true})
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
-		plain, err := Build(c.mk(), Options{})
+		plain, err := Build(context.Background(), c.mk(), Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
@@ -66,7 +67,7 @@ func TestIncrementalMatchesReplay(t *testing.T) {
 // exactly the same events as cut-offs, with the same correspondents.
 func TestHashedCutoffMatchesStringKeyed(t *testing.T) {
 	for _, c := range incrementalSuite() {
-		u, err := Build(c.mk(), Options{})
+		u, err := Build(context.Background(), c.mk(), Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
@@ -96,7 +97,7 @@ func TestHashedCutoffMatchesStringKeyed(t *testing.T) {
 // the materialised Cut slice and the marking derived from it.
 func TestCutBitsetsMatchCutSlices(t *testing.T) {
 	for _, c := range incrementalSuite() {
-		u, err := Build(c.mk(), Options{})
+		u, err := Build(context.Background(), c.mk(), Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
@@ -128,7 +129,7 @@ func TestUnsafeConcurrentPlaceRejected(t *testing.T) {
 	g.MarkInitially(p0)
 	g.MarkInitially(p1) // p1 is marked while d can mark it again
 	g.SetInitialState(bitvec.New(0))
-	_, err := Build(g, Options{})
+	_, err := Build(context.Background(), g, Options{})
 	if !errors.Is(err, ErrNotSafe) {
 		t.Fatalf("expected ErrNotSafe, got %v", err)
 	}

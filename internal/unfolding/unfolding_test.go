@@ -1,6 +1,7 @@
 package unfolding
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -12,9 +13,9 @@ import (
 
 func build(t *testing.T, g *stg.STG) *Unfolding {
 	t.Helper()
-	u, err := Build(g, Options{})
+	u, err := Build(context.Background(), g, Options{})
 	if err != nil {
-		t.Fatalf("Build(%s): %v", g.Name(), err)
+		t.Fatalf("Build(context.Background(), %s): %v", g.Name(), err)
 	}
 	return u
 }
@@ -74,7 +75,7 @@ func TestCompleteness(t *testing.T) {
 	for name, mk := range builders {
 		g := mk()
 		u := build(t, g)
-		sg, err := stategraph.Build(mk(), stategraph.Options{})
+		sg, err := stategraph.Build(context.Background(), mk(), stategraph.Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -94,7 +95,7 @@ func TestCompleteness(t *testing.T) {
 func TestFig4UnfoldingSmallerThanSG(t *testing.T) {
 	g := benchgen.PaperFig4()
 	u := build(t, g)
-	sg, err := stategraph.Build(benchgen.PaperFig4(), stategraph.Options{})
+	sg, err := stategraph.Build(context.Background(), benchgen.PaperFig4(), stategraph.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestInconsistentSpecificationRejected(t *testing.T) {
 	b.Arc("x+", "y+").Arc("y+", "x+/2").Arc("x+/2", "x-").Arc("x-", "y-").Arc("y-", "x+").MarkBetween("y-", "x+")
 	b.InitialState("00")
 	g := b.MustBuild()
-	_, err := Build(g, Options{})
+	_, err := Build(context.Background(), g, Options{})
 	var ie *InconsistencyError
 	if !errors.As(err, &ie) {
 		t.Fatalf("expected InconsistencyError, got %v", err)
@@ -268,7 +269,7 @@ func TestUnsafeNetRejected(t *testing.T) {
 	g.AddArcTP(d, p1)
 	g.MarkInitially(p0)
 	g.SetInitialState(bitvec.New(0))
-	_, err := Build(g, Options{})
+	_, err := Build(context.Background(), g, Options{})
 	if !errors.Is(err, ErrNotSafe) {
 		t.Fatalf("expected ErrNotSafe, got %v", err)
 	}
@@ -283,7 +284,7 @@ func TestInitiallyUnsafeMarkingRejected(t *testing.T) {
 	g.MarkInitially(p0)
 	g.MarkInitially(p0) // two tokens on p0
 	g.SetInitialState(bitvec.New(0))
-	_, err := Build(g, Options{})
+	_, err := Build(context.Background(), g, Options{})
 	if !errors.Is(err, ErrNotSafe) {
 		t.Fatalf("expected ErrNotSafe, got %v", err)
 	}
@@ -291,7 +292,7 @@ func TestInitiallyUnsafeMarkingRejected(t *testing.T) {
 
 func TestEventLimit(t *testing.T) {
 	g := benchgen.PaperFig4()
-	_, err := Build(g, Options{MaxEvents: 3})
+	_, err := Build(context.Background(), g, Options{MaxEvents: 3})
 	if !errors.Is(err, ErrEventLimit) {
 		t.Fatalf("expected ErrEventLimit, got %v", err)
 	}

@@ -1,0 +1,92 @@
+package punt
+
+import (
+	"io"
+	"os"
+
+	"punt/internal/stg"
+)
+
+// Spec is a parsed and validated Signal Transition Graph specification, the
+// input of every synthesis and analysis entry point of the package.
+//
+// A Spec is immutable after loading: its initial binary state is inferred
+// eagerly (when the source carried no .initial_state directive), so the same
+// Spec value may be synthesised concurrently — Batch relies on this.
+type Spec struct {
+	g *stg.STG
+}
+
+// wrapSpec finalises a freshly built STG into a public Spec: the initial
+// binary state is inferred now if it was not given, so that later synthesis
+// runs — possibly several at once on the same Spec — never mutate the STG.
+func wrapSpec(g *stg.STG) (*Spec, error) {
+	if !g.HasInitialState() {
+		if err := g.InferInitialState(0); err != nil {
+			return nil, &Diagnostic{Op: "load", Spec: g.Name(), Kind: KindParse, Err: err}
+		}
+	}
+	return &Spec{g: g}, nil
+}
+
+// Load reads a specification in the astg ".g" interchange format (the format
+// of SIS and Petrify) from r.
+func Load(r io.Reader) (*Spec, error) {
+	g, err := stg.Parse(r)
+	if err != nil {
+		return nil, &Diagnostic{Op: "parse", Kind: KindParse, Err: err}
+	}
+	return wrapSpec(g)
+}
+
+// LoadFile reads a ".g" specification from a file; the path "-" reads
+// standard input.
+func LoadFile(path string) (*Spec, error) {
+	return LoadFileFrom(path, os.Stdin)
+}
+
+// LoadFileFrom is LoadFile with an explicit stdin: the path "-" reads from
+// the given reader instead of os.Stdin.  It is the loader the cmd/ binaries
+// share, so their "-" handling stays testable in process.
+func LoadFileFrom(path string, stdin io.Reader) (*Spec, error) {
+	if path == "-" {
+		return Load(stdin)
+	}
+	g, err := stg.ParseFile(path)
+	if err != nil {
+		return nil, &Diagnostic{Op: "parse", Spec: path, Kind: KindParse, Err: err}
+	}
+	return wrapSpec(g)
+}
+
+// Parse reads a ".g" specification from a string.
+func Parse(text string) (*Spec, error) {
+	g, err := stg.ParseString(text)
+	if err != nil {
+		return nil, &Diagnostic{Op: "parse", Kind: KindParse, Err: err}
+	}
+	return wrapSpec(g)
+}
+
+// Name returns the specification's model name.
+func (s *Spec) Name() string { return s.g.Name() }
+
+// NumSignals returns the number of declared signals.
+func (s *Spec) NumSignals() int { return s.g.NumSignals() }
+
+// SignalNames returns the names of all signals in declaration order.
+func (s *Spec) SignalNames() []string { return s.g.SignalNames() }
+
+// Describe renders a human-readable summary of the specification (signals,
+// net size, structural class).
+func (s *Spec) Describe() string { return stg.Describe(s.g) }
+
+// Text renders the specification back into the ".g" interchange format.
+func (s *Spec) Text() string { return stg.Format(s.g) }
+
+// IsMarkedGraph reports whether the underlying net is a marked graph (every
+// place has exactly one producer and one consumer).
+func (s *Spec) IsMarkedGraph() bool { return s.g.Net().IsMarkedGraph() }
+
+// IsFreeChoice reports whether the underlying net is free-choice.
+func (s *Spec) IsFreeChoice() bool { return s.g.Net().IsFreeChoice() }

@@ -1,0 +1,277 @@
+package punt
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"punt/gates"
+	"punt/internal/baseline"
+	"punt/internal/core"
+)
+
+// Mode selects how the unfolding-based flow derives covers.
+type Mode = core.Mode
+
+// Synthesis modes.
+const (
+	// Approximate derives covers from concurrency information local to the
+	// segment and refines them only where they interfere (the default).
+	Approximate Mode = core.Approximate
+	// Exact enumerates the states encapsulated by every slice.
+	Exact Mode = core.Exact
+)
+
+// Engine selects the synthesis engine.
+type Engine int
+
+// The three synthesis engines.
+const (
+	// Unfolding is the paper's PUNT flow: covers are derived from the
+	// STG-unfolding segment without building the state graph (the default).
+	Unfolding Engine = iota
+	// Explicit is the "SIS-like" baseline: explicit state-graph enumeration.
+	Explicit
+	// Symbolic is the "Petrify-like" baseline: BDD-based reachability.
+	Symbolic
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case Explicit:
+		return "explicit"
+	case Symbolic:
+		return "symbolic"
+	default:
+		return "unfolding"
+	}
+}
+
+// Progress is a coarse progress notification delivered to the WithProgress
+// callback during synthesis.
+type Progress struct {
+	// Stage depends on the engine: the unfolding flow reports "unfold" while
+	// the segment is under construction, the baselines report "build" once
+	// the state space exists; every engine then reports "covers" when the
+	// covers of a signal are about to be derived.
+	Stage string
+	// Signal names the signal being processed during the "covers" stage.
+	Signal string
+	// Events is the number of segment events built so far (final size during
+	// "covers"; unfolding engine only).
+	Events int
+	// States is the size of the state space (state-graph engines only).
+	States int
+}
+
+// config collects the functional options of a Synthesizer.
+type config struct {
+	mode      Mode
+	arch      gates.Architecture
+	engine    Engine
+	maxEvents int
+	maxStates int
+	maxNodes  int
+	workers   int
+	progress  func(Progress)
+}
+
+// Option configures a Synthesizer (and the package-level Batch, Unfold and
+// BuildStateGraph helpers).
+type Option func(*config)
+
+// WithMode selects exact or approximate cover derivation for the unfolding
+// engine.
+func WithMode(m Mode) Option { return func(c *config) { c.mode = m } }
+
+// WithArch selects the implementation architecture (default
+// gates.ComplexGate).
+func WithArch(a gates.Architecture) Option { return func(c *config) { c.arch = a } }
+
+// WithMaxEvents bounds the size of the unfolding segment; exceeding it fails
+// with ErrEventLimit (0 = the engine default of 1,000,000).
+func WithMaxEvents(n int) Option { return func(c *config) { c.maxEvents = n } }
+
+// WithMaxStates bounds the explicit state-graph engines; exceeding it fails
+// with ErrLimit (0 = unlimited).
+func WithMaxStates(n int) Option { return func(c *config) { c.maxStates = n } }
+
+// WithMaxNodes bounds the symbolic engine's BDD size; exceeding it fails with
+// ErrLimit (0 = unlimited).
+func WithMaxNodes(n int) Option { return func(c *config) { c.maxNodes = n } }
+
+// WithBaseline selects a state-graph baseline engine (Explicit or Symbolic)
+// instead of the default unfolding flow, so the baselines are driven through
+// exactly the same API.  WithBaseline(Unfolding) restores the default.
+func WithBaseline(e Engine) Option { return func(c *config) { c.engine = e } }
+
+// WithProgress installs a callback receiving coarse progress notifications.
+// The callback runs on the synthesizing goroutine and must be cheap; under
+// Batch it is invoked concurrently from several workers.
+func WithProgress(fn func(Progress)) Option { return func(c *config) { c.progress = fn } }
+
+// WithWorkers bounds the parallelism of Batch (0 = GOMAXPROCS).
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// Stats is the per-run timing and size breakdown, named after the columns of
+// the paper's Table 1.  The unfolding engine fills the segment fields; the
+// state-graph engines fill States.  For the baselines UnfTime is the
+// state-space construction time, SynTime the cover extraction and EspTime the
+// two-level minimisation, so the phases stay comparable across engines.
+type Stats struct {
+	Engine Engine
+
+	// UnfTime is the segment (or state-space) construction time ("UnfTim").
+	UnfTime time.Duration
+	// SynTime is the cover derivation time ("SynTim").
+	SynTime time.Duration
+	// EspTime is the two-level minimisation time ("EspTim").
+	EspTime time.Duration
+	// Total is the complete wall-clock synthesis time ("TotTim").
+	Total time.Duration
+
+	// Segment size (unfolding engine).
+	Events     int
+	Conditions int
+	Cutoffs    int
+	// States is the number of reachable states (state-graph engines).
+	States int
+
+	// Refinement counters (unfolding engine, approximate mode).
+	TermsRefined   int
+	SignalsRefined int
+}
+
+// String summarises the stats in the engine's natural vocabulary.
+func (s *Stats) String() string {
+	switch s.Engine {
+	case Explicit, Symbolic:
+		return fmt.Sprintf("engine=%s states=%d build=%v covers=%v minimize=%v total=%v",
+			s.Engine, s.States, s.UnfTime.Round(time.Microsecond), s.SynTime.Round(time.Microsecond),
+			s.EspTime.Round(time.Microsecond), s.Total.Round(time.Microsecond))
+	default:
+		return fmt.Sprintf("unf=%v syn=%v esp=%v total=%v events=%d cutoffs=%d refined-terms=%d",
+			s.UnfTime.Round(time.Microsecond), s.SynTime.Round(time.Microsecond),
+			s.EspTime.Round(time.Microsecond), s.Total.Round(time.Microsecond),
+			s.Events, s.Cutoffs, s.TermsRefined)
+	}
+}
+
+// Result is the outcome of one successful synthesis run.
+type Result struct {
+	// Spec is the synthesised specification.
+	Spec *Spec
+	// Impl is the gate-level implementation; see punt/gates for the model,
+	// including per-signal covers.
+	Impl *gates.Implementation
+	// Stats is the Table-1-style timing and size breakdown.
+	Stats Stats
+}
+
+// Eqn renders the implementation as boolean equations.
+func (r *Result) Eqn() string { return r.Impl.Eqn() }
+
+// Verilog renders the implementation as a behavioural Verilog module.
+func (r *Result) Verilog() string { return r.Impl.Verilog() }
+
+// Literals is the total literal count of the implementation.
+func (r *Result) Literals() int { return r.Impl.Literals() }
+
+// Gate returns the gate implementing the named signal.
+func (r *Result) Gate(signal string) (gates.Gate, bool) { return r.Impl.Gate(signal) }
+
+// Synthesizer is the configured synthesis pipeline.  The zero-cost New
+// constructor applies functional options; a Synthesizer is immutable and safe
+// for concurrent use.
+type Synthesizer struct {
+	cfg config
+}
+
+// New returns a Synthesizer with the given options applied.
+func New(opts ...Option) *Synthesizer {
+	s := &Synthesizer{}
+	for _, o := range opts {
+		o(&s.cfg)
+	}
+	return s
+}
+
+// Synthesize derives a speed-independent implementation of spec with the
+// configured engine.  It honours ctx: cancellation aborts the segment/state
+// construction loops promptly and the error (wrapped in a *Diagnostic)
+// matches context.Canceled / context.DeadlineExceeded.
+func (s *Synthesizer) Synthesize(ctx context.Context, spec *Spec) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res := &Result{Spec: spec}
+	res.Stats.Engine = s.cfg.engine
+	switch s.cfg.engine {
+	case Explicit:
+		eng := &baseline.ExplicitSynthesizer{
+			Arch:      s.cfg.arch,
+			MaxStates: s.cfg.maxStates,
+			Progress:  baselineProgress(s.cfg.progress),
+		}
+		im, st, err := eng.Synthesize(ctx, spec.g)
+		if err != nil {
+			return nil, diagnose("synthesize", spec.Name(), err)
+		}
+		res.Impl = im
+		fillBaselineStats(&res.Stats, st)
+	case Symbolic:
+		eng := &baseline.SymbolicSynthesizer{
+			Arch:     s.cfg.arch,
+			MaxNodes: s.cfg.maxNodes,
+			Progress: baselineProgress(s.cfg.progress),
+		}
+		im, st, err := eng.Synthesize(ctx, spec.g)
+		if err != nil {
+			return nil, diagnose("synthesize", spec.Name(), err)
+		}
+		res.Impl = im
+		fillBaselineStats(&res.Stats, st)
+	default:
+		copts := core.Options{Mode: s.cfg.mode, Arch: s.cfg.arch, MaxEvents: s.cfg.maxEvents}
+		if p := s.cfg.progress; p != nil {
+			copts.Progress = func(stage, signal string, events int) {
+				p(Progress{Stage: stage, Signal: signal, Events: events})
+			}
+		}
+		im, st, err := core.New(copts).Synthesize(ctx, spec.g)
+		if err != nil {
+			return nil, diagnose("synthesize", spec.Name(), err)
+		}
+		res.Impl = im
+		res.Stats.UnfTime = st.UnfTime
+		res.Stats.SynTime = st.SynTime
+		res.Stats.EspTime = st.EspTime
+		res.Stats.Total = st.Total
+		res.Stats.Events = st.Events
+		res.Stats.Conditions = st.Conditions
+		res.Stats.Cutoffs = st.Cutoffs
+		res.Stats.TermsRefined = st.TermsRefined
+		res.Stats.SignalsRefined = st.SignalsRefined
+	}
+	return res, nil
+}
+
+// baselineProgress adapts the public progress callback to the baseline
+// engines' hook.
+func baselineProgress(p func(Progress)) baseline.ProgressFunc {
+	if p == nil {
+		return nil
+	}
+	return func(stage, signal string, states int) {
+		p(Progress{Stage: stage, Signal: signal, States: states})
+	}
+}
+
+func fillBaselineStats(dst *Stats, st *baseline.Stats) {
+	dst.UnfTime = st.BuildTime
+	dst.SynTime = st.CoverTime
+	dst.EspTime = st.MinimizeTime
+	dst.Total = st.Total
+	dst.States = st.States
+}

@@ -1,0 +1,19 @@
+# A Complete State Coding violation: the input req performs two successive
+# handshakes with two different outputs, and no signal distinguishes the two
+# phases — two reachable states share the code 100 but excite different
+# outputs.
+.model csc-broken
+.inputs req
+.outputs out1 out2
+.graph
+req+ out1+
+out1+ req-
+req- out1-
+out1- req+/2
+req+/2 out2+
+out2+ req-/2
+req-/2 out2-
+out2- req+
+.marking { <out2-,req+> }
+.initial_state 000
+.end

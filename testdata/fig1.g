@@ -1,0 +1,26 @@
+# The worked example of the paper's Figure 1 (three signals; the output b
+# synthesises to the cover b = a + c).
+.model paper-fig1
+.inputs a c
+.outputs b
+.graph
+a+ p2 p3
+b+ p7 p8
+b+/2 p5
+c+ p4
+c+/2 p6 p8
+a- p7
+b- p1
+c- p9
+p1 a+ c+
+p2 b+/2
+p3 c+/2
+p4 b+
+p5 a-
+p6 a-
+p7 c-
+p8 c-
+p9 b-
+.marking { p1 }
+.initial_state 000
+.end

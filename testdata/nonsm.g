@@ -1,0 +1,21 @@
+# A non-semi-modular specification: after the input a+ the choice place p
+# feeds two *output* transitions, so firing one disables the other excited
+# output — an output-persistency violation that no hazard-free
+# speed-independent circuit can implement.
+.model nonsm
+.inputs a
+.outputs x y
+.graph
+a+ p
+p x+
+p y+
+x+ a-/1
+y+ a-/2
+a-/1 x-
+a-/2 y-
+x- q
+y- q
+q a+
+.marking { q }
+.initial_state 000
+.end
