@@ -5,9 +5,14 @@
 //
 // Usage:
 //
-//	punt [-exact] [-arch complex-gate|standard-c|rs-latch] [-verilog] [-stats] file.g
+//	punt [-exact] [-arch complex-gate|standard-c|rs-latch] [-verilog] [-stats] [-verify] file.g
 //
 // With "-" as the file name the STG is read from standard input.
+//
+// With -verify the synthesised implementation is additionally checked by the
+// closed-loop gate-level simulation (conformance, hazard-freedom, liveness);
+// a failed or inconclusive verification exits with status 3, distinct from
+// the synthesis-failure status 1 and the usage status 2.
 package main
 
 import (
@@ -36,6 +41,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	verilog := fs.Bool("verilog", false, "emit a behavioural Verilog module instead of boolean equations")
 	stats := fs.Bool("stats", false, "print the synthesis time breakdown (UnfTim/SynTim/EspTim)")
 	maxEvents := fs.Int("max-events", 0, "abort if the unfolding segment exceeds this many events (0 = default)")
+	doVerify := fs.Bool("verify", false, "verify the implementation with the closed-loop simulation; exit 3 on failure")
+	maxStates := fs.Int("max-states", 0, "abort verification beyond this many composed states per cluster (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -66,6 +73,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	if *stats {
 		fmt.Fprintf(stderr, "%s\n", &res.Stats)
+	}
+	if *doVerify {
+		rep, err := punt.Verify(context.Background(), spec, res, punt.WithMaxStates(*maxStates))
+		if err != nil {
+			// Exit 3: the implementation failed (or could not complete)
+			// verification, as opposed to synthesis failure (1).
+			fmt.Fprintln(stderr, "punt:", err)
+			return 3
+		}
+		if *stats {
+			fmt.Fprintf(stderr, "%s\n", rep)
+		}
 	}
 	if *verilog {
 		fmt.Fprint(stdout, res.Verilog())

@@ -90,6 +90,47 @@ b- a+
 	}
 }
 
+func TestVerifyFlagPasses(t *testing.T) {
+	code, stdout, stderr := runCmd(t, []string{"-verify", "-stats", "../../testdata/fig1.g"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if stdout != fig1Eqn {
+		t.Errorf("equations must still go to stdout, got %q", stdout)
+	}
+	if !strings.Contains(stderr, "verified 1 gates") {
+		t.Errorf("-verify -stats should report the verification summary, got: %s", stderr)
+	}
+}
+
+func TestVerifyFailureExitsThree(t *testing.T) {
+	// A verification that cannot complete within its composed-state budget
+	// must exit with the dedicated verification status 3, not with the
+	// synthesis-failure status 1.
+	code, stdout, stderr := runCmd(t, []string{"-verify", "-max-states", "2", "../../testdata/fig1.g"}, "")
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3; stderr: %s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("no implementation must be printed when verification fails, got %q", stdout)
+	}
+	if !strings.Contains(stderr, "resource limit") && !strings.Contains(stderr, "state limit") {
+		t.Errorf("stderr should explain the verification failure: %s", stderr)
+	}
+}
+
+func TestSynthesisFailureStaysExitOne(t *testing.T) {
+	// -verify must not reclassify synthesis failures: a non-semi-modular
+	// specification still fails during synthesis with exit 1.
+	code, _, stderr := runCmd(t, []string{"-verify", "../../testdata/nonsm.g"}, "")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "not semi-modular") {
+		t.Errorf("stderr should report the synthesis failure: %s", stderr)
+	}
+}
+
 func TestNonSemiModularErrorExit(t *testing.T) {
 	code, stdout, stderr := runCmd(t, []string{"../../testdata/nonsm.g"}, "")
 	if code != 1 {

@@ -10,6 +10,7 @@ import (
 	"punt/internal/core"
 	"punt/internal/stategraph"
 	"punt/internal/unfolding"
+	"punt/internal/verify"
 )
 
 // Sentinel errors of the public API.  The first three are re-exported from
@@ -30,6 +31,9 @@ var (
 	// ErrLimit: a state, node or event resource budget was exceeded; matched
 	// by every flavour of resource exhaustion, ErrEventLimit included.
 	ErrLimit = errors.New("punt: resource limit exceeded")
+	// ErrVerification: the implementation failed the closed-loop verification
+	// (Verify); matched by conformance, hazard and liveness violations alike.
+	ErrVerification = errors.New("punt: implementation fails verification")
 )
 
 // DiagKind classifies a Diagnostic.
@@ -55,6 +59,15 @@ const (
 	KindLimit
 	// KindCanceled: the context was cancelled or its deadline expired.
 	KindCanceled
+	// KindConformance: the implementation can drive an output edge the
+	// specification does not enable (Verify).
+	KindConformance
+	// KindHazard: an excited gate of the implementation can be disabled
+	// before it fires, so its output can glitch (Verify).
+	KindHazard
+	// KindLiveness: a specification-enabled output transition can never be
+	// produced by the implementation (Verify).
+	KindLiveness
 )
 
 // String names the kind.
@@ -74,9 +87,21 @@ func (k DiagKind) String() string {
 		return "resource limit"
 	case KindCanceled:
 		return "canceled"
+	case KindConformance:
+		return "conformance violation"
+	case KindHazard:
+		return "hazard"
+	case KindLiveness:
+		return "lost liveness"
 	default:
 		return "error"
 	}
+}
+
+// IsVerification reports whether the kind is one of the closed-loop
+// verification failures (conformance, hazard, liveness).
+func (k DiagKind) IsVerification() bool {
+	return k == KindConformance || k == KindHazard || k == KindLiveness
 }
 
 // Diagnostic is the structured error type of the public API: every failing
@@ -89,7 +114,7 @@ func (k DiagKind) String() string {
 // matched by Kind.
 type Diagnostic struct {
 	// Op is the facade operation that failed: "parse", "load", "synthesize",
-	// "unfold" or "stategraph".
+	// "unfold", "stategraph", "verify" or "differential".
 	Op string
 	// Spec names the specification, when known.
 	Spec string
@@ -140,6 +165,8 @@ func (d *Diagnostic) Is(target error) bool {
 		return d.Kind == KindCSC
 	case ErrLimit:
 		return d.Kind == KindLimit
+	case ErrVerification:
+		return d.Kind.IsVerification()
 	default:
 		return false
 	}
@@ -165,10 +192,22 @@ func diagnose(op, spec string, err error) error {
 		smErr       *core.SemiModularityError
 		coreCSC     *core.CSCError
 		baselineCSC *baseline.CSCError
+		violation   *verify.Violation
 	)
 	switch {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		d.Kind = KindCanceled
+	case errors.As(err, &violation):
+		switch violation.Kind {
+		case verify.Conformance:
+			d.Kind = KindConformance
+		case verify.Hazard:
+			d.Kind = KindHazard
+		case verify.Liveness:
+			d.Kind = KindLiveness
+		}
+		d.Signal = violation.Signal
+		d.Trace = violation.TraceStrings()
 	case errors.As(err, &unsafeErr):
 		d.Kind = KindNotSafe
 		d.Place = unsafeErr.Place
@@ -200,7 +239,8 @@ func diagnose(op, spec string, err error) error {
 		}
 	case errors.Is(err, unfolding.ErrEventLimit),
 		errors.Is(err, baseline.ErrLimit),
-		errors.Is(err, stategraph.ErrStateLimit):
+		errors.Is(err, stategraph.ErrStateLimit),
+		errors.Is(err, verify.ErrStateLimit):
 		d.Kind = KindLimit
 	case errors.Is(err, unfolding.ErrNotSafe):
 		d.Kind = KindNotSafe

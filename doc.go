@@ -24,6 +24,17 @@
 // Unfold and BuildStateGraph expose the segment and the explicit state graph
 // for analysis; punt/bench re-runs the paper's evaluation.
 //
+// Synthesis results do not have to be trusted blindly: Verify closes the loop
+// with an event-driven gate-level simulation of the implementation composed
+// with the specification's environment, exploring every interleaving under
+// arbitrary gate delays and checking output-trace conformance, hazard-freedom
+// and liveness.  A violation is a *Diagnostic (KindConformance, KindHazard or
+// KindLiveness, all matched by ErrVerification) carrying the offending signal
+// and a timed counterexample trace.  Differential cross-checks all synthesis
+// engines against the state-graph oracle state by state; together with the
+// benchgen.RandomSTG specification generator it backs the repository's
+// differential fuzzing harness (go test -fuzz=FuzzDifferential).
+//
 // The segment builder (internal/unfolding) is the hot path of the system and
 // is engineered accordingly: events carry their cut, marking and binary code
 // computed incrementally from their preset producers rather than by replaying

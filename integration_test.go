@@ -14,7 +14,7 @@ import (
 
 // verify checks every gate of an implementation against the explicit state
 // graph of a fresh copy of the specification.
-func verify(t *testing.T, mk func() *stg.STG, im *gatelib.Implementation) {
+func verifyAgainstStateGraph(t *testing.T, mk func() *stg.STG, im *gatelib.Implementation) {
 	t.Helper()
 	g := mk()
 	sg, err := stategraph.Build(context.Background(), g, stategraph.Options{MaxStates: 2000000})
@@ -57,7 +57,7 @@ func TestPUNTCorrectOnTable1Suite(t *testing.T) {
 			if err != nil {
 				t.Fatalf("punt: %v", err)
 			}
-			verify(t, entry.Build, im)
+			verifyAgainstStateGraph(t, entry.Build, im)
 
 			ex := &baseline.ExplicitSynthesizer{MaxStates: 2000000}
 			imSG, _, err := ex.Synthesize(context.Background(), entry.Build())
@@ -86,7 +86,7 @@ func TestPUNTCorrectOnPipelines(t *testing.T) {
 			t.Errorf("stages=%d: the pipeline should not need refinement, refined %d terms",
 				stages, stats.TermsRefined)
 		}
-		verify(t, mk, im)
+		verifyAgainstStateGraph(t, mk, im)
 		// Every internal stage is a Muller C-element of its two neighbours:
 		// three cubes of two literals each.
 		for i := 2; i < stages; i++ {
@@ -113,7 +113,7 @@ func TestPUNTCorrectOnChoiceController(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	verify(t, mk, im)
+	verifyAgainstStateGraph(t, mk, im)
 }
 
 // TestAllArchitecturesOnReadController checks the three implementation
@@ -125,7 +125,7 @@ func TestAllArchitecturesOnReadController(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", arch, err)
 		}
-		verify(t, mk, im)
+		verifyAgainstStateGraph(t, mk, im)
 	}
 }
 
@@ -145,8 +145,8 @@ func TestExactModeMatchesApproximateMode(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s exact: %v", entry.Name, err)
 		}
-		verify(t, entry.Build, approx)
-		verify(t, entry.Build, exact)
+		verifyAgainstStateGraph(t, entry.Build, approx)
+		verifyAgainstStateGraph(t, entry.Build, exact)
 		if approx.Literals() != exact.Literals() {
 			t.Logf("%s: approx=%d exact=%d literals (both verified)", entry.Name, approx.Literals(), exact.Literals())
 		}

@@ -1,0 +1,104 @@
+package benchgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"punt/internal/bitvec"
+	"punt/internal/stg"
+)
+
+// RandomSTG generates a deterministic pseudo-random controller for the given
+// seed: a handshake tree in the style of SyntheticController extended with
+// environment-resolved free choice (as in ChoiceController, but nestable),
+// internal (non-input, non-output) pad signals, and — for roughly a third of
+// the seeds — a deliberate Complete State Coding conflict gadget.
+//
+// Every generated net is 1-safe, consistent and semi-modular by construction;
+// whether it satisfies CSC depends on the seed, so callers must treat the
+// explicit state graph (or the synthesis engines' CSC detection) as the
+// oracle.  This is the workload generator of the differential fuzzing
+// harness: the structural variety (sequencing, wide concurrency, nested input
+// choice, non-free-choice falling phases, internal signals, CSC conflicts)
+// exercises every engine path while the handshake discipline keeps the
+// specifications well-formed.
+//
+// The budget steers the number of signals (minimum 4); the exact count
+// depends on how the plan tree consumes it.
+func RandomSTG(seed int64, budget int) *stg.STG {
+	if budget < 4 {
+		budget = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	allowCSC := rng.Intn(3) == 0
+	plan := buildRandomPlan(budget-4, rng, allowCSC)
+	b := stg.NewBuilder(fmt.Sprintf("random-%d", seed))
+	b.Inputs("r").Outputs("a")
+	e := &emitter{b: b}
+	childReq, childAck := e.emit(plan, "0")
+	b.Arc("r+", childReq+"+").Arc(childAck+"+", "a+")
+	b.Arc("r-", childReq+"-").Arc(childAck+"-", "a-")
+	b.Arc("a+", "r-")
+	b.Arc("a-", "r+").MarkBetween("a-", "r+")
+	g := b.MustBuild()
+	g.SetInitialState(bitvec.New(g.NumSignals())) // every signal starts low
+	return g
+}
+
+// buildRandomPlan builds a random plan tree consuming roughly the given
+// signal budget.  Unlike buildPlan it may emit choice nodes, internal pads
+// and (when allowCSC is set) CSC-conflict gadget leaves.
+func buildRandomPlan(budget int, rng *rand.Rand, allowCSC bool) *planNode {
+	if budget <= 3 {
+		leaf := &planNode{kind: kindLeaf, pads: budget}
+		if budget >= 2 && allowCSC && rng.Intn(4) == 0 {
+			leaf.kind = kindCSCLeaf
+			leaf.pads = 2
+		}
+		if rng.Intn(3) == 0 {
+			leaf.internalPads = true
+		}
+		return leaf
+	}
+	roll := rng.Intn(10)
+	if budget >= 8 && roll < 3 {
+		// A choice node costs two input selects plus two child ports.
+		node := &planNode{kind: kindChoice}
+		remaining := budget - 6
+		first := rng.Intn(remaining + 1)
+		node.children = []*planNode{
+			buildRandomPlan(first, rng, allowCSC),
+			buildRandomPlan(remaining-first, rng, allowCSC),
+		}
+		return node
+	}
+	kind := kindSeq
+	if roll >= 6 {
+		kind = kindPar
+	}
+	k := 2
+	if budget >= 10 && rng.Intn(2) == 0 {
+		k = 3
+	}
+	remaining := budget - 2*k
+	if remaining < 0 {
+		leaf := &planNode{kind: kindLeaf, pads: budget}
+		if rng.Intn(3) == 0 {
+			leaf.internalPads = true
+		}
+		return leaf
+	}
+	node := &planNode{kind: kind}
+	for i := 0; i < k; i++ {
+		share := remaining / (k - i)
+		if i < k-1 && share > 0 {
+			share = rng.Intn(share + 1)
+		}
+		if i == k-1 {
+			share = remaining
+		}
+		node.children = append(node.children, buildRandomPlan(share, rng, allowCSC))
+		remaining -= share
+	}
+	return node
+}

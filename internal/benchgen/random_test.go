@@ -1,0 +1,115 @@
+package benchgen
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"punt/internal/core"
+	"punt/internal/stategraph"
+	"punt/internal/stg"
+	"punt/internal/unfolding"
+)
+
+// TestRandomSTGProperties is the generator's property sweep: every seed must
+// produce a 1-safe, consistent, semi-modular specification, and the CSC
+// verdict of the state-graph oracle must match the synthesis engines'
+// behaviour.  The sweep cross-validates the generator against both analyses —
+// the unfolding segment (construction succeeds, structural semi-modularity
+// check passes) and the explicit state graph (safety, consistency,
+// persistency, CSC) — over more than 200 seeds.
+func TestRandomSTGProperties(t *testing.T) {
+	const seeds = 250
+	var csc, clean, withChoice, withInternal int
+	for seed := int64(0); seed < seeds; seed++ {
+		budget := 4 + int(seed%14)
+		g := RandomSTG(seed, budget)
+
+		// Determinism: the same seed and budget must rebuild the same net.
+		if stg.Format(g) != stg.Format(RandomSTG(seed, budget)) {
+			t.Fatalf("seed %d: RandomSTG is not deterministic", seed)
+		}
+		if len(g.InputSignals()) > 1 {
+			withChoice++
+		}
+		for _, s := range g.Signals() {
+			if s.Kind == stg.Internal {
+				withInternal++
+				break
+			}
+		}
+
+		// The state graph must build: the net is 1-safe and the labelling is
+		// consistent (Build rejects both violations).
+		sg, err := stategraph.Build(context.Background(), g, stategraph.Options{MaxStates: 200000})
+		if err != nil {
+			t.Fatalf("seed %d: state graph: %v", seed, err)
+		}
+		if v := sg.CheckOutputPersistency(); len(v) > 0 {
+			t.Fatalf("seed %d: persistency violation: %v", seed, v[0])
+		}
+
+		// The unfolding segment must build and its structural semi-modularity
+		// check must agree with the state graph.
+		u, err := unfolding.Build(context.Background(), g, unfolding.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: unfolding: %v", seed, err)
+		}
+		if v := u.CheckSemiModularity(); len(v) > 0 {
+			t.Fatalf("seed %d: segment flags a semi-modularity violation the state graph does not: %v", seed, v[0])
+		}
+
+		// CSC: the oracle's verdict must match the engine's.
+		_, _, synErr := core.New(core.Options{Mode: core.Exact}).Synthesize(context.Background(), g)
+		if len(sg.CheckCSC()) > 0 {
+			csc++
+			var cscErr *core.CSCError
+			if !errors.As(synErr, &cscErr) {
+				t.Fatalf("seed %d: oracle finds a CSC conflict but exact synthesis returned %v", seed, synErr)
+			}
+		} else {
+			clean++
+			if synErr != nil {
+				t.Fatalf("seed %d: oracle is clean but exact synthesis failed: %v", seed, synErr)
+			}
+		}
+	}
+	if csc == 0 || clean == 0 {
+		t.Errorf("sweep must cover both CSC classes, got csc=%d clean=%d", csc, clean)
+	}
+	if withChoice == 0 {
+		t.Error("no seed generated an input choice")
+	}
+	if withInternal == 0 {
+		t.Error("no seed generated internal signals")
+	}
+	t.Logf("%d seeds: %d CSC-conflicted, %d clean, %d with choice, %d with internal signals",
+		seeds, csc, clean, withChoice, withInternal)
+}
+
+// TestRandomSTGBudgetClamp checks the minimum-budget path.
+func TestRandomSTGBudgetClamp(t *testing.T) {
+	g := RandomSTG(1, 0)
+	if g.NumSignals() < 4 {
+		t.Errorf("budget 0 should clamp to the 4-signal minimum, got %d signals", g.NumSignals())
+	}
+	if _, err := stategraph.Build(context.Background(), g, stategraph.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomSTGRoundTrips checks the generated specifications survive the .g
+// writer/parser pair, so they can seed file-based tools and fuzz corpora.
+func TestRandomSTGRoundTrips(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		g := RandomSTG(seed, 4+int(seed%14))
+		text := stg.Format(g)
+		g2, err := stg.ParseString(text)
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v\n%s", seed, err, text)
+		}
+		if stg.Format(g2) != text {
+			t.Fatalf("seed %d: write/parse round trip is unstable", seed)
+		}
+	}
+}

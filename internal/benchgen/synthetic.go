@@ -25,13 +25,23 @@ const (
 	kindLeaf nodeKind = iota
 	kindSeq
 	kindPar
+	// kindChoice is an environment-resolved free choice between two child
+	// blocks: two fresh input selects compete for the token the request
+	// provides (RandomSTG only).
+	kindChoice
+	// kindCSCLeaf is a leaf whose two pads each toggle up and down in
+	// sequence, so the states before and between the pad bursts share a
+	// binary code while exciting different outputs — a deliberate Complete
+	// State Coding conflict (RandomSTG only).
+	kindCSCLeaf
 )
 
 // planNode is one block of the handshake tree.
 type planNode struct {
-	kind     nodeKind
-	pads     int // internal toggle signals (leaves only)
-	children []*planNode
+	kind         nodeKind
+	pads         int  // internal toggle signals (leaves only)
+	internalPads bool // declare the pads as internal instead of output signals
+	children     []*planNode
 }
 
 // cost returns the number of signals the node adds beyond its own port.
@@ -128,13 +138,59 @@ func (e *emitter) emit(n *planNode, path string) (req, ack string) {
 		prevFall := req + "-"
 		for i := 0; i < n.pads; i++ {
 			x := fmt.Sprintf("x%s_%d", path, i)
-			e.b.Outputs(x)
+			if n.internalPads {
+				e.b.Internals(x)
+			} else {
+				e.b.Outputs(x)
+			}
 			e.b.Arc(prevRise, x+"+")
 			e.b.Arc(prevFall, x+"-")
 			prevRise, prevFall = x+"+", x+"-"
 		}
 		e.b.Arc(prevRise, ack+"+")
 		e.b.Arc(prevFall, ack+"-")
+	case kindCSCLeaf:
+		// Both pads toggle fully during the rising phase: the markings before
+		// x0+ and before x1+ carry identical codes but excite different
+		// outputs, which is exactly a CSC conflict.
+		x0 := "x" + path + "_0"
+		x1 := "x" + path + "_1"
+		if n.internalPads {
+			e.b.Internals(x0, x1)
+		} else {
+			e.b.Outputs(x0, x1)
+		}
+		e.b.Chain(req+"+", x0+"+", x0+"-", x1+"+", x1+"-", ack+"+")
+		e.b.Arc(req+"-", ack+"-")
+	case kindChoice:
+		// The environment resolves a free choice between the two children:
+		// the request arms a choice place, one of two fresh input selects
+		// consumes it, and the selected child's acknowledgement reaches the
+		// block port through merge places.  The falling phase is steered back
+		// into the selected branch by the per-branch memory place.
+		pc, pd := "pc"+path, "pd"+path
+		up, down := "pu"+path, "pv"+path
+		e.b.Place(pc).Place(pd).Place(up).Place(down)
+		e.b.PlaceArc(req+"+", pc)
+		e.b.PlaceArc(req+"-", pd)
+		for i, c := range n.children {
+			tag := string(rune('a' + i))
+			sel := "s" + path + tag
+			q := "q" + path + tag
+			e.b.Inputs(sel)
+			e.b.Place(q)
+			cReq, cAck := e.emit(c, path+tag)
+			e.b.PlaceArc(pc, sel+"+")
+			e.b.PlaceArc(sel+"+", q)
+			e.b.Arc(sel+"+", cReq+"+")
+			e.b.PlaceArc(cAck+"+", up)
+			e.b.PlaceArc(q, sel+"-")
+			e.b.PlaceArc(pd, sel+"-")
+			e.b.Arc(sel+"-", cReq+"-")
+			e.b.PlaceArc(cAck+"-", down)
+		}
+		e.b.PlaceArc(up, ack+"+")
+		e.b.PlaceArc(down, ack+"-")
 	case kindSeq:
 		// Broad sequencer: child i+1 starts after child i acknowledges; the
 		// falling phase releases the children in the same order.

@@ -178,14 +178,20 @@ func (p *parser) finish(graphLines []string, markingLine string) (*STG, error) {
 			p.g.AddSignal(n, p.kinds[n])
 		}
 	}
-	// First pass: create all nodes named at the head of a line so that edge
-	// instance numbering follows the order of appearance, then add arcs.
+	// First pass: create the node at the head of every line, in line order,
+	// so that node identifiers (and the instance numbering of repeated signal
+	// edges) follow the order of appearance rather than the order of first
+	// reference.  WriteG emits one line per transition in identifier order,
+	// so this is also what makes write/parse round trips stable.
 	type arc struct{ src, dst string }
 	var arcs []arc
 	for _, line := range graphLines {
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
 			return nil, fmt.Errorf("stg: malformed graph line %q", line)
+		}
+		if _, _, _, err := p.node(fields[0]); err != nil {
+			return nil, err
 		}
 		for _, dst := range fields[1:] {
 			arcs = append(arcs, arc{src: fields[0], dst: dst})
@@ -269,6 +275,7 @@ func (p *parser) parseMarking(line string) error {
 	if cur.Len() > 0 {
 		tokens = append(tokens, cur.String())
 	}
+	seen := map[string]bool{}
 	for _, tok := range tokens {
 		tok = strings.TrimSpace(tok)
 		if tok == "" {
@@ -278,6 +285,10 @@ func (p *parser) parseMarking(line string) error {
 			return fmt.Errorf("stg: weighted marking %q not supported (safe nets only)", tok)
 		}
 		name := strings.ReplaceAll(tok, " ", "")
+		if seen[name] {
+			return fmt.Errorf("stg: place %q listed twice in .marking (safe nets only)", name)
+		}
+		seen[name] = true
 		pl, ok := p.places[name]
 		if !ok {
 			// Also try with the raw token (explicit place with unusual name).

@@ -1,0 +1,2 @@
+go test fuzz v1
+string("# The worked example of the paper's Figure 1 (three signals; the output b\n# synthesises to the cover b = a + c).\n.model paper-fig1\n.inputs a c\n.outputs b\n.graph\na+ p2 p3\nb+ p7 p8\nb+/2 p5\nc+ p4\nc+/2 p6 p8\na- p7\nb- p1\nc- p9\np1 a+ c+\np2 b+/2\np3 c+/2\np4 b+\np5 a-\np6 a-\np7 c-\np8 c-\np9 b-\n.marking { p1 }\n.initial_state 000\n.end\n")

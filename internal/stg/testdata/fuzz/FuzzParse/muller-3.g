@@ -1,0 +1,2 @@
+go test fuzz v1
+string(".model muller-pipeline-3\n.inputs c0 c4\n.outputs c1 c2 c3\n.graph\nc0+ c1+\nc0- c1-\nc1+ c2+ c0-\nc1- c2- c0+\nc2+ c1- c3+\nc2- c1+ c3-\nc3+ c2- c4+\nc3- c2+ c4-\nc4+ c3-\nc4- c3+\n.marking { <c1-,c0+> <c2-,c1+> <c3-,c2+> <c4-,c3+> }\n.initial_state 00000\n.end\n")

@@ -1,0 +1,2 @@
+go test fuzz v1
+string(".model paper-fig4\n.inputs a\n.outputs b c d e f g\n.graph\na+ b+ c+ d+\nb+ e+\ne+ a-\nc+ f+\nf+ a-\nd+ g+\ng+ a-\na- b- c- d-\nb- e-\ne- a+\nc- f-\nf- a+\nd- g-\ng- a+\n.marking { <e-,a+> <f-,a+> <g-,a+> }\n.initial_state 0000000\n.end\n")

@@ -1,0 +1,2 @@
+go test fuzz v1
+string(".model random-22\n.inputs r\n.outputs a r0 a0 r00 a00 r01 a01 x01_0 x01_1\n.graph\nr00+ a00+\na00+ a0+\nr00- a00-\na00- a0-\nr0+ r00+ r01+\na0+ a+\nr0- r00- r01-\na0- a-\nr01+ x01_0+\nx01_0+ x01_0-\nx01_0- x01_1+\nx01_1+ x01_1-\nx01_1- a01+\na01+ a0+\nr01- a01-\na01- a0-\nr+ r0+\na+ r-\nr- r0-\na- r+\n.marking { <a-,r+> }\n.initial_state 0000000000\n.end\n")

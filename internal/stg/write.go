@@ -76,7 +76,24 @@ func WriteG(w io.Writer, g *STG) error {
 		fmt.Fprintf(&b, ".marking { %s }\n", strings.Join(parts, " "))
 	}
 	if g.HasInitialState() {
-		fmt.Fprintf(&b, ".initial_state %s\n", g.InitialState().String())
+		// The signal sections above are grouped by kind, which may reorder a
+		// source that interleaved its declarations; the positional
+		// .initial_state bits must follow the emitted order, not the
+		// declaration order.
+		v := g.InitialState()
+		var bits strings.Builder
+		for _, kind := range []SignalKind{Input, Output, Internal} {
+			for i, s := range g.Signals() {
+				if s.Kind == kind {
+					if v.Get(i) {
+						bits.WriteByte('1')
+					} else {
+						bits.WriteByte('0')
+					}
+				}
+			}
+		}
+		fmt.Fprintf(&b, ".initial_state %s\n", bits.String())
 	}
 	b.WriteString(".end\n")
 	_, err := io.WriteString(w, b.String())

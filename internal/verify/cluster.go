@@ -1,0 +1,137 @@
+package verify
+
+import (
+	"punt/internal/boolcover"
+	"punt/internal/gatelib"
+	"punt/internal/petri"
+	"punt/internal/stg"
+)
+
+// cluster is one independently verifiable sub-circuit: a union of connected
+// components of the net, closed under the input support of its gates.
+type cluster struct {
+	signals     []int                // global signal indices, ascending
+	places      []petri.PlaceID      // ascending
+	transitions []petri.TransitionID // ascending
+	gates       map[int]gatelib.Gate // by global signal index
+}
+
+// unionFind is a plain union-find over integer nodes.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+// coverSupport marks in supp the variables some cube of c constrains.
+func coverSupport(c *boolcover.Cover, supp []bool) {
+	if c == nil {
+		return
+	}
+	for _, cb := range c.Cubes() {
+		for i := 0; i < cb.Len(); i++ {
+			if cb.Get(i) != boolcover.Dash {
+				supp[i] = true
+			}
+		}
+	}
+}
+
+// partition splits the specification and its gates into independently
+// verifiable clusters.  Two parts of the net end up in the same cluster when
+// they are connected through places and transitions, when they carry
+// transitions of the same signal, or when a gate of one reads a signal of the
+// other.  Clusters without a single gate have nothing to check and are
+// dropped.
+func partition(g *stg.STG, gates map[int]gatelib.Gate) []*cluster {
+	net := g.Net()
+	nP, nT, nS := net.NumPlaces(), net.NumTransitions(), g.NumSignals()
+	// Node ids: [0,nP) places, [nP,nP+nT) transitions, [nP+nT,nP+nT+nS) signals.
+	uf := newUnionFind(nP + nT + nS)
+	place := func(p petri.PlaceID) int { return int(p) }
+	trans := func(t petri.TransitionID) int { return nP + int(t) }
+	signal := func(s int) int { return nP + nT + s }
+
+	for t := 0; t < nT; t++ {
+		id := petri.TransitionID(t)
+		for _, p := range net.Pre(id) {
+			uf.union(trans(id), place(p))
+		}
+		for _, p := range net.Post(id) {
+			uf.union(trans(id), place(p))
+		}
+		if l := g.Label(id); !l.IsDummy {
+			uf.union(trans(id), signal(l.Signal))
+		}
+	}
+	supp := make([]bool, nS)
+	for sig, gate := range gates {
+		for i := range supp {
+			supp[i] = false
+		}
+		coverSupport(gate.Cover, supp)
+		coverSupport(gate.Set, supp)
+		coverSupport(gate.Reset, supp)
+		for v, used := range supp {
+			if used {
+				uf.union(signal(sig), signal(v))
+			}
+		}
+	}
+
+	byRoot := map[int]*cluster{}
+	get := func(root int) *cluster {
+		c, ok := byRoot[root]
+		if !ok {
+			c = &cluster{gates: map[int]gatelib.Gate{}}
+			byRoot[root] = c
+		}
+		return c
+	}
+	for p := 0; p < nP; p++ {
+		c := get(uf.find(place(petri.PlaceID(p))))
+		c.places = append(c.places, petri.PlaceID(p))
+	}
+	for t := 0; t < nT; t++ {
+		c := get(uf.find(trans(petri.TransitionID(t))))
+		c.transitions = append(c.transitions, petri.TransitionID(t))
+	}
+	for s := 0; s < nS; s++ {
+		c := get(uf.find(signal(s)))
+		c.signals = append(c.signals, s)
+		if gate, ok := gates[s]; ok {
+			c.gates[s] = gate
+		}
+	}
+
+	var out []*cluster
+	for s := 0; s < nS; s++ {
+		root := uf.find(signal(s))
+		c := byRoot[root]
+		if c == nil || len(c.gates) == 0 {
+			continue
+		}
+		out = append(out, c)
+		delete(byRoot, root)
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package verify
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"punt/internal/baseline"
+	"punt/internal/bitvec"
+	"punt/internal/core"
+	"punt/internal/gatelib"
+	"punt/internal/stategraph"
+	"punt/internal/stg"
+)
+
+// maxDisagreements caps the number of disagreements collected per run; one is
+// enough to prove a bug, a handful is enough to localise it.
+const maxDisagreements = 16
+
+// DiffOptions configures the differential harness.
+type DiffOptions struct {
+	// MaxStates bounds the oracle state graph and the per-engine resource
+	// budgets (0 = DefaultMaxStates).
+	MaxStates int
+	// Architectures additionally synthesises and cross-checks the StandardC
+	// and RSLatch implementations of the unfolding flow.
+	Architectures bool
+}
+
+// EngineRun records the outcome of one engine/architecture configuration.
+type EngineRun struct {
+	Engine   string // e.g. "unfolding-approx", "explicit", "unfolding/standard-c"
+	Err      error  // nil on success
+	Literals int
+}
+
+// Disagreement is one cross-engine (or engine-vs-oracle) mismatch.
+type Disagreement struct {
+	Engine string
+	Signal string // empty for verdict-level mismatches
+	State  int    // oracle state index, -1 for verdict-level mismatches
+	Code   string
+	Detail string
+}
+
+// String renders the disagreement.
+func (d Disagreement) String() string {
+	if d.Signal == "" {
+		return fmt.Sprintf("%s: %s", d.Engine, d.Detail)
+	}
+	return fmt.Sprintf("%s: signal %q state %d (code %s): %s", d.Engine, d.Signal, d.State, d.Code, d.Detail)
+}
+
+// DiffReport is the outcome of one differential run.
+type DiffReport struct {
+	Spec   string
+	States int // oracle state graph size
+	// CSCConflict / NonSemiModular report what the oracle found; when set,
+	// the expectation flips from "all engines agree on the next-state
+	// functions" to "all engines reject the specification accordingly".
+	CSCConflict    bool
+	NonSemiModular bool
+	Runs           []EngineRun
+	Disagreements  []Disagreement
+}
+
+// Ok reports whether every engine agreed.
+func (r *DiffReport) Ok() bool { return len(r.Disagreements) == 0 }
+
+// String summarises the report.
+func (r *DiffReport) String() string {
+	verdict := "agree"
+	if !r.Ok() {
+		verdict = fmt.Sprintf("%d disagreements (first: %s)", len(r.Disagreements), r.Disagreements[0])
+	}
+	return fmt.Sprintf("differential %s: %d engines over %d states: %s", r.Spec, len(r.Runs), r.States, verdict)
+}
+
+// Differential synthesises the specification with every engine (the unfolding
+// flow in both modes, the explicit and the symbolic state-graph baselines) and
+// cross-checks the next-state function of every output signal state by state
+// against the explicit state graph as the oracle.  On specifications the
+// oracle rejects (CSC conflicts, persistency violations) the engines must
+// reject too.  The unfolding implementation is additionally passed through the
+// closed-loop Verify as an end-to-end cross-check.
+//
+// It returns an error only when the oracle itself cannot be built (unsafe or
+// inconsistent nets, state limit); engine failures and mismatches are reported
+// in the DiffReport.
+func Differential(ctx context.Context, g *stg.STG, opts DiffOptions) (*DiffReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	limit := opts.MaxStates
+	if limit <= 0 {
+		limit = DefaultMaxStates
+	}
+	sg, err := stategraph.Build(ctx, g, stategraph.Options{MaxStates: limit})
+	if err != nil {
+		return nil, err
+	}
+	rep := &DiffReport{
+		Spec:           g.Name(),
+		States:         sg.NumStates(),
+		CSCConflict:    len(sg.CheckCSC()) > 0,
+		NonSemiModular: len(sg.CheckOutputPersistency()) > 0,
+	}
+
+	type config struct {
+		name string
+		run  func() (*gatelib.Implementation, error)
+		// baseline engines derive covers from their own state space and are
+		// exempt from the semi-modularity expectation (they do not check it).
+		baseline bool
+	}
+	configs := []config{
+		{"unfolding-approx", func() (*gatelib.Implementation, error) {
+			im, _, err := core.New(core.Options{Mode: core.Approximate}).Synthesize(ctx, g)
+			return im, err
+		}, false},
+		{"unfolding-exact", func() (*gatelib.Implementation, error) {
+			im, _, err := core.New(core.Options{Mode: core.Exact}).Synthesize(ctx, g)
+			return im, err
+		}, false},
+		{"explicit", func() (*gatelib.Implementation, error) {
+			im, _, err := (&baseline.ExplicitSynthesizer{MaxStates: limit}).Synthesize(ctx, g)
+			return im, err
+		}, true},
+		{"symbolic", func() (*gatelib.Implementation, error) {
+			im, _, err := (&baseline.SymbolicSynthesizer{}).Synthesize(ctx, g)
+			return im, err
+		}, true},
+	}
+	if opts.Architectures {
+		for _, arch := range []gatelib.Architecture{gatelib.StandardC, gatelib.RSLatch} {
+			arch := arch
+			configs = append(configs, config{fmt.Sprintf("unfolding/%s", arch), func() (*gatelib.Implementation, error) {
+				im, _, err := core.New(core.Options{Arch: arch}).Synthesize(ctx, g)
+				return im, err
+			}, false})
+		}
+	}
+
+	disagree := func(d Disagreement) {
+		if len(rep.Disagreements) < maxDisagreements {
+			rep.Disagreements = append(rep.Disagreements, d)
+		}
+	}
+
+	var approxImpl *gatelib.Implementation // kept for the closed-loop cross-check
+	for _, cfg := range configs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		im, err := cfg.run()
+		run := EngineRun{Engine: cfg.name, Err: err}
+		if im != nil {
+			run.Literals = im.Literals()
+		}
+		if cfg.name == "unfolding-approx" && err == nil {
+			approxImpl = im
+		}
+		rep.Runs = append(rep.Runs, run)
+		switch {
+		case rep.NonSemiModular:
+			// The unfolding flow must reject the specification; the baselines
+			// synthesise from their own state space without that check, so
+			// their outcome is not constrained.
+			if !cfg.baseline && !errors.Is(err, core.ErrNotSemiModular) {
+				disagree(Disagreement{Engine: cfg.name, State: -1,
+					Detail: fmt.Sprintf("oracle finds persistency violations but the engine returned %v", err)})
+			}
+		case rep.CSCConflict:
+			if !isCSCError(err) {
+				disagree(Disagreement{Engine: cfg.name, State: -1,
+					Detail: fmt.Sprintf("oracle finds a CSC conflict but the engine returned %v", err)})
+			}
+		default:
+			if err != nil {
+				disagree(Disagreement{Engine: cfg.name, State: -1,
+					Detail: fmt.Sprintf("oracle accepts the specification but the engine failed: %v", err)})
+				continue
+			}
+			compareImplied(sg, g, im, cfg.name, disagree)
+		}
+	}
+
+	// End-to-end cross-check: the unfolding implementation must also survive
+	// the closed-loop simulation.
+	if !rep.CSCConflict && !rep.NonSemiModular && approxImpl != nil {
+		if _, verr := Verify(ctx, g, approxImpl, Options{MaxStates: limit}); verr != nil {
+			var v *Violation
+			if errors.As(verr, &v) {
+				disagree(Disagreement{Engine: "verify(unfolding-approx)", Signal: v.Signal, State: -1, Detail: v.Detail})
+			} else {
+				return nil, verr
+			}
+		}
+	}
+	return rep, nil
+}
+
+// compareImplied checks the implementation's next-state function of every
+// output signal against the oracle's implied value in every reachable state.
+func compareImplied(sg *stategraph.Graph, g *stg.STG, im *gatelib.Implementation, engine string, disagree func(Disagreement)) {
+	for _, gate := range im.Gates {
+		sig, ok := g.SignalIndex(gate.Signal)
+		if !ok {
+			disagree(Disagreement{Engine: engine, Signal: gate.Signal, State: -1, Detail: "gate for a signal the specification does not declare"})
+			continue
+		}
+		for i := range sg.States {
+			code := sg.States[i].Code
+			want := sg.ImpliedValue(i, sig)
+			got := gateNextValue(gate, code, code.Get(sig))
+			if got != want {
+				disagree(Disagreement{Engine: engine, Signal: gate.Signal, State: i, Code: code.String(),
+					Detail: fmt.Sprintf("next-state value %v, oracle implies %v", got, want)})
+				break // one state per signal pins the bug; move on
+			}
+		}
+	}
+}
+
+// gateNextValue evaluates the gate's next-state function on a state code.
+func gateNextValue(gate gatelib.Gate, code bitvec.Vec, cur bool) bool {
+	switch gate.Arch {
+	case gatelib.ComplexGate:
+		return gate.Cover.CoversMinterm(code)
+	default:
+		set := gate.Set.CoversMinterm(code)
+		reset := gate.Reset.CoversMinterm(code)
+		switch {
+		case set && !reset:
+			return true
+		case reset && !set:
+			return false
+		default:
+			return cur
+		}
+	}
+}
+
+func isCSCError(err error) bool {
+	var coreCSC *core.CSCError
+	return errors.As(err, &coreCSC) || errors.Is(err, baseline.ErrCSC)
+}

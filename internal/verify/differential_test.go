@@ -1,0 +1,132 @@
+package verify
+
+import (
+	"context"
+	"testing"
+
+	"punt/internal/benchgen"
+	"punt/internal/boolcover"
+	"punt/internal/core"
+	"punt/internal/stategraph"
+	"punt/internal/stg"
+)
+
+// TestDifferentialTable1 cross-checks all engines on the small Table 1
+// benchmarks: every engine must synthesise the same next-state functions.
+func TestDifferentialTable1(t *testing.T) {
+	for _, entry := range benchgen.Table1Suite() {
+		if entry.Signals > 14 {
+			continue // keep the symbolic baseline cheap; larger specs are covered by Verify
+		}
+		rep, err := Differential(context.Background(), entry.Build(), DiffOptions{Architectures: true})
+		if err != nil {
+			t.Fatalf("%s: %v", entry.Name, err)
+		}
+		if !rep.Ok() {
+			t.Errorf("%s: %s", entry.Name, rep)
+		}
+		if rep.CSCConflict || rep.NonSemiModular {
+			t.Errorf("%s: Table 1 specs are implementable, oracle says csc=%v nonsm=%v",
+				entry.Name, rep.CSCConflict, rep.NonSemiModular)
+		}
+	}
+}
+
+// TestDifferentialRandomSeeds is the acceptance sweep of the differential
+// harness: across at least 200 random specifications, no engine may disagree
+// with the state-graph oracle (or with the others) — neither on the verdict
+// (CSC conflict vs clean) nor on any next-state function value.
+func TestDifferentialRandomSeeds(t *testing.T) {
+	const seeds = 220
+	csc, clean := 0, 0
+	for seed := int64(0); seed < seeds; seed++ {
+		g := benchgen.RandomSTG(seed, 4+int(seed%14))
+		rep, err := Differential(context.Background(), g, DiffOptions{MaxStates: 200000, Architectures: seed%4 == 0})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.Ok() {
+			t.Errorf("seed %d: %s", seed, rep)
+		}
+		if rep.NonSemiModular {
+			t.Errorf("seed %d: RandomSTG must be semi-modular by construction", seed)
+		}
+		if rep.CSCConflict {
+			csc++
+		} else {
+			clean++
+		}
+	}
+	if csc == 0 || clean == 0 {
+		t.Errorf("the seed sweep must cover both classes, got csc=%d clean=%d", csc, clean)
+	}
+	t.Logf("%d seeds: %d CSC-conflicted, %d clean, zero disagreements", seeds, csc, clean)
+}
+
+// TestDifferentialDetectsCorruption plants a wrong cover into the oracle
+// comparison path to prove the harness is not vacuous: a corrupted explicit
+// implementation must disagree.
+func TestDifferentialDetectsCorruption(t *testing.T) {
+	g := benchgen.PaperFig1()
+	im, _, err := core.New(core.Options{}).Synthesize(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range im.Gates {
+		if im.Gates[i].Signal == "b" {
+			im.Gates[i].Cover = boolcover.CoverFromStrings("1--") // b = a, drops the c term
+		}
+	}
+	sg, err := stategraph.Build(context.Background(), g, stategraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Disagreement
+	compareImplied(sg, g, im, "corrupted", func(d Disagreement) { got = append(got, d) })
+	if len(got) == 0 {
+		t.Fatal("compareImplied accepted a cover that drops an on-set term")
+	}
+	if got[0].Signal != "b" {
+		t.Errorf("disagreement should pin signal b, got %+v", got[0])
+	}
+}
+
+// TestDifferentialNonSemiModular checks the verdict normalisation on a
+// specification with an output-choice persistency violation: the oracle flags
+// it and the unfolding engines must reject it.
+func TestDifferentialNonSemiModular(t *testing.T) {
+	g := nonSemiModularSTG(t)
+	rep, err := Differential(context.Background(), g, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.NonSemiModular {
+		t.Fatal("oracle should find persistency violations")
+	}
+	if !rep.Ok() {
+		t.Errorf("unfolding engines must reject the spec consistently: %s", rep)
+	}
+}
+
+// nonSemiModularSTG builds the output-choice controller of testdata/nonsm.g
+// programmatically: after the input a+, a choice place feeds two output
+// transitions, so firing one disables the other excited output.
+func nonSemiModularSTG(t *testing.T) *stg.STG {
+	t.Helper()
+	b := stg.NewBuilder("nonsm")
+	b.Inputs("a").Outputs("x", "y")
+	b.Place("p").Place("q")
+	b.PlaceArc("a+", "p")
+	b.PlaceArc("p", "x+").PlaceArc("p", "y+")
+	b.Arc("x+", "a-").Arc("y+", "a-/2")
+	b.Arc("a-", "x-").Arc("a-/2", "y-")
+	b.PlaceArc("x-", "q").PlaceArc("y-", "q")
+	b.PlaceArc("q", "a+")
+	b.Mark("q")
+	b.InitialState("000")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

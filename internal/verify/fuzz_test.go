@@ -1,0 +1,41 @@
+package verify
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"punt/internal/benchgen"
+	"punt/internal/stategraph"
+)
+
+// FuzzDifferential is the differential fuzzing entry point: the fuzzer
+// mutates the generator seed and signal budget, RandomSTG turns them into a
+// structurally varied specification, and every synthesis engine must agree
+// with the state-graph oracle on the verdict and on every next-state
+// function.  Run it with:
+//
+//	go test -run=NONE -fuzz=FuzzDifferential -fuzztime=30s ./internal/verify
+func FuzzDifferential(f *testing.F) {
+	for seed := int64(0); seed < 12; seed++ {
+		f.Add(seed, uint8(seed*5))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, budget uint8) {
+		g := benchgen.RandomSTG(seed, 4+int(budget)%11)
+		rep, err := Differential(context.Background(), g, DiffOptions{MaxStates: 50000, Architectures: true})
+		if err != nil {
+			// Exhausting a resource budget on an adversarial seed is not an
+			// engine disagreement.
+			if errors.Is(err, stategraph.ErrStateLimit) || errors.Is(err, ErrStateLimit) {
+				t.Skip()
+			}
+			t.Fatalf("seed %d budget %d: %v", seed, budget, err)
+		}
+		if rep.NonSemiModular {
+			t.Fatalf("seed %d budget %d: RandomSTG must be semi-modular by construction", seed, budget)
+		}
+		if !rep.Ok() {
+			t.Fatalf("seed %d budget %d: %s", seed, budget, rep)
+		}
+	})
+}

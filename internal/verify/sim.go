@@ -1,0 +1,480 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+
+	"punt/internal/bitvec"
+	"punt/internal/boolcover"
+	"punt/internal/gatelib"
+	"punt/internal/petri"
+	"punt/internal/stg"
+)
+
+// moveKind is the agent of one composed firing.
+type moveKind uint8
+
+const (
+	// mvEnv: the environment fires an input or dummy transition of the
+	// specification.
+	mvEnv moveKind = iota
+	// mvOut: a gate drives its output signal; the matching specification
+	// transition fires simultaneously.
+	mvOut
+	// mvNet: a set/reset network output settles to its function value
+	// (memory-element architectures only).
+	mvNet
+)
+
+// move is one composed firing.
+type move struct {
+	kind  moveKind
+	trans int  // index into sim.trans (mvEnv, mvOut)
+	gate  int  // index into sim.gates (mvOut, mvNet)
+	set   bool // mvNet: true = the set network, false = the reset network
+}
+
+// simTrans is a specification transition localised to the cluster.
+type simTrans struct {
+	id     petri.TransitionID
+	pre    []int // bit indices into the cluster marking
+	post   []int
+	signal int // global signal index, -1 for dummies
+	dir    stg.Direction
+	env    bool // input-labelled or dummy: fired by the environment
+}
+
+// simGate is one gate of the cluster.
+type simGate struct {
+	sig     int // global signal index
+	name    string
+	complex bool
+	cover   *boolcover.Cover // complex-gate next-state function
+	set     *boolcover.Cover // memory-element excitation networks
+	reset   *boolcover.Cover
+	auxSet  int // aux bit indices (memory gates), -1 otherwise
+	auxRst  int
+}
+
+// state is one composed closed-loop state.
+type state struct {
+	marking bitvec.Vec // tokens on the cluster's places
+	code    bitvec.Vec // full-width signal code (wires)
+	aux     bitvec.Vec // set/reset network output values
+	excited bitvec.Vec // gates currently excited (by cluster gate index)
+	parent  int        // predecessor state index, -1 for the initial state
+	via     move       // the firing that produced this state
+}
+
+// sim explores the composition of one cluster's circuit with its environment.
+type sim struct {
+	g         *stg.STG
+	maxStates int
+
+	places  []petri.PlaceID
+	trans   []simTrans
+	gates   []simGate
+	gateOf  map[int]int // global signal index -> gate index
+	auxBits int
+
+	states []state
+	index  map[uint64][]int
+	queue  []int
+	edges  int
+}
+
+func newSim(g *stg.STG, cl *cluster, opts Options) *sim {
+	s := &sim{
+		g:         g,
+		maxStates: opts.MaxStates,
+		places:    cl.places,
+		gateOf:    map[int]int{},
+		index:     map[uint64][]int{},
+	}
+	if s.maxStates <= 0 {
+		s.maxStates = DefaultMaxStates
+	}
+	placeIdx := make(map[petri.PlaceID]int, len(cl.places))
+	for i, p := range cl.places {
+		placeIdx[p] = i
+	}
+	net := g.Net()
+	for _, t := range cl.transitions {
+		st := simTrans{id: t, signal: -1}
+		for _, p := range net.Pre(t) {
+			st.pre = append(st.pre, placeIdx[p])
+		}
+		for _, p := range net.Post(t) {
+			st.post = append(st.post, placeIdx[p])
+		}
+		if l := g.Label(t); l.IsDummy {
+			st.env = true
+		} else {
+			st.signal = l.Signal
+			st.dir = l.Dir
+			st.env = g.Signal(l.Signal).Kind == stg.Input
+		}
+		s.trans = append(s.trans, st)
+	}
+	for _, sig := range cl.signals {
+		gate, ok := cl.gates[sig]
+		if !ok {
+			continue
+		}
+		sg := simGate{sig: sig, name: gate.Signal, auxSet: -1, auxRst: -1}
+		if gate.Arch == gatelib.ComplexGate {
+			sg.complex = true
+			sg.cover = gate.Cover
+		} else {
+			sg.set, sg.reset = gate.Set, gate.Reset
+			sg.auxSet, sg.auxRst = s.auxBits, s.auxBits+1
+			s.auxBits += 2
+		}
+		s.gateOf[sig] = len(s.gates)
+		s.gates = append(s.gates, sg)
+	}
+	return s
+}
+
+// run explores the composed state space and performs all checks.  It returns
+// nil when the cluster verifies, a *Violation on a failed check, ErrStateLimit
+// past the budget, and a plain error on malformed input (unsafe or
+// inconsistent specification).
+func (s *sim) run(ctx context.Context) error {
+	if err := s.pushInitial(); err != nil {
+		return err
+	}
+	for head := 0; head < len(s.queue); head++ {
+		if head%512 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if err := s.expand(s.queue[head]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *sim) pushInitial() error {
+	marking := bitvec.New(len(s.places))
+	init := s.g.Net().Initial()
+	for i, p := range s.places {
+		switch n := init.Tokens(p); {
+		case n == 1:
+			marking.Set(i, true)
+		case n > 1:
+			return fmt.Errorf("verify: place %q carries %d tokens initially; only 1-safe nets are supported",
+				s.g.Net().PlaceName(p), n)
+		}
+	}
+	code := s.g.InitialState()
+	aux := bitvec.New(s.auxBits)
+	for i := range s.gates {
+		gt := &s.gates[i]
+		if gt.complex {
+			continue
+		}
+		aux.Set(gt.auxSet, gt.set.CoversMinterm(code))
+		aux.Set(gt.auxRst, gt.reset.CoversMinterm(code))
+	}
+	st := state{marking: marking, code: code, aux: aux, excited: s.excitedVec(code, aux), parent: -1}
+	s.states = append(s.states, st)
+	s.index[s.hash(st.marking, st.code, st.aux)] = []int{0}
+	s.queue = append(s.queue, 0)
+	return nil
+}
+
+// expand generates and checks every firing enabled in state cur.
+func (s *sim) expand(cur int) error {
+	var enabled []int
+	{
+		st := &s.states[cur]
+		for ti := range s.trans {
+			if s.enabled(st.marking, ti) {
+				enabled = append(enabled, ti)
+			}
+		}
+	}
+	// Liveness: every specification-enabled output transition must be
+	// producible with the wires frozen — the networks must settle into an
+	// excitation of the expected direction.
+	for _, ti := range enabled {
+		tr := &s.trans[ti]
+		if tr.env || tr.signal < 0 {
+			continue
+		}
+		gi := s.gateOf[tr.signal]
+		if !s.settledExcited(s.states[cur].code, gi, tr.dir) {
+			return s.violation(Liveness, s.gates[gi].name, cur, nil,
+				fmt.Sprintf("the specification enables %s here, but the circuit can never produce it: with the wires frozen the %s of gate %q settles without exciting it",
+					s.g.TransitionString(tr.id), s.networksNoun(gi), s.gates[gi].name))
+		}
+	}
+	// Environment moves: input and dummy transitions fire whenever the token
+	// game enables them.
+	for _, ti := range enabled {
+		if s.trans[ti].env {
+			if err := s.step(cur, move{kind: mvEnv, trans: ti}); err != nil {
+				return err
+			}
+		}
+	}
+	// The state's vectors are immutable once stored, so they stay valid while
+	// step appends to (and may reallocate) s.states.
+	code, aux, excited := s.states[cur].code, s.states[cur].aux, s.states[cur].excited
+	// Gate output moves: an excited gate may switch its output after an
+	// arbitrary delay; the specification must enable the matching transition
+	// (conformance), and the firing must not disable other excitations
+	// (checked in step).
+	for gi := range s.gates {
+		if !excited.Get(gi) {
+			continue
+		}
+		gt := &s.gates[gi]
+		dir := stg.Plus
+		if code.Get(gt.sig) {
+			dir = stg.Minus
+		}
+		matched := false
+		for _, ti := range enabled {
+			tr := &s.trans[ti]
+			if tr.signal == gt.sig && tr.dir == dir {
+				matched = true
+				if err := s.step(cur, move{kind: mvOut, trans: ti, gate: gi}); err != nil {
+					return err
+				}
+			}
+		}
+		if !matched {
+			attempt := Step{Actor: "gate", Event: fmt.Sprintf("gate %s drives %s%s (not allowed by the specification)", gt.name, gt.name, dir)}
+			return s.violation(Conformance, gt.name, cur, &attempt,
+				fmt.Sprintf("gate %q is ready to drive %s%s, but the specification does not enable that transition in this state",
+					gt.name, gt.name, dir))
+		}
+	}
+	// Network moves: a stale set/reset output settles to its function value
+	// after an arbitrary delay.
+	for gi := range s.gates {
+		gt := &s.gates[gi]
+		if gt.complex {
+			continue
+		}
+		if gt.set.CoversMinterm(code) != aux.Get(gt.auxSet) {
+			if err := s.step(cur, move{kind: mvNet, gate: gi, set: true}); err != nil {
+				return err
+			}
+		}
+		if gt.reset.CoversMinterm(code) != aux.Get(gt.auxRst) {
+			if err := s.step(cur, move{kind: mvNet, gate: gi, set: false}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// step fires mv from state cur, checks excitation persistence along the edge
+// and records the successor state.
+func (s *sim) step(cur int, mv move) error {
+	src := s.states[cur]
+	marking, code, aux := src.marking, src.code, src.aux
+	firedGate := -1
+	switch mv.kind {
+	case mvEnv, mvOut:
+		tr := &s.trans[mv.trans]
+		next, err := s.fire(marking, mv.trans)
+		if err != nil {
+			return err
+		}
+		marking = next
+		if tr.signal >= 0 {
+			target := tr.dir == stg.Plus
+			if code.Get(tr.signal) == target {
+				return fmt.Errorf("verify: inconsistent specification: %s fires with %q already %v",
+					s.g.TransitionString(tr.id), s.g.Signal(tr.signal).Name, target)
+			}
+			code = code.Clone()
+			code.Set(tr.signal, target)
+		}
+		if mv.kind == mvOut {
+			firedGate = mv.gate
+		}
+	case mvNet:
+		gt := &s.gates[mv.gate]
+		bit := gt.auxRst
+		if mv.set {
+			bit = gt.auxSet
+		}
+		aux = aux.Clone()
+		aux.Flip(bit)
+	}
+	excited := s.excitedVec(code, aux)
+
+	// Hazard check: every gate excited before the firing (other than the one
+	// that fired) must still be excited after it.  The direction of an
+	// excitation is toward the opposite of the gate's current output, which
+	// this firing did not change, so a persisting bit persists in direction.
+	lost := src.excited.Clone()
+	if firedGate >= 0 {
+		lost.Set(firedGate, false)
+	}
+	lost.AndNot(excited)
+	if ones := lost.Ones(); len(ones) > 0 {
+		gt := &s.gates[ones[0]]
+		dir := stg.Plus
+		if src.code.Get(gt.sig) {
+			dir = stg.Minus
+		}
+		actor, event := s.describeMove(mv)
+		final := Step{Actor: actor, Event: event}
+		return s.violation(Hazard, gt.name, cur, &final,
+			fmt.Sprintf("%s disables the pending excitation of gate %q toward %s%s — under an adversarial delay assignment the output glitches",
+				event, gt.name, gt.name, dir))
+	}
+
+	s.edges++
+	h := s.hash(marking, code, aux)
+	for _, idx := range s.index[h] {
+		st := &s.states[idx]
+		if st.marking.Equal(marking) && st.code.Equal(code) && st.aux.Equal(aux) {
+			return nil
+		}
+	}
+	if len(s.states) >= s.maxStates {
+		return ErrStateLimit
+	}
+	idx := len(s.states)
+	s.states = append(s.states, state{marking: marking, code: code, aux: aux, excited: excited, parent: cur, via: mv})
+	s.index[h] = append(s.index[h], idx)
+	s.queue = append(s.queue, idx)
+	return nil
+}
+
+// fire plays the token game for cluster transition ti on a 1-safe marking.
+func (s *sim) fire(marking bitvec.Vec, ti int) (bitvec.Vec, error) {
+	tr := &s.trans[ti]
+	next := marking.Clone()
+	for _, p := range tr.pre {
+		next.Set(p, false)
+	}
+	for _, p := range tr.post {
+		if next.Get(p) {
+			return bitvec.Vec{}, fmt.Errorf("verify: firing %s overloads place %q; only 1-safe nets are supported",
+				s.g.TransitionString(tr.id), s.g.Net().PlaceName(s.places[p]))
+		}
+		next.Set(p, true)
+	}
+	return next, nil
+}
+
+func (s *sim) enabled(marking bitvec.Vec, ti int) bool {
+	for _, p := range s.trans[ti].pre {
+		if !marking.Get(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// excitedVec computes which gates are excited under the given wires and
+// network values.
+func (s *sim) excitedVec(code, aux bitvec.Vec) bitvec.Vec {
+	ex := bitvec.New(len(s.gates))
+	for i := range s.gates {
+		gt := &s.gates[i]
+		cur := code.Get(gt.sig)
+		var next bool
+		if gt.complex {
+			// An atomic complex gate is excited when its function disagrees
+			// with its output.
+			next = gt.cover.CoversMinterm(code)
+			if next != cur {
+				ex.Set(i, true)
+			}
+			continue
+		}
+		// A memory element switches when exactly one of its networks is
+		// asserted against the current output; with both (or neither)
+		// asserted it holds.
+		setV, rstV := aux.Get(gt.auxSet), aux.Get(gt.auxRst)
+		if !cur && setV && !rstV {
+			ex.Set(i, true)
+		} else if cur && rstV && !setV {
+			ex.Set(i, true)
+		}
+	}
+	return ex
+}
+
+// settledExcited reports whether gate gi would be excited toward dir once its
+// networks settle with the wires frozen at code.
+func (s *sim) settledExcited(code bitvec.Vec, gi int, dir stg.Direction) bool {
+	gt := &s.gates[gi]
+	if gt.complex {
+		return gt.cover.CoversMinterm(code) == (dir == stg.Plus)
+	}
+	setV, rstV := gt.set.CoversMinterm(code), gt.reset.CoversMinterm(code)
+	if dir == stg.Plus {
+		return setV && !rstV
+	}
+	return rstV && !setV
+}
+
+func (s *sim) networksNoun(gi int) string {
+	if s.gates[gi].complex {
+		return "cover"
+	}
+	return "set/reset networks"
+}
+
+// violation assembles a Violation with the timed counterexample leading to
+// state cur (plus an optional final step for the offending firing).
+func (s *sim) violation(kind ViolationKind, signal string, cur int, final *Step, detail string) *Violation {
+	var rev []int
+	for i := cur; i >= 0 && s.states[i].parent >= 0; i = s.states[i].parent {
+		rev = append(rev, i)
+	}
+	trace := make([]Step, 0, len(rev)+1)
+	for i := len(rev) - 1; i >= 0; i-- {
+		actor, event := s.describeMove(s.states[rev[i]].via)
+		trace = append(trace, Step{Time: len(trace) + 1, Actor: actor, Event: event})
+	}
+	if final != nil {
+		final.Time = len(trace) + 1
+		trace = append(trace, *final)
+	}
+	return &Violation{Kind: kind, Signal: signal, Detail: detail, Trace: trace}
+}
+
+func (s *sim) describeMove(mv move) (actor, event string) {
+	switch mv.kind {
+	case mvEnv:
+		tr := &s.trans[mv.trans]
+		if tr.signal < 0 {
+			return "env", fmt.Sprintf("dummy %s fires", s.g.TransitionString(tr.id))
+		}
+		return "env", fmt.Sprintf("input %s", s.g.TransitionString(tr.id))
+	case mvOut:
+		tr := &s.trans[mv.trans]
+		return "gate", fmt.Sprintf("gate %s drives %s", s.gates[mv.gate].name, s.g.TransitionString(tr.id))
+	default:
+		gt := &s.gates[mv.gate]
+		which := "reset"
+		if mv.set {
+			which = "set"
+		}
+		return "net", fmt.Sprintf("%s(%s) network settles", which, gt.name)
+	}
+}
+
+// hash combines the three state components; collisions are resolved by full
+// equality in step.
+func (s *sim) hash(marking, code, aux bitvec.Vec) uint64 {
+	h := marking.Hash() ^ bitvec.Mix64(code.Hash())
+	if s.auxBits > 0 {
+		h ^= bitvec.Mix64(aux.Hash() + 0x6a09e667f3bcc909)
+	}
+	return h
+}

@@ -1,0 +1,113 @@
+package verify
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"punt/internal/benchgen"
+	"punt/internal/boolcover"
+	"punt/internal/core"
+	"punt/internal/gatelib"
+	"punt/internal/stg"
+)
+
+func synth(t *testing.T, g *stg.STG, opts core.Options) *gatelib.Implementation {
+	t.Helper()
+	im, _, err := core.New(opts).Synthesize(context.Background(), g)
+	if err != nil {
+		t.Fatalf("%s: synthesize: %v", g.Name(), err)
+	}
+	return im
+}
+
+func mustVerify(t *testing.T, g *stg.STG, im *gatelib.Implementation) *Report {
+	t.Helper()
+	rep, err := Verify(context.Background(), g, im, Options{})
+	if err != nil {
+		t.Fatalf("%s: verify: %v", g.Name(), err)
+	}
+	return rep
+}
+
+func TestVerifyFig1(t *testing.T) {
+	g := benchgen.PaperFig1()
+	im := synth(t, g, core.Options{})
+	rep := mustVerify(t, g, im)
+	// Figure 1 has 8 reachable states and a single cluster.
+	if rep.ComposedStates != 8 {
+		t.Errorf("composed states = %d, want 8", rep.ComposedStates)
+	}
+	if rep.Clusters != 1 {
+		t.Errorf("clusters = %d, want 1", rep.Clusters)
+	}
+}
+
+func TestVerifyHandshakeAllArchitectures(t *testing.T) {
+	for _, arch := range []gatelib.Architecture{gatelib.ComplexGate, gatelib.StandardC, gatelib.RSLatch} {
+		g := benchgen.Handshake()
+		im := synth(t, g, core.Options{Arch: arch})
+		mustVerify(t, g, im)
+	}
+}
+
+// TestVerifyCorruptedCover mutates the Figure 1 cover (b = a + c) and checks
+// that each corruption is caught with a counterexample trace.
+func TestVerifyCorruptedCover(t *testing.T) {
+	cases := []struct {
+		name  string
+		cover *boolcover.Cover // over (a, b, c)
+		want  ViolationKind
+	}{
+		// b = a misses the c-branch: after the environment chooses c+, the
+		// specification enables b+ but the gate never rises.
+		{"missing-term", boolcover.CoverFromStrings("1--"), Liveness},
+		// b = 1 drives b immediately, which the specification does not allow
+		// in the initial state.
+		{"constant-one", boolcover.CoverFromStrings("---"), Conformance},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := benchgen.PaperFig1()
+			im := synth(t, g, core.Options{})
+			for i := range im.Gates {
+				if im.Gates[i].Signal == "b" {
+					im.Gates[i].Cover = tc.cover
+				}
+			}
+			_, err := Verify(context.Background(), g, im, Options{})
+			var v *Violation
+			if !errors.As(err, &v) {
+				t.Fatalf("expected a *Violation, got %v", err)
+			}
+			if v.Kind != tc.want {
+				t.Errorf("kind = %v, want %v (violation: %v)", v.Kind, tc.want, v)
+			}
+			if v.Signal != "b" {
+				t.Errorf("signal = %q, want b", v.Signal)
+			}
+			if tc.want != Conformance && len(v.Trace) == 0 {
+				t.Errorf("expected a non-empty counterexample trace: %v", v)
+			}
+			if !strings.Contains(v.Error(), "b") {
+				t.Errorf("rendered violation should mention the signal: %s", v)
+			}
+		})
+	}
+}
+
+func TestVerifyCounterflowDecomposes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("counterflow verification explores 2x131072 composed states")
+	}
+	g := benchgen.CounterflowPipeline()
+	im := synth(t, g, core.Options{})
+	rep := mustVerify(t, g, im)
+	if rep.Clusters != 2 {
+		t.Errorf("counterflow should split into 2 clusters, got %d", rep.Clusters)
+	}
+	if rep.ComposedStates != 2*131072 {
+		t.Errorf("composed states = %d, want %d", rep.ComposedStates, 2*131072)
+	}
+}

@@ -1,0 +1,89 @@
+package punt
+
+import (
+	"context"
+	"errors"
+
+	"punt/internal/verify"
+)
+
+// errEmptyResult guards Verify against a nil or implementation-less Result.
+var errEmptyResult = errors.New("verify needs a Result with an implementation")
+
+// VerifyReport summarises a successful closed-loop verification: how many
+// gates were checked over how many composed circuit-plus-environment states.
+type VerifyReport = verify.Report
+
+// DifferentialReport is the outcome of a Differential run: the per-engine
+// results and any cross-engine disagreements (empty when all engines agree).
+type DifferentialReport = verify.DiffReport
+
+// Verify checks a synthesised implementation against its specification with
+// an event-driven gate-level simulation closed over the environment the
+// specification describes.  Every gate — and, for the memory-element
+// architectures, every set/reset network output — switches after an
+// arbitrary, unbounded delay, and all interleavings are explored.  Three
+// properties are checked:
+//
+//   - conformance: the circuit can only drive output edges the specification
+//     enables (no unexpected transitions in the output trace);
+//   - hazard-freedom: an excited gate stays excited until it fires, so no
+//     delay assignment can glitch an output;
+//   - liveness: every specification-enabled output transition is producible
+//     by the circuit.
+//
+// Disjoint parts of the specification (connected components of the net,
+// merged when a gate's support couples them) are verified independently, so
+// product-state-space specifications such as the counterflow pipeline stay
+// tractable.
+//
+// On a violation Verify returns a *Diagnostic whose Kind is KindConformance,
+// KindHazard or KindLiveness (all matched by errors.Is against
+// ErrVerification) carrying the offending Signal and a timed counterexample
+// in Trace.  WithMaxStates bounds the per-cluster exploration (exceeding it
+// fails with ErrLimit); ctx cancellation aborts promptly.
+func Verify(ctx context.Context, spec *Spec, res *Result, opts ...Option) (*VerifyReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if res == nil || res.Impl == nil {
+		return nil, &Diagnostic{Op: "verify", Kind: KindUnknown, Err: errEmptyResult}
+	}
+	rep, err := verify.Verify(ctx, spec.g, res.Impl, verify.Options{MaxStates: cfg.maxStates})
+	if err != nil {
+		return nil, diagnose("verify", spec.Name(), err)
+	}
+	return rep, nil
+}
+
+// Differential synthesises the specification with every engine — the
+// unfolding flow in both modes, the explicit and the symbolic state-graph
+// baselines, and optionally the memory-element architectures — and
+// cross-checks the next-state function of every output signal state by state
+// against the explicit state graph.  Specifications the oracle rejects (CSC
+// conflicts, persistency violations) must be rejected by the engines too.
+//
+// Engine failures and mismatches are reported inside the DifferentialReport
+// (check Ok()); Differential only returns an error when the oracle itself
+// cannot be built.  WithMaxStates bounds the oracle and the engines' budgets.
+func Differential(ctx context.Context, spec *Spec, opts ...Option) (*DifferentialReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	rep, err := verify.Differential(ctx, spec.g, verify.DiffOptions{
+		MaxStates:     cfg.maxStates,
+		Architectures: true,
+	})
+	if err != nil {
+		return nil, diagnose("differential", spec.Name(), err)
+	}
+	return rep, nil
+}

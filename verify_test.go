@@ -1,0 +1,196 @@
+package punt
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"punt/gates"
+	"punt/internal/boolcover"
+)
+
+// synthAndVerify runs one spec through synthesis and closed-loop verification
+// with the given options.
+func synthAndVerify(t *testing.T, name string, spec *Spec, opts ...Option) *VerifyReport {
+	t.Helper()
+	ctx := context.Background()
+	res, err := New(opts...).Synthesize(ctx, spec)
+	if err != nil {
+		t.Fatalf("%s: synthesize: %v", name, err)
+	}
+	rep, err := Verify(ctx, spec, res, opts...)
+	if err != nil {
+		t.Fatalf("%s: verify: %v", name, err)
+	}
+	return rep
+}
+
+// TestVerifyTable1GoldenSuite is the verification golden suite: every Table 1
+// benchmark must verify conformant, hazard-free and live in both cover
+// derivation modes.
+func TestVerifyTable1GoldenSuite(t *testing.T) {
+	for _, mode := range []Mode{Approximate, Exact} {
+		for _, item := range Table1() {
+			rep := synthAndVerify(t, item.Name, item.Spec, WithMode(mode))
+			if rep.Outputs == 0 || rep.ComposedStates == 0 {
+				t.Errorf("%s (mode %v): degenerate report %v", item.Name, mode, rep)
+			}
+		}
+	}
+}
+
+// TestVerifyPipelines verifies the scalable Figure 6 examples.
+func TestVerifyPipelines(t *testing.T) {
+	for _, stages := range []int{1, 3, 6, 9} {
+		spec := MullerPipeline(stages)
+		synthAndVerify(t, spec.Name(), spec)
+	}
+}
+
+// TestVerifyCounterflow verifies the 34-signal counterflow pipeline — the
+// product state graph is astronomically large, but the verifier decomposes it
+// into its two independent pipelines.
+func TestVerifyCounterflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("explores 2x131072 composed states")
+	}
+	spec := CounterflowPipeline()
+	rep := synthAndVerify(t, spec.Name(), spec)
+	if rep.Clusters != 2 {
+		t.Errorf("counterflow should verify as 2 independent clusters, got %d", rep.Clusters)
+	}
+}
+
+// TestVerifyArchitecturesGolden verifies the memory-element architectures —
+// where the set and reset networks are independently delayed simulation nodes
+// — on the worked examples and the full Table 1 suite.
+func TestVerifyArchitecturesGolden(t *testing.T) {
+	for _, arch := range []gates.Architecture{gates.StandardC, gates.RSLatch} {
+		synthAndVerify(t, "fig1", Fig1(), WithArch(arch))
+		synthAndVerify(t, "handshake", Handshake(), WithArch(arch))
+		for _, item := range Table1() {
+			synthAndVerify(t, item.Name, item.Spec, WithArch(arch))
+		}
+	}
+}
+
+// TestVerifyCorruptedFig1 hand-mutates the synthesised cover of
+// testdata/fig1.g (b = a + c) and checks every corruption is rejected with a
+// structured diagnostic and a concrete counterexample trace.
+func TestVerifyCorruptedFig1(t *testing.T) {
+	cases := []struct {
+		name  string
+		cover string // single-cube cover over (a, b, c)
+		kind  DiagKind
+	}{
+		// b = a forgets the environment's c-branch: after c+ the spec waits
+		// for b+ forever.
+		{"dropped-term", "1--", KindLiveness},
+		// b = 1 rises immediately, before the specification allows any b+.
+		{"constant-one", "---", KindConformance},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := LoadFile("testdata/fig1.g")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			res, err := New().Synthesize(ctx, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Verify(ctx, spec, res); err != nil {
+				t.Fatalf("the honest implementation must verify: %v", err)
+			}
+			for i := range res.Impl.Gates {
+				if res.Impl.Gates[i].Signal == "b" {
+					res.Impl.Gates[i].Cover = boolcover.CoverFromStrings(tc.cover)
+				}
+			}
+			_, err = Verify(ctx, spec, res)
+			if err == nil {
+				t.Fatal("the corrupted cover must fail verification")
+			}
+			if !errors.Is(err, ErrVerification) {
+				t.Fatalf("errors.Is(err, ErrVerification) = false for %v", err)
+			}
+			var diag *Diagnostic
+			if !errors.As(err, &diag) {
+				t.Fatalf("expected a *Diagnostic, got %T", err)
+			}
+			if diag.Kind != tc.kind {
+				t.Errorf("Kind = %v, want %v (%v)", diag.Kind, tc.kind, diag)
+			}
+			if diag.Signal != "b" {
+				t.Errorf("Signal = %q, want b", diag.Signal)
+			}
+			if tc.kind == KindLiveness && len(diag.Trace) == 0 {
+				t.Errorf("expected a timed counterexample trace, got none: %v", diag)
+			}
+			if !strings.Contains(diag.Error(), "b") {
+				t.Errorf("diagnostic should name the signal: %v", diag)
+			}
+		})
+	}
+}
+
+// TestVerifyStateLimit checks the budget path surfaces as ErrLimit.
+func TestVerifyStateLimit(t *testing.T) {
+	spec := Fig1()
+	ctx := context.Background()
+	res, err := New().Synthesize(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Verify(ctx, spec, res, WithMaxStates(2))
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("expected ErrLimit, got %v", err)
+	}
+}
+
+// TestVerifyCancellation checks ctx cancellation aborts the exploration.
+func TestVerifyCancellation(t *testing.T) {
+	spec := MullerPipeline(12)
+	res, err := New().Synthesize(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = Verify(ctx, spec, res)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	var diag *Diagnostic
+	if !errors.As(err, &diag) || diag.Kind != KindCanceled {
+		t.Errorf("cancellation should be a KindCanceled diagnostic, got %v", err)
+	}
+}
+
+// TestDifferentialFacade drives the differential harness through the public
+// API on a worked example and on a CSC-conflicted spec.
+func TestDifferentialFacade(t *testing.T) {
+	rep, err := Differential(context.Background(), Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() || rep.CSCConflict {
+		t.Errorf("Fig1 differential: %s", rep)
+	}
+	csc, err := LoadFile("testdata/csc.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Differential(context.Background(), csc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.CSCConflict {
+		t.Error("csc.g must be flagged as CSC-conflicted")
+	}
+	if !rep.Ok() {
+		t.Errorf("all engines must agree on the CSC verdict: %s", rep)
+	}
+}
