@@ -1,0 +1,218 @@
+package punt_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"punt"
+	"punt/gates"
+)
+
+// Test backends shared by the backend, portfolio and cache tests.  The
+// registry is package-global, so each is registered exactly once per test
+// binary.
+
+// fakeBackend is a registered custom backend that delegates to the default
+// unfolding flow, proving third-party backends ride the same dispatch.
+type fakeBackend struct{}
+
+func (fakeBackend) Name() string { return "test-fake" }
+
+func (fakeBackend) Synthesize(ctx context.Context, spec *punt.Spec, cfg punt.BackendConfig) (*punt.Result, error) {
+	return punt.New().Synthesize(ctx, spec)
+}
+
+// sleeperBackend blocks until its context is cancelled (or an absurdly long
+// timeout proves cancellation never came); the portfolio tests race it
+// against a real engine to measure loser-cancellation promptness.
+type sleeperBackend struct {
+	mu      sync.Mutex
+	aborted []time.Duration // how long each run waited before cancellation
+}
+
+func (*sleeperBackend) Name() string { return "test-sleeper" }
+
+func (s *sleeperBackend) Synthesize(ctx context.Context, spec *punt.Spec, cfg punt.BackendConfig) (*punt.Result, error) {
+	start := time.Now()
+	select {
+	case <-ctx.Done():
+		s.mu.Lock()
+		s.aborted = append(s.aborted, time.Since(start))
+		s.mu.Unlock()
+		return nil, ctx.Err()
+	case <-time.After(2 * time.Minute):
+		return nil, errors.New("test-sleeper was never cancelled")
+	}
+}
+
+// panicBackend panics on every run; the portfolio must survive it.
+type panicBackend struct{}
+
+func (panicBackend) Name() string { return "test-panic" }
+
+func (panicBackend) Synthesize(ctx context.Context, spec *punt.Spec, cfg punt.BackendConfig) (*punt.Result, error) {
+	panic("deliberate test panic")
+}
+
+var theSleeper = &sleeperBackend{}
+
+func init() {
+	punt.Register(fakeBackend{})
+	punt.Register(theSleeper)
+	punt.Register(panicBackend{})
+}
+
+func TestEngineStringParseRoundTrip(t *testing.T) {
+	for _, e := range []punt.Engine{punt.Unfolding, punt.Explicit, punt.Symbolic, punt.Portfolio} {
+		back, err := punt.ParseEngine(e.String())
+		if err != nil {
+			t.Errorf("ParseEngine(%q): %v", e.String(), err)
+		}
+		if back != e {
+			t.Errorf("ParseEngine(%q) = %v, want %v", e.String(), back, e)
+		}
+	}
+	// ParseArchitecture round-trips the same way: the two parsers are
+	// symmetric halves of the CLI vocabulary.
+	for _, a := range []gates.Architecture{gates.ComplexGate, gates.StandardC, gates.RSLatch} {
+		back, err := gates.ParseArchitecture(a.String())
+		if err != nil || back != a {
+			t.Errorf("ParseArchitecture(%q) = %v, %v; want %v", a.String(), back, err, a)
+		}
+	}
+}
+
+func TestUnknownEngineIsNotSilentlyUnfolding(t *testing.T) {
+	bogus := punt.Engine(42)
+	if s := bogus.String(); s == "unfolding" || !strings.Contains(s, "42") {
+		t.Errorf("Engine(42).String() = %q: unknown values must be visible, not read as the default", s)
+	}
+	if _, err := punt.ParseEngine("engine(42)"); err == nil {
+		t.Error("ParseEngine must reject the unknown-value rendering")
+	}
+	if _, err := punt.ParseEngine("quantum"); err == nil {
+		t.Error("ParseEngine must reject unknown names")
+	}
+	// Dispatching a bad Engine value fails loudly instead of falling back to
+	// the unfolding flow.
+	_, err := punt.New(punt.WithEngine(bogus)).Synthesize(context.Background(), punt.Fig1())
+	if err == nil || !strings.Contains(err.Error(), "no backend") {
+		t.Errorf("Synthesize with Engine(42) = %v, want a no-backend diagnostic", err)
+	}
+}
+
+func TestBackendsRegistry(t *testing.T) {
+	names := punt.Backends()
+	for _, want := range []string{"unfolding", "explicit", "symbolic", "test-fake"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Backends() = %v: missing %q", names, want)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Backends() not sorted: %v", names)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndReservedNames(t *testing.T) {
+	mustPanic := func(what string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", what)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate Register", func() { punt.Register(fakeBackend{}) })
+	mustPanic("nil Register", func() { punt.Register(nil) })
+	mustPanic("reserved name", func() { punt.Register(reservedBackend{}) })
+}
+
+type reservedBackend struct{}
+
+func (reservedBackend) Name() string { return "portfolio" }
+func (reservedBackend) Synthesize(ctx context.Context, spec *punt.Spec, cfg punt.BackendConfig) (*punt.Result, error) {
+	return nil, errors.New("unreachable")
+}
+
+func TestCustomBackendThroughDispatch(t *testing.T) {
+	res, err := punt.New(punt.WithBackend("test-fake")).Synthesize(context.Background(), punt.Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Eqn(), "b = a + c") {
+		t.Errorf("custom backend result:\n%s", res.Eqn())
+	}
+	if res.Stats.Backend != "test-fake" {
+		t.Errorf("Stats.Backend = %q, want test-fake", res.Stats.Backend)
+	}
+	if res.Spec != punt.Fig1() {
+		// Fig1 constructs a fresh Spec per call, so pointer equality cannot
+		// hold; the result must still carry a spec with the right name.
+		if res.Spec == nil || res.Spec.Name() != "paper-fig1" {
+			t.Errorf("result spec = %v", res.Spec)
+		}
+	}
+}
+
+func TestWithBackendUnknownName(t *testing.T) {
+	_, err := punt.New(punt.WithBackend("warp-drive")).Synthesize(context.Background(), punt.Fig1())
+	var diag *punt.Diagnostic
+	if !errors.As(err, &diag) {
+		t.Fatalf("unknown backend error is not a *Diagnostic: %v", err)
+	}
+	if !strings.Contains(err.Error(), "warp-drive") || !strings.Contains(err.Error(), "unfolding") {
+		t.Errorf("the diagnostic should name the bad backend and list the registered ones: %v", err)
+	}
+}
+
+// TestDispatchMatchesLegacySelection pins the refactor: WithEngine and the
+// WithBaseline synonym produce identical implementations for every builtin
+// engine.
+func TestDispatchMatchesLegacySelection(t *testing.T) {
+	spec := punt.MullerPipeline(4)
+	for _, e := range []punt.Engine{punt.Unfolding, punt.Explicit, punt.Symbolic} {
+		viaEngine, err := punt.New(punt.WithEngine(e)).Synthesize(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("WithEngine(%v): %v", e, err)
+		}
+		viaBaseline, err := punt.New(punt.WithBaseline(e)).Synthesize(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("WithBaseline(%v): %v", e, err)
+		}
+		if viaEngine.Eqn() != viaBaseline.Eqn() || viaEngine.Verilog() != viaBaseline.Verilog() {
+			t.Errorf("%v: WithEngine and WithBaseline disagree", e)
+		}
+		if viaEngine.Stats.Engine != e || viaEngine.Stats.Backend != e.String() {
+			t.Errorf("%v: stats identity = (%v, %q)", e, viaEngine.Stats.Engine, viaEngine.Stats.Backend)
+		}
+	}
+}
+
+func TestStatsStringCoversTable1Columns(t *testing.T) {
+	res, err := punt.New().Synthesize(context.Background(), punt.Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats.String()
+	for _, want := range []string{"events=8", "conditions=", "cutoffs=2", "refined-terms=", "refined-signals="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Stats.String() missing %q: %s", want, s)
+		}
+	}
+	if res.Stats.Conditions <= 0 {
+		t.Errorf("Conditions not filled: %+v", res.Stats)
+	}
+}

@@ -28,6 +28,9 @@ type (
 	Figure6Point = experiments.Figure6Point
 	// FacadePoint is one end-to-end public-API measurement.
 	FacadePoint = experiments.FacadePoint
+	// CachePoint is one cache-effectiveness measurement (cold synthesis vs
+	// warm cache hit).
+	CachePoint = experiments.CachePoint
 	// Report is the JSON perf-trajectory document emitted by benchtab -json.
 	Report = experiments.Report
 )
@@ -52,9 +55,12 @@ func FormatFigure6(points []Figure6Point) string { return experiments.FormatFigu
 // FormatFacade renders the facade measurements as a table.
 func FormatFacade(points []FacadePoint) string { return experiments.FormatFacade(points) }
 
+// FormatCache renders the cache-effectiveness measurements as a table.
+func FormatCache(points []CachePoint) string { return experiments.FormatCache(points) }
+
 // NewReport assembles the JSON perf-trajectory report.
-func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, now time.Time) Report {
-	return experiments.NewReport(rows, points, facade, now)
+func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, cache []CachePoint, now time.Time) Report {
+	return experiments.NewReport(rows, points, facade, cache, now)
 }
 
 // WriteJSON writes the report, indented, to w.
@@ -106,6 +112,66 @@ func RunFacade(ctx context.Context, runs int) ([]FacadePoint, error) {
 		p.Parse = parse / time.Duration(runs)
 		p.Synth = synthT / time.Duration(runs)
 		p.Total = total / time.Duration(runs)
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RunCache measures the content-addressed result cache on the facade
+// workloads: for each specification the first synthesis through a WithCache
+// synthesizer is timed cold (the run that populates the cache), then the same
+// specification is synthesised again runs times (minimum 1) and the warm
+// cache-hit time is averaged.  Every warm run must actually be served from
+// the cache (Stats.Cached), so the point measures a lookup, not a re-run —
+// the hot path of a high-traffic synthesis service and of repeated
+// Batch/Differential sweeps.
+func RunCache(ctx context.Context, runs int) ([]CachePoint, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	specs := []facadeSpec{
+		{name: "fig1", text: punt.Fig1().Text()},
+		{name: "pipeline-22", text: punt.MullerPipelineWithSignals(22).Text()},
+	}
+	out := make([]CachePoint, 0, len(specs))
+	for _, fs := range specs {
+		cache := punt.NewLRU(64)
+		synth := punt.New(punt.WithCache(cache))
+		spec, err := punt.Parse(fs.text)
+		if err != nil {
+			return nil, fmt.Errorf("bench: cache parse of %s: %w", fs.name, err)
+		}
+		p := CachePoint{Spec: fs.name, Runs: runs}
+		t0 := time.Now()
+		cold, err := synth.Synthesize(ctx, spec)
+		p.Cold = time.Since(t0)
+		if err != nil {
+			return nil, fmt.Errorf("bench: cold synthesis of %s: %w", fs.name, err)
+		}
+		p.Literals = cold.Literals()
+		var warm time.Duration
+		for i := 0; i < runs; i++ {
+			// Re-parse so the warm run exercises the content-addressed path (a
+			// different *Spec with the same hash), as a service handling
+			// repeated requests would.
+			again, err := punt.Parse(fs.text)
+			if err != nil {
+				return nil, fmt.Errorf("bench: cache re-parse of %s: %w", fs.name, err)
+			}
+			t1 := time.Now()
+			res, err := synth.Synthesize(ctx, again)
+			warm += time.Since(t1)
+			if err != nil {
+				return nil, fmt.Errorf("bench: warm synthesis of %s: %w", fs.name, err)
+			}
+			if !res.Stats.Cached {
+				return nil, fmt.Errorf("bench: warm synthesis of %s was not served from the cache", fs.name)
+			}
+		}
+		p.Warm = warm / time.Duration(runs)
+		if p.Warm > 0 {
+			p.Speedup = float64(p.Cold) / float64(p.Warm)
+		}
 		out = append(out, p)
 	}
 	return out, nil

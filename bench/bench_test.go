@@ -35,7 +35,7 @@ func TestFacadePointsInJSONReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report := NewReport(nil, nil, points, time.Unix(0, 0))
+	report := NewReport(nil, nil, points, nil, time.Unix(0, 0))
 	var buf bytes.Buffer
 	if err := WriteJSON(&buf, report); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,181 @@
+package punt
+
+import (
+	"container/list"
+	"fmt"
+	"hash/maphash"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is the pluggable synthesis result cache behind WithCache.
+// Implementations must be safe for concurrent use: Batch workers and
+// concurrent Synthesizers share one cache.  Keys are opaque strings derived
+// from the specification's content hash and the canonicalised engine
+// configuration (see Synthesizer.cacheKey); values are successful Results,
+// treated as immutable by every caller.
+type Cache interface {
+	// Get returns the cached result for key, if any.
+	Get(key string) (*Result, bool)
+	// Put stores a successful result under key.
+	Put(key string, res *Result)
+}
+
+// cacheKey derives the content-addressed cache key of one synthesis request:
+// the specification hash crossed with every configuration field that can
+// change the result.  Workers and the progress callback are deliberately
+// excluded — they affect scheduling and observability, never the
+// implementation.
+func (s *Synthesizer) cacheKey(spec *Spec) string {
+	sel := s.cfg.backend
+	if sel == "" {
+		sel = s.cfg.engine.String()
+		if s.cfg.engine == Portfolio {
+			names := s.cfg.portfolio
+			if len(names) == 0 {
+				names = defaultContenders
+			}
+			sel = "portfolio(" + strings.Join(names, ",") + ")"
+		}
+	}
+	return fmt.Sprintf("%s|mode=%d|arch=%d|me=%d|ms=%d|mn=%d|sel=%s",
+		spec.Hash(), s.cfg.mode, s.cfg.arch, s.cfg.maxEvents, s.cfg.maxStates, s.cfg.maxNodes, sel)
+}
+
+// cachedResult adapts a cache hit to the requesting call: the implementation
+// and stats are shared (both immutable), the Spec is the caller's own and
+// Stats.Cached marks the result as served from the cache.
+func cachedResult(res *Result, spec *Spec) *Result {
+	cp := *res
+	cp.Spec = spec
+	cp.Stats.Cached = true
+	return &cp
+}
+
+// CacheStats is a point-in-time LRU cache effectiveness snapshot.
+type CacheStats struct {
+	// Hits and Misses count Get outcomes since the cache was created.
+	Hits   int64
+	Misses int64
+	// Entries is the number of results currently held.
+	Entries int
+	// Capacity is the configured entry bound.
+	Capacity int
+}
+
+// String summarises the snapshot.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("cache: %d/%d entries, %d hits, %d misses", s.Entries, s.Capacity, s.Hits, s.Misses)
+}
+
+// DefaultCacheCapacity is the entry bound NewLRU applies when given a
+// non-positive capacity.
+const DefaultCacheCapacity = 1024
+
+// cacheShards fixes the shard count of the builtin LRU; a power of two so
+// the hash distributes with a mask.
+const cacheShards = 16
+
+// LRU is the builtin Cache: an in-memory, sharded, least-recently-used map
+// bounded to a fixed number of entries.  Keys are distributed over 16
+// independently locked shards, so concurrent Batch workers do not serialise
+// on one mutex; each shard evicts its least recently used entry when full.
+// The zero value is not usable — construct with NewLRU.
+type LRU struct {
+	seed   maphash.Seed
+	shards [cacheShards]lruShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type lruShard struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	res *Result
+}
+
+// NewLRU returns an empty sharded LRU cache bounded to about capacity
+// entries in total (DefaultCacheCapacity when capacity <= 0; the bound is
+// rounded up to a multiple of the shard count).
+func NewLRU(capacity int) *LRU {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	perShard := (capacity + cacheShards - 1) / cacheShards
+	c := &LRU{seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		c.shards[i] = lruShard{
+			cap: perShard,
+			ll:  list.New(),
+			m:   make(map[string]*list.Element),
+		}
+	}
+	return c
+}
+
+func (c *LRU) shard(key string) *lruShard {
+	return &c.shards[maphash.String(c.seed, key)&(cacheShards-1)]
+}
+
+// Get returns the cached result for key and refreshes its recency.
+func (c *LRU) Get(key string) (*Result, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.m[key]
+	var res *Result
+	if ok {
+		s.ll.MoveToFront(el)
+		// Read the entry under the lock: Put overwrites res in place on an
+		// existing key.
+		res = el.Value.(*lruEntry).res
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return res, true
+}
+
+// Put stores res under key, evicting the shard's least recently used entry
+// when the shard is full.
+func (c *LRU) Put(key string, res *Result) {
+	if res == nil {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		el.Value.(*lruEntry).res = res
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.m[key] = s.ll.PushFront(&lruEntry{key: key, res: res})
+	if s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Stats snapshots the cache's effectiveness counters.
+func (c *LRU) Stats() CacheStats {
+	st := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += s.ll.Len()
+		st.Capacity += s.cap
+		s.mu.Unlock()
+	}
+	return st
+}

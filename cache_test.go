@@ -1,0 +1,198 @@
+package punt_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"punt"
+)
+
+func TestCacheWarmHitMeasurablyFasterThanCold(t *testing.T) {
+	// The content-addressed cache must turn a repeated synthesis into a
+	// lookup: the warm run may cost a fraction of the cold one.
+	text := punt.MullerPipelineWithSignals(22).Text()
+	cache := punt.NewLRU(8)
+	synth := punt.New(punt.WithCache(cache))
+
+	cold, err := punt.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	coldRes, err := synth.Synthesize(context.Background(), cold)
+	coldTime := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldRes.Stats.Cached {
+		t.Fatal("first synthesis cannot be a cache hit")
+	}
+
+	// Re-parse: a different *Spec with the same content must hit.
+	warm, err := punt.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := time.Now()
+	warmRes, err := synth.Synthesize(context.Background(), warm)
+	warmTime := time.Since(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warmRes.Stats.Cached {
+		t.Fatal("repeated synthesis of identical content must be served from the cache")
+	}
+	if warmRes.Spec != warm {
+		t.Error("a cache hit must carry the requesting call's own Spec")
+	}
+	if warmRes.Eqn() != coldRes.Eqn() || warmRes.Literals() != coldRes.Literals() {
+		t.Error("cached result differs from the original")
+	}
+	// The cold run synthesises a 22-signal pipeline (milliseconds); the warm
+	// run is a sharded map lookup (microseconds).  A factor of 4 leaves huge
+	// scheduling headroom while still proving the point.
+	if warmTime*4 > coldTime {
+		t.Errorf("warm hit %v is not measurably faster than cold %v", warmTime, coldTime)
+	}
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("cache stats = %+v", st)
+	}
+}
+
+func TestCacheKeyDiscriminatesConfiguration(t *testing.T) {
+	// One shared cache, distinct configurations: every configuration change
+	// that can alter the result must miss; repeating a configuration must hit.
+	spec := punt.Fig1()
+	cache := punt.NewLRU(0)
+	ctx := context.Background()
+	configs := [][]punt.Option{
+		{punt.WithCache(cache)},
+		{punt.WithCache(cache), punt.WithMode(punt.Exact)},
+		{punt.WithCache(cache), punt.WithEngine(punt.Explicit)},
+		{punt.WithCache(cache), punt.WithEngine(punt.Portfolio)},
+		{punt.WithCache(cache), punt.WithMaxEvents(100)},
+	}
+	for i, opts := range configs {
+		res, err := punt.New(opts...).Synthesize(ctx, spec)
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		if res.Stats.Cached {
+			t.Errorf("config %d: distinct configuration must not hit the cache", i)
+		}
+	}
+	st := cache.Stats()
+	if st.Hits != 0 || st.Misses != int64(len(configs)) {
+		t.Fatalf("after distinct configs: %+v", st)
+	}
+	// Re-running every configuration hits.
+	for i, opts := range configs {
+		res, err := punt.New(opts...).Synthesize(ctx, spec)
+		if err != nil {
+			t.Fatalf("config %d again: %v", i, err)
+		}
+		if !res.Stats.Cached {
+			t.Errorf("config %d: identical configuration must hit", i)
+		}
+	}
+	st = cache.Stats()
+	if st.Hits != int64(len(configs)) {
+		t.Fatalf("after repeats: %+v", st)
+	}
+	// Workers and progress are scheduling/observability knobs: they must not
+	// split the key.
+	res, err := punt.New(punt.WithCache(cache), punt.WithWorkers(7),
+		punt.WithProgress(func(punt.Progress) {})).Synthesize(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Cached {
+		t.Error("WithWorkers/WithProgress must not change the cache key")
+	}
+}
+
+func TestLRUBoundsAndEviction(t *testing.T) {
+	cache := punt.NewLRU(16)
+	res := &punt.Result{}
+	for i := 0; i < 500; i++ {
+		cache.Put(fmt.Sprintf("key-%d", i), res)
+	}
+	st := cache.Stats()
+	if st.Entries == 0 || st.Entries > st.Capacity {
+		t.Fatalf("entries %d exceed capacity %d", st.Entries, st.Capacity)
+	}
+	// Overwriting an existing key must not grow the cache.
+	before := cache.Stats().Entries
+	cache.Put("key-499", res)
+	if after := cache.Stats().Entries; after != before {
+		t.Errorf("overwrite grew the cache: %d -> %d", before, after)
+	}
+	// Nil results are ignored.
+	cache.Put("nil-entry", nil)
+	if _, ok := cache.Get("nil-entry"); ok {
+		t.Error("nil results must not be stored")
+	}
+}
+
+func TestSpecHashContentAddressing(t *testing.T) {
+	a := punt.Fig1()
+	b := punt.Fig1()
+	if a.Hash() == "" || a.Hash() != b.Hash() {
+		t.Errorf("two loads of the same spec must share a hash: %q vs %q", a.Hash(), b.Hash())
+	}
+	other := punt.Handshake()
+	if other.Hash() == a.Hash() {
+		t.Error("different specifications must not collide")
+	}
+	reparsed, err := punt.Parse(a.Text())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reparsed.Hash() != a.Hash() {
+		t.Error("Text round trip must preserve the content hash")
+	}
+}
+
+// TestBatchSharedCacheStress drives concurrent Batch workers over repeated
+// shared Specs through one shared cache; run under -race it is the
+// concurrency stress of the caching layer.
+func TestBatchSharedCacheStress(t *testing.T) {
+	specs := []*punt.Spec{punt.Fig1(), punt.Handshake(), punt.MullerPipeline(4)}
+	var items []punt.BatchItem
+	for round := 0; round < 8; round++ {
+		for i, s := range specs {
+			items = append(items, punt.BatchItem{Name: fmt.Sprintf("r%d-s%d", round, i), Spec: s})
+		}
+	}
+	cache := punt.NewLRU(64)
+	results, sum := punt.Batch(context.Background(), items,
+		punt.WithCache(cache), punt.WithWorkers(8))
+	if sum.Failed != 0 || sum.Succeeded != len(items) {
+		t.Fatalf("summary = %+v", sum)
+	}
+	cachedCount := 0
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		if r.Result.Stats.Cached {
+			cachedCount++
+		}
+	}
+	st := cache.Stats()
+	if st.Hits == 0 || cachedCount == 0 {
+		t.Fatalf("no cache hits under Batch: stats=%+v cached=%d", st, cachedCount)
+	}
+	if st.Entries > len(specs) {
+		t.Errorf("cache holds %d entries for %d distinct specs", st.Entries, len(specs))
+	}
+	// Every item of one spec must agree on the implementation.
+	for i, r := range results {
+		if want := results[i%len(specs)]; r.Result.Eqn() != want.Result.Eqn() {
+			t.Errorf("%s: cached result diverged from first round", r.Name)
+		}
+	}
+}

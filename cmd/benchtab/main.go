@@ -8,14 +8,17 @@
 //	benchtab -table1
 //	benchtab -figure6 [-signals 5,8,12,22,32,50]
 //	benchtab -facade
+//	benchtab -cache
 //	benchtab -table1 -figure6 -quick
 //	benchtab -table1 -figure6 -json results.json
 //
 // With -json the measurements are additionally written as an indented JSON
 // report ("-" = stdout), giving successive runs a machine-readable perf
 // trajectory to diff against; the report then always includes the end-to-end
-// facade benchmark (parse → synthesize through the public punt API), so the
-// trajectory tracks public-API overhead next to the raw cores.
+// facade benchmark (parse → synthesize through the public punt API) and the
+// cache-effectiveness benchmark (cold synthesis vs warm content-addressed
+// hit), so the trajectory tracks public-API overhead and cache behaviour
+// next to the raw cores.
 package main
 
 import (
@@ -34,14 +37,15 @@ func main() {
 	table1 := flag.Bool("table1", false, "reproduce Table 1")
 	figure6 := flag.Bool("figure6", false, "reproduce the Figure 6 scaling series")
 	facade := flag.Bool("facade", false, "measure the end-to-end public-API pipeline (implied by -json)")
+	cacheBench := flag.Bool("cache", false, "measure cold-vs-warm result-cache effectiveness (implied by -json)")
 	quick := flag.Bool("quick", false, "use small resource budgets so the whole run finishes quickly")
 	skipBaselines := flag.Bool("punt-only", false, "run only the unfolding-based flow (no baselines)")
 	signalsFlag := flag.String("signals", "", "comma-separated pipeline sizes (signal counts) for -figure6")
-	facadeRuns := flag.Int("facade-runs", 5, "how many runs the facade benchmark averages over")
+	facadeRuns := flag.Int("facade-runs", 5, "how many runs the facade and cache benchmarks average over")
 	jsonOut := flag.String("json", "", `also write the measurements as JSON to this file ("-" = stdout)`)
 	flag.Parse()
-	if !*table1 && !*figure6 && !*facade && *jsonOut == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchtab [-table1] [-figure6] [-facade] [flags]")
+	if !*table1 && !*figure6 && !*facade && !*cacheBench && *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchtab [-table1] [-figure6] [-facade] [-cache] [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -50,6 +54,7 @@ func main() {
 	var rows []bench.Table1Row
 	var points []bench.Figure6Point
 	var facadePoints []bench.FacadePoint
+	var cachePoints []bench.CachePoint
 	if *table1 {
 		opts := bench.Table1Options{SkipBaselines: *skipBaselines}
 		if *quick {
@@ -102,8 +107,22 @@ func main() {
 		fmt.Println("Facade: end-to-end public-API pipeline (parse + synthesize via punt.Synthesizer)")
 		fmt.Print(bench.FormatFacade(facadePoints))
 	}
+	if *cacheBench || *jsonOut != "" {
+		runs := *facadeRuns
+		if *quick && runs > 2 {
+			runs = 2
+		}
+		var err error
+		cachePoints, err = bench.RunCache(ctx, runs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("Cache: cold synthesis vs warm content-addressed hit (punt.WithCache)")
+		fmt.Print(bench.FormatCache(cachePoints))
+	}
 	if *jsonOut != "" {
-		report := bench.NewReport(rows, points, facadePoints, time.Now())
+		report := bench.NewReport(rows, points, facadePoints, cachePoints, time.Now())
 		if err := writeReport(*jsonOut, report); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)

@@ -5,9 +5,20 @@
 //
 // Usage:
 //
-//	punt [-exact] [-arch complex-gate|standard-c|rs-latch] [-verilog] [-stats] [-verify] file.g
+//	punt [-engine unfolding|explicit|symbolic|portfolio] [-exact]
+//	     [-arch complex-gate|standard-c|rs-latch] [-verilog] [-stats]
+//	     [-verify] [-cache] file.g [file2.g ...]
 //
-// With "-" as the file name the STG is read from standard input.
+// With "-" as a file name the STG is read from standard input.
+//
+// With -engine the synthesis backend is selected: the default unfolding flow,
+// one of the state-graph baselines, or the portfolio scheduler that races all
+// three and keeps the first success.  An unknown engine (or architecture)
+// name is a usage error and exits with status 2.
+//
+// With -cache a content-addressed result cache is shared across the given
+// files, so repeated specifications are synthesised once ( -stats marks the
+// reused results with cached=true).
 //
 // With -verify the synthesised implementation is additionally checked by the
 // closed-loop gate-level simulation (conformance, hazard-freedom, liveness);
@@ -36,6 +47,7 @@ func main() {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("punt", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	engineName := fs.String("engine", "unfolding", "synthesis engine: unfolding, explicit, symbolic or portfolio")
 	exact := fs.Bool("exact", false, "derive exact covers by slice enumeration instead of approximation")
 	archName := fs.String("arch", "complex-gate", "implementation architecture: complex-gate, standard-c or rs-latch")
 	verilog := fs.Bool("verilog", false, "emit a behavioural Verilog module instead of boolean equations")
@@ -43,55 +55,86 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	maxEvents := fs.Int("max-events", 0, "abort if the unfolding segment exceeds this many events (0 = default)")
 	doVerify := fs.Bool("verify", false, "verify the implementation with the closed-loop simulation; exit 3 on failure")
 	maxStates := fs.Int("max-states", 0, "abort verification beyond this many composed states per cluster (0 = default)")
+	useCache := fs.Bool("cache", false, "share a content-addressed result cache across the given files")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
 	}
-	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: punt [flags] file.g")
-		fs.PrintDefaults()
-		return 2
+	if fs.NArg() < 1 {
+		return usage(fs, stderr, nil)
 	}
 
+	// Bad -engine and -arch values are usage errors (exit 2), symmetric with
+	// unknown flags: ParseEngine and ParseArchitecture both reject instead of
+	// silently defaulting.
+	engine, err := punt.ParseEngine(*engineName)
+	if err != nil {
+		return usage(fs, stderr, err)
+	}
 	arch, err := gates.ParseArchitecture(*archName)
 	if err != nil {
-		return fail(stderr, err)
+		return usage(fs, stderr, err)
 	}
-	spec, err := punt.LoadFileFrom(fs.Arg(0), stdin)
-	if err != nil {
-		return fail(stderr, err)
+
+	opts := []punt.Option{
+		punt.WithEngine(engine),
+		punt.WithArch(arch),
+		punt.WithMaxEvents(*maxEvents),
 	}
-	opts := []punt.Option{punt.WithArch(arch), punt.WithMaxEvents(*maxEvents)}
 	if *exact {
 		opts = append(opts, punt.WithMode(punt.Exact))
 	}
-	res, err := punt.New(opts...).Synthesize(context.Background(), spec)
-	if err != nil {
-		return fail(stderr, err)
+	if *useCache {
+		opts = append(opts, punt.WithCache(punt.NewLRU(0)))
 	}
-	if *stats {
-		fmt.Fprintf(stderr, "%s\n", &res.Stats)
-	}
-	if *doVerify {
-		rep, err := punt.Verify(context.Background(), spec, res, punt.WithMaxStates(*maxStates))
+	synth := punt.New(opts...)
+
+	for _, path := range fs.Args() {
+		spec, err := punt.LoadFileFrom(path, stdin)
 		if err != nil {
-			// Exit 3: the implementation failed (or could not complete)
-			// verification, as opposed to synthesis failure (1).
-			fmt.Fprintln(stderr, "punt:", err)
-			return 3
+			return fail(stderr, err)
+		}
+		res, err := synth.Synthesize(context.Background(), spec)
+		if err != nil {
+			return fail(stderr, err)
 		}
 		if *stats {
-			fmt.Fprintf(stderr, "%s\n", rep)
+			fmt.Fprintf(stderr, "%s\n", &res.Stats)
+		}
+		// A cached result was already verified when it entered the cache
+		// earlier in this invocation (the cache is per-run, so every entry
+		// went through this same loop): skip the expensive re-verification of
+		// an identical implementation.
+		if *doVerify && !res.Stats.Cached {
+			rep, err := punt.Verify(context.Background(), spec, res, punt.WithMaxStates(*maxStates))
+			if err != nil {
+				// Exit 3: the implementation failed (or could not complete)
+				// verification, as opposed to synthesis failure (1).
+				fmt.Fprintln(stderr, "punt:", err)
+				return 3
+			}
+			if *stats {
+				fmt.Fprintf(stderr, "%s\n", rep)
+			}
+		}
+		if *verilog {
+			fmt.Fprint(stdout, res.Verilog())
+		} else {
+			fmt.Fprint(stdout, res.Eqn())
 		}
 	}
-	if *verilog {
-		fmt.Fprint(stdout, res.Verilog())
-	} else {
-		fmt.Fprint(stdout, res.Eqn())
-	}
 	return 0
+}
+
+func usage(fs *flag.FlagSet, stderr io.Writer, err error) int {
+	if err != nil {
+		fmt.Fprintln(stderr, "punt:", err)
+	}
+	fmt.Fprintln(stderr, "usage: punt [flags] file.g [file2.g ...]")
+	fs.PrintDefaults()
+	return 2
 }
 
 func fail(stderr io.Writer, err error) int {

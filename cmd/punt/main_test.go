@@ -145,7 +145,8 @@ func TestNonSemiModularErrorExit(t *testing.T) {
 }
 
 func TestBadArchitectureAndUsageExits(t *testing.T) {
-	if code, _, stderr := runCmd(t, []string{"-arch", "nand-only", "../../testdata/fig1.g"}, ""); code != 1 ||
+	// Bad flag values are usage errors: exit 2, like unknown flags.
+	if code, _, stderr := runCmd(t, []string{"-arch", "nand-only", "../../testdata/fig1.g"}, ""); code != 2 ||
 		!strings.Contains(stderr, "unknown architecture") {
 		t.Errorf("bad -arch: exit=%d stderr=%s", code, stderr)
 	}
@@ -155,5 +156,61 @@ func TestBadArchitectureAndUsageExits(t *testing.T) {
 	if code, _, stderr := runCmd(t, []string{"no-such-file.g"}, ""); code != 1 ||
 		!strings.Contains(stderr, "no-such-file.g") {
 		t.Errorf("missing file: exit=%d stderr=%s", code, stderr)
+	}
+}
+
+func TestEngineFlag(t *testing.T) {
+	// Every engine — the baselines and the portfolio scheduler included —
+	// derives the same Figure 1 cover.
+	for _, engine := range []string{"unfolding", "explicit", "symbolic", "portfolio"} {
+		code, stdout, stderr := runCmd(t, []string{"-engine", engine, "../../testdata/fig1.g"}, "")
+		if code != 0 {
+			t.Fatalf("-engine %s: exit %d, stderr: %s", engine, code, stderr)
+		}
+		if stdout != fig1Eqn {
+			t.Errorf("-engine %s changed the Figure 1 cover: %q", engine, stdout)
+		}
+	}
+}
+
+func TestPortfolioStatsNameContenders(t *testing.T) {
+	code, _, stderr := runCmd(t, []string{"-engine", "portfolio", "-stats", "../../testdata/fig1.g"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "portfolio=[") || !strings.Contains(stderr, "(winner)") {
+		t.Errorf("-stats should carry the per-contender breakdown, got: %s", stderr)
+	}
+}
+
+func TestBadEngineExitsTwo(t *testing.T) {
+	code, stdout, stderr := runCmd(t, []string{"-engine", "quantum", "../../testdata/fig1.g"}, "")
+	if code != 2 {
+		t.Fatalf("bad -engine must be a usage error (exit 2), got %d; stderr: %s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("no implementation must be printed, got %q", stdout)
+	}
+	if !strings.Contains(stderr, "unknown engine") || !strings.Contains(stderr, "usage:") {
+		t.Errorf("stderr should name the bad engine and show usage: %s", stderr)
+	}
+}
+
+func TestMultiFileWithSharedCache(t *testing.T) {
+	// The same file twice with -cache: the second synthesis is a cache hit,
+	// visible in its -stats line, and both implementations are emitted.
+	code, stdout, stderr := runCmd(t,
+		[]string{"-cache", "-stats", "../../testdata/fig1.g", "../../testdata/fig1.g"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if stdout != fig1Eqn+fig1Eqn {
+		t.Errorf("both files must be synthesised, got %q", stdout)
+	}
+	if !strings.Contains(stderr, "cached=true") {
+		t.Errorf("the repeated spec should be served from the cache: %s", stderr)
+	}
+	if strings.Count(stderr, "cached=true") != 1 {
+		t.Errorf("only the second run may be cached: %s", stderr)
 	}
 }

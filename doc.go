@@ -13,7 +13,7 @@
 //
 // This package is the public facade over the whole flow.  Load, LoadFile and
 // Parse read ".g" specifications into an immutable Spec; New builds a
-// Synthesizer from functional options (WithMode, WithArch, WithBaseline,
+// Synthesizer from functional options (WithMode, WithArch, WithEngine,
 // resource budgets, WithProgress); Synthesize(ctx, spec) runs the configured
 // engine under context cancellation and returns a Result with the gate-level
 // implementation (see punt/gates) and Table-1-style Stats.  Batch drives many
@@ -23,6 +23,20 @@
 // ErrEventLimit, ErrNotSemiModular, ErrCSC, ErrLimit) with errors.Is.
 // Unfold and BuildStateGraph expose the segment and the explicit state graph
 // for analysis; punt/bench re-runs the paper's evaluation.
+//
+// The engine layer is open: synthesis engines are Backend implementations in
+// a package-level registry (Register, Backends, WithBackend), the builtin
+// three included, and Synthesize is a thin dispatch over it.  Two composable
+// subsystems build on the registry.  The portfolio scheduler
+// (WithEngine(Portfolio), WithPortfolio, WithContenders) races backends
+// concurrently under a shared context, returns the first success, cancels
+// the losers promptly and records every contender's outcome in
+// Stats.Contenders, with Progress.Engine attributing interleaved progress.
+// The content-addressed result cache (Cache, NewLRU, WithCache) keys results
+// by Spec.Hash crossed with the canonicalised engine configuration, so
+// repeated synthesis of identical specifications — the hot path of a
+// high-traffic service and of Batch/Differential sweeps — is a sharded-LRU
+// lookup instead of a re-run (hits are marked Stats.Cached).
 //
 // Synthesis results do not have to be trusted blindly: Verify closes the loop
 // with an event-driven gate-level simulation of the implementation composed

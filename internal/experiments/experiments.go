@@ -32,14 +32,17 @@ type Table1Row struct {
 	Name    string
 	Signals int
 
-	// PUNT ACG columns.
-	UnfTime   time.Duration
-	SynTime   time.Duration
-	EspTime   time.Duration
-	TotalTime time.Duration
-	Literals  int
-	Events    int
-	Refined   int
+	// PUNT ACG columns: the segment size (events |E| and conditions |B|), the
+	// phase timings and the refinement counters, as in the paper's Table 1.
+	UnfTime    time.Duration
+	SynTime    time.Duration
+	EspTime    time.Duration
+	TotalTime  time.Duration
+	Literals   int
+	Events     int
+	Conditions int
+	Refined    int
+	SigRefined int
 
 	// Baseline columns ("Other tools").
 	Petrify ToolResult // symbolic (BDD) state-graph synthesis
@@ -69,7 +72,9 @@ func RunTable1Entry(ctx context.Context, entry benchgen.BenchmarkEntry, opts Tab
 		row.TotalTime = stats.Total
 		row.Literals = im.Literals()
 		row.Events = stats.Events
+		row.Conditions = stats.Conditions
 		row.Refined = stats.TermsRefined
+		row.SigRefined = stats.SignalsRefined
 	} else {
 		row.TotalTime = stats.Total
 		row.Literals = -1
@@ -121,20 +126,23 @@ func runSymbolic(ctx context.Context, g *stg.STG, opts Table1Options) ToolResult
 	return ToolResult{Ok: true, Time: elapsed, Literals: im.Literals()}
 }
 
-// FormatTable1 renders the rows in the layout of the paper's Table 1.
+// FormatTable1 renders the rows in the layout of the paper's Table 1, segment
+// size columns (|E| events, |B| conditions) included.
 func FormatTable1(rows []Table1Row) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-22s %5s | %9s %9s %9s %9s %7s | %12s %12s %9s\n",
-		"Benchmark", "Sigs", "UnfTim", "SynTim", "EspTim", "TotTim", "LitCnt", "Petrify", "SIS", "LitCnt")
-	sb.WriteString(strings.Repeat("-", 124) + "\n")
-	var totSigs, totLit, totPetLit, totSisLit int
+	fmt.Fprintf(&sb, "%-22s %5s %7s %7s | %9s %9s %9s %9s %7s | %12s %12s %9s\n",
+		"Benchmark", "Sigs", "Events", "Conds", "UnfTim", "SynTim", "EspTim", "TotTim", "LitCnt", "Petrify", "SIS", "LitCnt")
+	sb.WriteString(strings.Repeat("-", 140) + "\n")
+	var totSigs, totEvents, totConds, totLit, totPetLit, totSisLit int
 	var totUnf, totSyn, totEsp, totTot, totPet, totSis time.Duration
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-22s %5d | %9s %9s %9s %9s %7d | %12s %12s %4s/%-4s\n",
-			r.Name, r.Signals,
+		fmt.Fprintf(&sb, "%-22s %5d %7d %7d | %9s %9s %9s %9s %7d | %12s %12s %4s/%-4s\n",
+			r.Name, r.Signals, r.Events, r.Conditions,
 			fmtDur(r.UnfTime), fmtDur(r.SynTime), fmtDur(r.EspTime), fmtDur(r.TotalTime), r.Literals,
 			fmtTool(r.Petrify), fmtTool(r.SIS), fmtLit(r.Petrify.Literals), fmtLit(r.SIS.Literals))
 		totSigs += r.Signals
+		totEvents += r.Events
+		totConds += r.Conditions
 		totLit += max0(r.Literals)
 		totPetLit += max0(r.Petrify.Literals)
 		totSisLit += max0(r.SIS.Literals)
@@ -145,9 +153,9 @@ func FormatTable1(rows []Table1Row) string {
 		totPet += r.Petrify.Time
 		totSis += r.SIS.Time
 	}
-	sb.WriteString(strings.Repeat("-", 124) + "\n")
-	fmt.Fprintf(&sb, "%-22s %5d | %9s %9s %9s %9s %7d | %12s %12s %4d/%-4d\n",
-		"Total", totSigs,
+	sb.WriteString(strings.Repeat("-", 140) + "\n")
+	fmt.Fprintf(&sb, "%-22s %5d %7d %7d | %9s %9s %9s %9s %7d | %12s %12s %4d/%-4d\n",
+		"Total", totSigs, totEvents, totConds,
 		fmtDur(totUnf), fmtDur(totSyn), fmtDur(totEsp), fmtDur(totTot), totLit,
 		fmtDur(totPet), fmtDur(totSis), totPetLit, totSisLit)
 	return sb.String()
@@ -203,6 +211,38 @@ func FormatFacade(points []FacadePoint) string {
 		fmt.Fprintf(&sb, "%-14s %5d | %10v %10v %10v | %7d %7d\n",
 			p.Spec, p.Runs, p.Parse.Round(time.Microsecond), p.Synth.Round(time.Microsecond),
 			p.Total.Round(time.Microsecond), p.Literals, p.Events)
+	}
+	return sb.String()
+}
+
+// CachePoint is one cache-effectiveness measurement: the cold (first,
+// cache-miss) synthesis time of a specification against the average warm
+// (cache-hit) time of repeating it through a WithCache synthesizer.  It
+// tracks the content-addressed result cache on the perf trajectory.  The
+// measurement itself lives in punt/bench, which can import the facade.
+type CachePoint struct {
+	Spec string
+	// Runs is how many warm lookups the Warm average covers.
+	Runs int
+	// Cold is the initial synthesis time (the run that populates the cache).
+	Cold time.Duration
+	// Warm is the average cache-hit time of the repeated synthesis.
+	Warm time.Duration
+	// Speedup is Cold/Warm.
+	Speedup  float64
+	Literals int
+}
+
+// FormatCache renders the cache-effectiveness measurements.
+func FormatCache(points []CachePoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %5s | %12s %12s %9s | %7s\n",
+		"Spec", "Runs", "Cold", "Warm", "Speedup", "LitCnt")
+	sb.WriteString(strings.Repeat("-", 70) + "\n")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-14s %5d | %12v %12v %8.0fx | %7d\n",
+			p.Spec, p.Runs, p.Cold.Round(time.Microsecond), p.Warm.Round(time.Microsecond),
+			p.Speedup, p.Literals)
 	}
 	return sb.String()
 }

@@ -102,13 +102,20 @@ func TestJSONReportRoundTrip(t *testing.T) {
 	rows := RunTable1(context.Background(), suite, Table1Options{SkipBaselines: true})
 	points := RunFigure6(context.Background(), Figure6Options{Signals: []int{5}, SkipBaselines: true})
 	facade := []FacadePoint{{Spec: "fig1", Runs: 3, Parse: time.Millisecond, Synth: 2 * time.Millisecond, Total: 3 * time.Millisecond, Literals: 5, Events: 8}}
-	report := NewReport(rows, points, facade, time.Unix(0, 0))
+	cache := []CachePoint{{Spec: "fig1", Runs: 3, Cold: 4 * time.Millisecond, Warm: 2 * time.Microsecond, Speedup: 2000, Literals: 2}}
+	report := NewReport(rows, points, facade, cache, time.Unix(0, 0))
 
 	if len(report.Table1) != len(rows) || len(report.Figure6) != len(points) {
 		t.Fatalf("report sizes: table1=%d figure6=%d", len(report.Table1), len(report.Figure6))
 	}
 	if len(report.Facade) != 1 || report.Facade[0].Spec != "fig1" || report.Facade[0].SynthSeconds != 0.002 {
 		t.Fatalf("facade point not carried into the report: %+v", report.Facade)
+	}
+	if len(report.Cache) != 1 || report.Cache[0].ColdSeconds != 0.004 || report.Cache[0].Speedup != 2000 {
+		t.Fatalf("cache point not carried into the report: %+v", report.Cache)
+	}
+	if report.Table1[0].Conditions != rows[0].Conditions {
+		t.Fatal("table1 conditions column not carried into the report")
 	}
 	if report.Table1[0].Name != rows[0].Name || report.Table1[0].Events != rows[0].Events {
 		t.Fatal("table1 row not carried into the report")

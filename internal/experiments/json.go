@@ -24,17 +24,19 @@ func jsonTool(t ToolResult) JSONTool {
 
 // JSONTable1Row is the JSON shape of one Table 1 row.
 type JSONTable1Row struct {
-	Name         string   `json:"name"`
-	Signals      int      `json:"signals"`
-	UnfSeconds   float64  `json:"unf_seconds"`
-	SynSeconds   float64  `json:"syn_seconds"`
-	EspSeconds   float64  `json:"esp_seconds"`
-	TotalSeconds float64  `json:"total_seconds"`
-	Literals     int      `json:"literals"`
-	Events       int      `json:"events"`
-	Refined      int      `json:"refined"`
-	Petrify      JSONTool `json:"petrify"`
-	SIS          JSONTool `json:"sis"`
+	Name           string   `json:"name"`
+	Signals        int      `json:"signals"`
+	UnfSeconds     float64  `json:"unf_seconds"`
+	SynSeconds     float64  `json:"syn_seconds"`
+	EspSeconds     float64  `json:"esp_seconds"`
+	TotalSeconds   float64  `json:"total_seconds"`
+	Literals       int      `json:"literals"`
+	Events         int      `json:"events"`
+	Conditions     int      `json:"conditions"`
+	Refined        int      `json:"refined"`
+	SignalsRefined int      `json:"signals_refined"`
+	Petrify        JSONTool `json:"petrify"`
+	SIS            JSONTool `json:"sis"`
 }
 
 // JSONFigure6Point is the JSON shape of one Figure 6 measurement.
@@ -57,16 +59,28 @@ type JSONFacadePoint struct {
 	Events       int     `json:"events"`
 }
 
+// JSONCachePoint is the JSON shape of one cache-effectiveness measurement
+// (cold synthesis vs warm cache hit).
+type JSONCachePoint struct {
+	Spec        string  `json:"spec"`
+	Runs        int     `json:"runs"`
+	ColdSeconds float64 `json:"cold_seconds"`
+	WarmSeconds float64 `json:"warm_seconds"`
+	Speedup     float64 `json:"speedup"`
+	Literals    int     `json:"literals"`
+}
+
 // Report is the top-level JSON document emitted by benchtab -json.
 type Report struct {
 	GeneratedAt string             `json:"generated_at"`
 	Table1      []JSONTable1Row    `json:"table1,omitempty"`
 	Figure6     []JSONFigure6Point `json:"figure6,omitempty"`
 	Facade      []JSONFacadePoint  `json:"facade,omitempty"`
+	Cache       []JSONCachePoint   `json:"cache,omitempty"`
 }
 
 // NewReport converts measured rows and points into the JSON report shape.
-func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, now time.Time) Report {
+func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, cache []CachePoint, now time.Time) Report {
 	r := Report{GeneratedAt: now.UTC().Format(time.RFC3339)}
 	for _, p := range facade {
 		r.Facade = append(r.Facade, JSONFacadePoint{
@@ -79,19 +93,31 @@ func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, no
 			Events:       p.Events,
 		})
 	}
+	for _, p := range cache {
+		r.Cache = append(r.Cache, JSONCachePoint{
+			Spec:        p.Spec,
+			Runs:        p.Runs,
+			ColdSeconds: p.Cold.Seconds(),
+			WarmSeconds: p.Warm.Seconds(),
+			Speedup:     p.Speedup,
+			Literals:    p.Literals,
+		})
+	}
 	for _, row := range rows {
 		r.Table1 = append(r.Table1, JSONTable1Row{
-			Name:         row.Name,
-			Signals:      row.Signals,
-			UnfSeconds:   row.UnfTime.Seconds(),
-			SynSeconds:   row.SynTime.Seconds(),
-			EspSeconds:   row.EspTime.Seconds(),
-			TotalSeconds: row.TotalTime.Seconds(),
-			Literals:     row.Literals,
-			Events:       row.Events,
-			Refined:      row.Refined,
-			Petrify:      jsonTool(row.Petrify),
-			SIS:          jsonTool(row.SIS),
+			Name:           row.Name,
+			Signals:        row.Signals,
+			UnfSeconds:     row.UnfTime.Seconds(),
+			SynSeconds:     row.SynTime.Seconds(),
+			EspSeconds:     row.EspTime.Seconds(),
+			TotalSeconds:   row.TotalTime.Seconds(),
+			Literals:       row.Literals,
+			Events:         row.Events,
+			Conditions:     row.Conditions,
+			Refined:        row.Refined,
+			SignalsRefined: row.SigRefined,
+			Petrify:        jsonTool(row.Petrify),
+			SIS:            jsonTool(row.SIS),
 		})
 	}
 	for _, p := range points {

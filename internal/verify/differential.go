@@ -23,8 +23,27 @@ type DiffOptions struct {
 	// budgets (0 = DefaultMaxStates).
 	MaxStates int
 	// Architectures additionally synthesises and cross-checks the StandardC
-	// and RSLatch implementations of the unfolding flow.
+	// and RSLatch implementations of the unfolding flow (default engine set
+	// only; ignored when Engines is supplied).
 	Architectures bool
+	// Engines, when non-empty, replaces the builtin engine set: the facade
+	// layer injects its registered backends here, so the harness cross-checks
+	// whatever engines the public registry knows without this package having
+	// to import them.
+	Engines []EngineUnderTest
+}
+
+// EngineUnderTest is one synthesis configuration for Differential to
+// cross-check against the oracle.
+type EngineUnderTest struct {
+	// Name labels the engine in EngineRun and Disagreement records.
+	Name string
+	// Baseline marks engines that synthesise from their own state space and
+	// are therefore exempt from the semi-modularity-rejection expectation
+	// (they do not perform that check).
+	Baseline bool
+	// Run synthesises the specification.
+	Run func(ctx context.Context) (*gatelib.Implementation, error)
 }
 
 // EngineRun records the outcome of one engine/architecture configuration.
@@ -106,39 +125,9 @@ func Differential(ctx context.Context, g *stg.STG, opts DiffOptions) (*DiffRepor
 		NonSemiModular: len(sg.CheckOutputPersistency()) > 0,
 	}
 
-	type config struct {
-		name string
-		run  func() (*gatelib.Implementation, error)
-		// baseline engines derive covers from their own state space and are
-		// exempt from the semi-modularity expectation (they do not check it).
-		baseline bool
-	}
-	configs := []config{
-		{"unfolding-approx", func() (*gatelib.Implementation, error) {
-			im, _, err := core.New(core.Options{Mode: core.Approximate}).Synthesize(ctx, g)
-			return im, err
-		}, false},
-		{"unfolding-exact", func() (*gatelib.Implementation, error) {
-			im, _, err := core.New(core.Options{Mode: core.Exact}).Synthesize(ctx, g)
-			return im, err
-		}, false},
-		{"explicit", func() (*gatelib.Implementation, error) {
-			im, _, err := (&baseline.ExplicitSynthesizer{MaxStates: limit}).Synthesize(ctx, g)
-			return im, err
-		}, true},
-		{"symbolic", func() (*gatelib.Implementation, error) {
-			im, _, err := (&baseline.SymbolicSynthesizer{}).Synthesize(ctx, g)
-			return im, err
-		}, true},
-	}
-	if opts.Architectures {
-		for _, arch := range []gatelib.Architecture{gatelib.StandardC, gatelib.RSLatch} {
-			arch := arch
-			configs = append(configs, config{fmt.Sprintf("unfolding/%s", arch), func() (*gatelib.Implementation, error) {
-				im, _, err := core.New(core.Options{Arch: arch}).Synthesize(ctx, g)
-				return im, err
-			}, false})
-		}
+	configs := opts.Engines
+	if len(configs) == 0 {
+		configs = defaultEngines(g, limit, opts.Architectures)
 	}
 
 	disagree := func(d Disagreement) {
@@ -147,18 +136,22 @@ func Differential(ctx context.Context, g *stg.STG, opts DiffOptions) (*DiffRepor
 		}
 	}
 
-	var approxImpl *gatelib.Implementation // kept for the closed-loop cross-check
+	// The first successful non-baseline implementation is additionally passed
+	// through the closed-loop Verify as an end-to-end cross-check.
+	var closedLoopImpl *gatelib.Implementation
+	var closedLoopName string
 	for _, cfg := range configs {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		im, err := cfg.run()
-		run := EngineRun{Engine: cfg.name, Err: err}
+		im, err := cfg.Run(ctx)
+		run := EngineRun{Engine: cfg.Name, Err: err}
 		if im != nil {
 			run.Literals = im.Literals()
 		}
-		if cfg.name == "unfolding-approx" && err == nil {
-			approxImpl = im
+		if !cfg.Baseline && err == nil && closedLoopImpl == nil {
+			closedLoopImpl = im
+			closedLoopName = cfg.Name
 		}
 		rep.Runs = append(rep.Runs, run)
 		switch {
@@ -166,38 +159,76 @@ func Differential(ctx context.Context, g *stg.STG, opts DiffOptions) (*DiffRepor
 			// The unfolding flow must reject the specification; the baselines
 			// synthesise from their own state space without that check, so
 			// their outcome is not constrained.
-			if !cfg.baseline && !errors.Is(err, core.ErrNotSemiModular) {
-				disagree(Disagreement{Engine: cfg.name, State: -1,
+			if !cfg.Baseline && !errors.Is(err, core.ErrNotSemiModular) {
+				disagree(Disagreement{Engine: cfg.Name, State: -1,
 					Detail: fmt.Sprintf("oracle finds persistency violations but the engine returned %v", err)})
 			}
 		case rep.CSCConflict:
 			if !isCSCError(err) {
-				disagree(Disagreement{Engine: cfg.name, State: -1,
+				disagree(Disagreement{Engine: cfg.Name, State: -1,
 					Detail: fmt.Sprintf("oracle finds a CSC conflict but the engine returned %v", err)})
 			}
 		default:
 			if err != nil {
-				disagree(Disagreement{Engine: cfg.name, State: -1,
+				disagree(Disagreement{Engine: cfg.Name, State: -1,
 					Detail: fmt.Sprintf("oracle accepts the specification but the engine failed: %v", err)})
 				continue
 			}
-			compareImplied(sg, g, im, cfg.name, disagree)
+			compareImplied(sg, g, im, cfg.Name, disagree)
 		}
 	}
 
-	// End-to-end cross-check: the unfolding implementation must also survive
-	// the closed-loop simulation.
-	if !rep.CSCConflict && !rep.NonSemiModular && approxImpl != nil {
-		if _, verr := Verify(ctx, g, approxImpl, Options{MaxStates: limit}); verr != nil {
+	// End-to-end cross-check: the implementation must also survive the
+	// closed-loop simulation.
+	if !rep.CSCConflict && !rep.NonSemiModular && closedLoopImpl != nil {
+		if _, verr := Verify(ctx, g, closedLoopImpl, Options{MaxStates: limit}); verr != nil {
 			var v *Violation
 			if errors.As(verr, &v) {
-				disagree(Disagreement{Engine: "verify(unfolding-approx)", Signal: v.Signal, State: -1, Detail: v.Detail})
+				disagree(Disagreement{Engine: "verify(" + closedLoopName + ")", Signal: v.Signal, State: -1, Detail: v.Detail})
 			} else {
 				return nil, verr
 			}
 		}
 	}
 	return rep, nil
+}
+
+// defaultEngines is the builtin engine set used when DiffOptions.Engines is
+// empty: both unfolding modes, both state-graph baselines and optionally the
+// memory-element architectures.  The internal tests and the fuzz harness run
+// on it; the facade injects the registered public backends instead.
+func defaultEngines(g *stg.STG, limit int, architectures bool) []EngineUnderTest {
+	engines := []EngineUnderTest{
+		{Name: "unfolding-approx", Run: func(ctx context.Context) (*gatelib.Implementation, error) {
+			im, _, err := core.New(core.Options{Mode: core.Approximate}).Synthesize(ctx, g)
+			return im, err
+		}},
+		{Name: "unfolding-exact", Run: func(ctx context.Context) (*gatelib.Implementation, error) {
+			im, _, err := core.New(core.Options{Mode: core.Exact}).Synthesize(ctx, g)
+			return im, err
+		}},
+		{Name: "explicit", Baseline: true, Run: func(ctx context.Context) (*gatelib.Implementation, error) {
+			im, _, err := (&baseline.ExplicitSynthesizer{MaxStates: limit}).Synthesize(ctx, g)
+			return im, err
+		}},
+		{Name: "symbolic", Baseline: true, Run: func(ctx context.Context) (*gatelib.Implementation, error) {
+			im, _, err := (&baseline.SymbolicSynthesizer{}).Synthesize(ctx, g)
+			return im, err
+		}},
+	}
+	if architectures {
+		for _, arch := range []gatelib.Architecture{gatelib.StandardC, gatelib.RSLatch} {
+			arch := arch
+			engines = append(engines, EngineUnderTest{
+				Name: fmt.Sprintf("unfolding/%s", arch),
+				Run: func(ctx context.Context) (*gatelib.Implementation, error) {
+					im, _, err := core.New(core.Options{Arch: arch}).Synthesize(ctx, g)
+					return im, err
+				},
+			})
+		}
+	}
+	return engines
 }
 
 // compareImplied checks the implementation's next-state function of every

@@ -1,0 +1,147 @@
+package punt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// The portfolio scheduler races several backends over the same specification
+// under a shared context: the first successful contender wins, the losers are
+// cancelled immediately and their outcomes are recorded in the winner's
+// Stats.Contenders breakdown.  WithWorkers bounds how many contenders run
+// concurrently; with one worker the contenders run sequentially in the
+// configured order, which makes the winner deterministic.
+
+// runPortfolio races the contenders and returns the winning result.  When
+// every contender fails, the first-listed contender's error is returned (a
+// deterministic choice that favours the preferred engine's diagnostic).
+func runPortfolio(ctx context.Context, contenders []Backend, spec *Spec, cfg BackendConfig, workers int) (*Result, error) {
+	if len(contenders) == 0 {
+		return nil, diagnose("synthesize", spec.Name(), fmt.Errorf("portfolio has no contenders"))
+	}
+	if workers <= 0 || workers > len(contenders) {
+		workers = len(contenders)
+	}
+
+	// rctx cancels the losers the moment a winner is in.
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type slot struct {
+		res     *Result
+		err     error
+		elapsed time.Duration
+		started bool
+	}
+	slots := make([]slot, len(contenders))
+	var (
+		mu     sync.Mutex
+		winner = -1
+		wg     sync.WaitGroup
+		sem    = make(chan struct{}, workers)
+	)
+	// When every contender fits in the worker pool, a start gate lines them
+	// up before any begins: without it the runtime's run-next scheduling lets
+	// the last-spawned goroutine finish a microsecond-scale synthesis before
+	// the first-spawned one even starts, biasing the race systematically.
+	// With fewer workers the gate would deadlock the queued contenders, and
+	// staggered starts are the configured behaviour anyway.
+	var startGate chan struct{}
+	if workers >= len(contenders) {
+		startGate = make(chan struct{})
+	}
+	for i := range contenders {
+		// Feeding stops as soon as a winner exists: contenders that never got
+		// a worker slot are recorded as unstarted rather than cancelled.
+		sem <- struct{}{}
+		mu.Lock()
+		done := winner >= 0
+		mu.Unlock()
+		if done {
+			<-sem
+			break
+		}
+		wg.Add(1)
+		go func(i int, b Backend) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if startGate != nil {
+				<-startGate
+			}
+			start := time.Now()
+			defer func() {
+				// A panicking contender loses its race instead of taking the
+				// process down; custom backends are arbitrary code.
+				if p := recover(); p != nil {
+					mu.Lock()
+					slots[i] = slot{
+						err:     diagnose("synthesize", spec.Name(), fmt.Errorf("backend %q panicked: %v", b.Name(), p)),
+						elapsed: time.Since(start),
+						started: true,
+					}
+					mu.Unlock()
+				}
+			}()
+			res, err := runBackend(rctx, b, spec, cfg)
+			elapsed := time.Since(start)
+			mu.Lock()
+			slots[i] = slot{res: res, err: err, elapsed: elapsed, started: true}
+			if err == nil && winner < 0 {
+				winner = i
+				cancel() // abort the losers promptly
+			}
+			mu.Unlock()
+		}(i, contenders[i])
+	}
+	if startGate != nil {
+		close(startGate)
+	}
+	wg.Wait()
+
+	breakdown := make([]Contender, len(contenders))
+	for i, b := range contenders {
+		c := Contender{Engine: b.Name(), Started: slots[i].started, Elapsed: slots[i].elapsed}
+		if i == winner {
+			c.Winner = true
+		} else if slots[i].started {
+			c.Err = slots[i].err
+		}
+		breakdown[i] = c
+	}
+
+	if winner < 0 {
+		// Everyone failed.  Propagate the context's own error when the caller
+		// cancelled; otherwise the first contender's diagnostic.
+		if err := ctx.Err(); err != nil {
+			return nil, diagnose("synthesize", spec.Name(), err)
+		}
+		for _, s := range slots {
+			if s.started && s.err != nil {
+				return nil, s.err
+			}
+		}
+		return nil, diagnose("synthesize", spec.Name(), fmt.Errorf("portfolio ran no contenders"))
+	}
+	res := slots[winner].res
+	res.Stats.Backend = contenders[winner].Name()
+	res.Stats.Contenders = breakdown
+	return res, nil
+}
+
+// contenderErrLabel compresses a loser's error for the Stats summary.
+func contenderErrLabel(err error) string {
+	if errors.Is(err, context.Canceled) {
+		return "cancelled"
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "timeout"
+	}
+	var d *Diagnostic
+	if errors.As(err, &d) {
+		return d.Kind.String()
+	}
+	return "failed"
+}

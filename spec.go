@@ -1,8 +1,11 @@
 package punt
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"io"
 	"os"
+	"sync"
 
 	"punt/internal/stg"
 )
@@ -15,6 +18,9 @@ import (
 // Spec value may be synthesised concurrently — Batch relies on this.
 type Spec struct {
 	g *stg.STG
+
+	hashOnce sync.Once
+	hash     string
 }
 
 // wrapSpec finalises a freshly built STG into a public Spec: the initial
@@ -70,6 +76,18 @@ func Parse(text string) (*Spec, error) {
 
 // Name returns the specification's model name.
 func (s *Spec) Name() string { return s.g.Name() }
+
+// Hash returns the content hash of the specification: the SHA-256 of its
+// canonical ".g" rendering (Text), computed once and memoized.  Two Specs
+// with equal hashes describe the same finalised STG, whichever way they were
+// loaded — the content-addressed result cache keys on it.
+func (s *Spec) Hash() string {
+	s.hashOnce.Do(func() {
+		sum := sha256.Sum256([]byte(stg.Format(s.g)))
+		s.hash = hex.EncodeToString(sum[:])
+	})
+	return s.hash
+}
 
 // NumSignals returns the number of declared signals.
 func (s *Spec) NumSignals() int { return s.g.NumSignals() }

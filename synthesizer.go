@@ -3,10 +3,10 @@ package punt
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"punt/gates"
-	"punt/internal/baseline"
 	"punt/internal/core"
 )
 
@@ -22,35 +22,13 @@ const (
 	Exact Mode = core.Exact
 )
 
-// Engine selects the synthesis engine.
-type Engine int
-
-// The three synthesis engines.
-const (
-	// Unfolding is the paper's PUNT flow: covers are derived from the
-	// STG-unfolding segment without building the state graph (the default).
-	Unfolding Engine = iota
-	// Explicit is the "SIS-like" baseline: explicit state-graph enumeration.
-	Explicit
-	// Symbolic is the "Petrify-like" baseline: BDD-based reachability.
-	Symbolic
-)
-
-// String names the engine.
-func (e Engine) String() string {
-	switch e {
-	case Explicit:
-		return "explicit"
-	case Symbolic:
-		return "symbolic"
-	default:
-		return "unfolding"
-	}
-}
-
 // Progress is a coarse progress notification delivered to the WithProgress
 // callback during synthesis.
 type Progress struct {
+	// Engine names the backend delivering the notification; in portfolio
+	// mode it identifies the contender, so interleaved notifications stay
+	// attributable.
+	Engine string
 	// Stage depends on the engine: the unfolding flow reports "unfold" while
 	// the segment is under construction, the baselines report "build" once
 	// the state space exists; every engine then reports "covers" when the
@@ -70,6 +48,9 @@ type config struct {
 	mode      Mode
 	arch      gates.Architecture
 	engine    Engine
+	backend   string   // named backend override; empty = engine selects
+	portfolio []string // contender backend names for the Portfolio engine
+	cache     Cache
 	maxEvents int
 	maxStates int
 	maxNodes  int
@@ -101,18 +82,101 @@ func WithMaxStates(n int) Option { return func(c *config) { c.maxStates = n } }
 // ErrLimit (0 = unlimited).
 func WithMaxNodes(n int) Option { return func(c *config) { c.maxNodes = n } }
 
+// WithEngine selects the synthesis engine: one of the builtin backends
+// (Unfolding, Explicit, Symbolic) or the Portfolio scheduler, which races the
+// configured contenders (see WithPortfolio).  WithEngine(Unfolding) restores
+// the default.
+func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
+
 // WithBaseline selects a state-graph baseline engine (Explicit or Symbolic)
 // instead of the default unfolding flow, so the baselines are driven through
-// exactly the same API.  WithBaseline(Unfolding) restores the default.
-func WithBaseline(e Engine) Option { return func(c *config) { c.engine = e } }
+// exactly the same API.  WithBaseline(Unfolding) restores the default.  It is
+// a synonym of WithEngine kept for the engine-comparison vocabulary of the
+// paper.
+func WithBaseline(e Engine) Option { return WithEngine(e) }
+
+// WithBackend selects a registered synthesis backend by name, including
+// backends added with Register.  It overrides WithEngine/WithBaseline; an
+// unknown name fails at Synthesize time with a *Diagnostic listing the
+// registered backends.
+func WithBackend(name string) Option { return func(c *config) { c.backend = name } }
+
+// WithPortfolio selects the portfolio scheduler: the given engines are raced
+// concurrently under a shared context, the first success wins, the losers are
+// cancelled promptly, and Stats.Contenders records every contender's outcome.
+// Without arguments (or with plain WithEngine(Portfolio)) the portfolio races
+// the three builtin engines.  WithWorkers bounds how many contenders run at
+// once; with WithWorkers(1) the contenders run sequentially in the given
+// order, so the winner is deterministic.
+func WithPortfolio(engines ...Engine) Option {
+	return func(c *config) {
+		c.engine = Portfolio
+		c.portfolio = c.portfolio[:0]
+		for _, e := range engines {
+			c.portfolio = append(c.portfolio, e.String())
+		}
+	}
+}
+
+// WithContenders is WithPortfolio for named backends: the portfolio races the
+// registered backends with the given names, Register-ed custom backends
+// included.
+func WithContenders(names ...string) Option {
+	return func(c *config) {
+		c.engine = Portfolio
+		c.portfolio = append(c.portfolio[:0], names...)
+	}
+}
+
+// WithCache installs a synthesis result cache, shared by every Synthesize and
+// Batch call that carries it.  Results are keyed by the content hash of the
+// specification (Spec.Hash) combined with the canonicalised engine
+// configuration, so synthesising an identical specification again — even one
+// re-parsed into a different *Spec — is a lookup instead of a re-run.  Cache
+// hits return a copy whose Stats.Cached is true.  See NewLRU for the builtin
+// sharded in-memory implementation.
+func WithCache(cache Cache) Option { return func(c *config) { c.cache = cache } }
 
 // WithProgress installs a callback receiving coarse progress notifications.
 // The callback runs on the synthesizing goroutine and must be cheap; under
-// Batch it is invoked concurrently from several workers.
+// Batch and in portfolio mode it is invoked concurrently, with
+// Progress.Engine attributing each notification to its backend.
 func WithProgress(fn func(Progress)) Option { return func(c *config) { c.progress = fn } }
 
-// WithWorkers bounds the parallelism of Batch (0 = GOMAXPROCS).
+// WithWorkers bounds the parallelism of Batch and of the portfolio scheduler
+// (0 = GOMAXPROCS for Batch, all contenders at once for the portfolio).
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// Contender records the outcome of one portfolio contender.
+type Contender struct {
+	// Engine is the contender's backend name.
+	Engine string
+	// Winner marks the contender whose result was kept.
+	Winner bool
+	// Started reports whether the scheduler launched the contender at all; a
+	// contender stays unstarted when a winner emerged before a worker slot
+	// freed up for it.
+	Started bool
+	// Elapsed is the contender's wall-clock run time (zero when unstarted).
+	Elapsed time.Duration
+	// Err is the contender's failure: nil for the winner (and for unstarted
+	// contenders), a cancellation diagnostic for aborted losers.
+	Err error
+}
+
+// String renders the contender outcome.
+func (c Contender) String() string {
+	switch {
+	case c.Winner:
+		return fmt.Sprintf("%s=%v(winner)", c.Engine, c.Elapsed.Round(time.Microsecond))
+	case !c.Started:
+		return fmt.Sprintf("%s=unstarted", c.Engine)
+	case c.Err != nil:
+		return fmt.Sprintf("%s=%v(%s)", c.Engine, c.Elapsed.Round(time.Microsecond), contenderErrLabel(c.Err))
+	default:
+		return fmt.Sprintf("%s=%v", c.Engine, c.Elapsed.Round(time.Microsecond))
+	}
+}
 
 // Stats is the per-run timing and size breakdown, named after the columns of
 // the paper's Table 1.  The unfolding engine fills the segment fields; the
@@ -120,7 +184,13 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 // state-space construction time, SynTime the cover extraction and EspTime the
 // two-level minimisation, so the phases stay comparable across engines.
 type Stats struct {
+	// Engine is the builtin engine identity of the backend that produced the
+	// result (the winning contender in portfolio mode); custom backends leave
+	// it at Unfolding and are identified by Backend instead.
 	Engine Engine
+	// Backend names the backend that produced the result; in portfolio mode
+	// it names the winning contender.
+	Backend string
 
 	// UnfTime is the segment (or state-space) construction time ("UnfTim").
 	UnfTime time.Duration
@@ -128,7 +198,7 @@ type Stats struct {
 	SynTime time.Duration
 	// EspTime is the two-level minimisation time ("EspTim").
 	EspTime time.Duration
-	// Total is the complete wall-clock synthesis time ("TotTim").
+	// Total is the complete wall-clock synthesis time.  ("TotTim").
 	Total time.Duration
 
 	// Segment size (unfolding engine).
@@ -141,21 +211,49 @@ type Stats struct {
 	// Refinement counters (unfolding engine, approximate mode).
 	TermsRefined   int
 	SignalsRefined int
+
+	// Contenders is the per-contender breakdown of a portfolio run (empty
+	// outside portfolio mode).
+	Contenders []Contender
+	// Cached reports that the result was served from the WithCache cache
+	// instead of a synthesis run; the timing fields then describe the
+	// original (cold) run that populated the cache.
+	Cached bool
 }
 
-// String summarises the stats in the engine's natural vocabulary.
+// String summarises the stats in the engine's natural vocabulary, covering
+// every column of the paper's Table 1 (conditions and the refinement
+// counters included for the unfolding flow).
 func (s *Stats) String() string {
+	var sb strings.Builder
 	switch s.Engine {
 	case Explicit, Symbolic:
-		return fmt.Sprintf("engine=%s states=%d build=%v covers=%v minimize=%v total=%v",
+		fmt.Fprintf(&sb, "engine=%s states=%d build=%v covers=%v minimize=%v total=%v",
 			s.Engine, s.States, s.UnfTime.Round(time.Microsecond), s.SynTime.Round(time.Microsecond),
 			s.EspTime.Round(time.Microsecond), s.Total.Round(time.Microsecond))
 	default:
-		return fmt.Sprintf("unf=%v syn=%v esp=%v total=%v events=%d cutoffs=%d refined-terms=%d",
+		fmt.Fprintf(&sb, "unf=%v syn=%v esp=%v total=%v events=%d conditions=%d cutoffs=%d refined-terms=%d refined-signals=%d",
 			s.UnfTime.Round(time.Microsecond), s.SynTime.Round(time.Microsecond),
 			s.EspTime.Round(time.Microsecond), s.Total.Round(time.Microsecond),
-			s.Events, s.Cutoffs, s.TermsRefined)
+			s.Events, s.Conditions, s.Cutoffs, s.TermsRefined, s.SignalsRefined)
 	}
+	if s.Backend != "" && s.Backend != s.Engine.String() {
+		fmt.Fprintf(&sb, " backend=%s", s.Backend)
+	}
+	if len(s.Contenders) > 0 {
+		sb.WriteString(" portfolio=[")
+		for i, c := range s.Contenders {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(c.String())
+		}
+		sb.WriteByte(']')
+	}
+	if s.Cached {
+		sb.WriteString(" cached=true")
+	}
+	return sb.String()
 }
 
 // Result is the outcome of one successful synthesis run.
@@ -197,81 +295,90 @@ func New(opts ...Option) *Synthesizer {
 	return s
 }
 
+// backendConfig projects the Synthesizer's options onto the engine-agnostic
+// configuration handed to backends.
+func (s *Synthesizer) backendConfig() BackendConfig {
+	return BackendConfig{
+		Mode:      s.cfg.mode,
+		Arch:      s.cfg.arch,
+		MaxEvents: s.cfg.maxEvents,
+		MaxStates: s.cfg.maxStates,
+		MaxNodes:  s.cfg.maxNodes,
+		Progress:  s.cfg.progress,
+	}
+}
+
+// defaultContenders is the portfolio raced by plain WithEngine(Portfolio):
+// the paper's three-way engine comparison.
+var defaultContenders = []string{Unfolding.String(), Explicit.String(), Symbolic.String()}
+
+// resolveBackends maps the configured engine selection onto registered
+// backends: a single backend for the direct engines, a contender list for the
+// portfolio scheduler.
+func (s *Synthesizer) resolveBackends() (single Backend, contenders []Backend, err error) {
+	if name := s.cfg.backend; name != "" {
+		b, err := lookupBackend(name)
+		return b, nil, err
+	}
+	if s.cfg.engine != Portfolio {
+		b, err := lookupBackend(s.cfg.engine.String())
+		return b, nil, err
+	}
+	names := s.cfg.portfolio
+	if len(names) == 0 {
+		names = defaultContenders
+	}
+	contenders = make([]Backend, 0, len(names))
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		if name == "portfolio" {
+			return nil, nil, fmt.Errorf("punt: a portfolio cannot race itself")
+		}
+		if seen[name] {
+			return nil, nil, fmt.Errorf("punt: duplicate portfolio contender %q", name)
+		}
+		seen[name] = true
+		b, err := lookupBackend(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		contenders = append(contenders, b)
+	}
+	return nil, contenders, nil
+}
+
 // Synthesize derives a speed-independent implementation of spec with the
-// configured engine.  It honours ctx: cancellation aborts the segment/state
-// construction loops promptly and the error (wrapped in a *Diagnostic)
-// matches context.Canceled / context.DeadlineExceeded.
+// configured engine: it resolves the selection against the backend registry,
+// consults the WithCache cache, and dispatches to the single backend or to
+// the portfolio scheduler.  It honours ctx: cancellation aborts the
+// segment/state construction loops promptly and the error (wrapped in a
+// *Diagnostic) matches context.Canceled / context.DeadlineExceeded.
 func (s *Synthesizer) Synthesize(ctx context.Context, spec *Spec) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	res := &Result{Spec: spec}
-	res.Stats.Engine = s.cfg.engine
-	switch s.cfg.engine {
-	case Explicit:
-		eng := &baseline.ExplicitSynthesizer{
-			Arch:      s.cfg.arch,
-			MaxStates: s.cfg.maxStates,
-			Progress:  baselineProgress(s.cfg.progress),
+	single, contenders, err := s.resolveBackends()
+	if err != nil {
+		return nil, diagnose("synthesize", spec.Name(), err)
+	}
+	var key string
+	if s.cfg.cache != nil {
+		key = s.cacheKey(spec)
+		if res, ok := s.cfg.cache.Get(key); ok {
+			return cachedResult(res, spec), nil
 		}
-		im, st, err := eng.Synthesize(ctx, spec.g)
-		if err != nil {
-			return nil, diagnose("synthesize", spec.Name(), err)
-		}
-		res.Impl = im
-		fillBaselineStats(&res.Stats, st)
-	case Symbolic:
-		eng := &baseline.SymbolicSynthesizer{
-			Arch:     s.cfg.arch,
-			MaxNodes: s.cfg.maxNodes,
-			Progress: baselineProgress(s.cfg.progress),
-		}
-		im, st, err := eng.Synthesize(ctx, spec.g)
-		if err != nil {
-			return nil, diagnose("synthesize", spec.Name(), err)
-		}
-		res.Impl = im
-		fillBaselineStats(&res.Stats, st)
-	default:
-		copts := core.Options{Mode: s.cfg.mode, Arch: s.cfg.arch, MaxEvents: s.cfg.maxEvents}
-		if p := s.cfg.progress; p != nil {
-			copts.Progress = func(stage, signal string, events int) {
-				p(Progress{Stage: stage, Signal: signal, Events: events})
-			}
-		}
-		im, st, err := core.New(copts).Synthesize(ctx, spec.g)
-		if err != nil {
-			return nil, diagnose("synthesize", spec.Name(), err)
-		}
-		res.Impl = im
-		res.Stats.UnfTime = st.UnfTime
-		res.Stats.SynTime = st.SynTime
-		res.Stats.EspTime = st.EspTime
-		res.Stats.Total = st.Total
-		res.Stats.Events = st.Events
-		res.Stats.Conditions = st.Conditions
-		res.Stats.Cutoffs = st.Cutoffs
-		res.Stats.TermsRefined = st.TermsRefined
-		res.Stats.SignalsRefined = st.SignalsRefined
+	}
+	var res *Result
+	if single != nil {
+		res, err = runBackend(ctx, single, spec, s.backendConfig())
+	} else {
+		res, err = runPortfolio(ctx, contenders, spec, s.backendConfig(), s.cfg.workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.cache != nil {
+		s.cfg.cache.Put(key, res)
 	}
 	return res, nil
-}
-
-// baselineProgress adapts the public progress callback to the baseline
-// engines' hook.
-func baselineProgress(p func(Progress)) baseline.ProgressFunc {
-	if p == nil {
-		return nil
-	}
-	return func(stage, signal string, states int) {
-		p(Progress{Stage: stage, Signal: signal, States: states})
-	}
-}
-
-func fillBaselineStats(dst *Stats, st *baseline.Stats) {
-	dst.UnfTime = st.BuildTime
-	dst.SynTime = st.CoverTime
-	dst.EspTime = st.MinimizeTime
-	dst.Total = st.Total
-	dst.States = st.States
 }

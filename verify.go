@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 
+	"punt/gates"
 	"punt/internal/verify"
 )
 
@@ -62,10 +63,12 @@ func Verify(ctx context.Context, spec *Spec, res *Result, opts ...Option) (*Veri
 
 // Differential synthesises the specification with every engine — the
 // unfolding flow in both modes, the explicit and the symbolic state-graph
-// baselines, and optionally the memory-element architectures — and
-// cross-checks the next-state function of every output signal state by state
-// against the explicit state graph.  Specifications the oracle rejects (CSC
-// conflicts, persistency violations) must be rejected by the engines too.
+// baselines, and the memory-element architectures — and cross-checks the
+// next-state function of every output signal state by state against the
+// explicit state graph.  Specifications the oracle rejects (CSC conflicts,
+// persistency violations) must be rejected by the engines too.  The engine
+// configurations are driven through the registered public backends, so the
+// harness exercises exactly the dispatch path Synthesize takes.
 //
 // Engine failures and mismatches are reported inside the DifferentialReport
 // (check Ok()); Differential only returns an error when the oracle itself
@@ -79,11 +82,56 @@ func Differential(ctx context.Context, spec *Spec, opts ...Option) (*Differentia
 		o(&cfg)
 	}
 	rep, err := verify.Differential(ctx, spec.g, verify.DiffOptions{
-		MaxStates:     cfg.maxStates,
-		Architectures: true,
+		MaxStates: cfg.maxStates,
+		Engines:   differentialEngines(spec, cfg.maxStates),
 	})
 	if err != nil {
 		return nil, diagnose("differential", spec.Name(), err)
 	}
 	return rep, nil
+}
+
+// differentialEngines builds the engine configurations Differential
+// cross-checks, each one running a registered backend through the same
+// runBackend dispatch as Synthesize: both unfolding modes, both state-graph
+// baselines and the memory-element architectures.
+func differentialEngines(spec *Spec, maxStates int) []verify.EngineUnderTest {
+	limit := maxStates
+	if limit <= 0 {
+		limit = verify.DefaultMaxStates
+	}
+	type engineCfg struct {
+		name     string
+		backend  string
+		baseline bool
+		cfg      BackendConfig
+	}
+	configs := []engineCfg{
+		{name: "unfolding-approx", backend: "unfolding", cfg: BackendConfig{Mode: Approximate}},
+		{name: "unfolding-exact", backend: "unfolding", cfg: BackendConfig{Mode: Exact}},
+		{name: "explicit", backend: "explicit", baseline: true, cfg: BackendConfig{MaxStates: limit}},
+		{name: "symbolic", backend: "symbolic", baseline: true, cfg: BackendConfig{}},
+		{name: "unfolding/standard-c", backend: "unfolding", cfg: BackendConfig{Arch: gates.StandardC}},
+		{name: "unfolding/rs-latch", backend: "unfolding", cfg: BackendConfig{Arch: gates.RSLatch}},
+	}
+	engines := make([]verify.EngineUnderTest, 0, len(configs))
+	for _, c := range configs {
+		c := c
+		engines = append(engines, verify.EngineUnderTest{
+			Name:     c.name,
+			Baseline: c.baseline,
+			Run: func(ctx context.Context) (*gates.Implementation, error) {
+				b, err := lookupBackend(c.backend)
+				if err != nil {
+					return nil, err
+				}
+				res, err := runBackend(ctx, b, spec, c.cfg)
+				if err != nil {
+					return nil, err
+				}
+				return res.Impl, nil
+			},
+		})
+	}
+	return engines
 }
