@@ -101,14 +101,17 @@ func (g *StateGraph) NumStates() int { return g.sg.NumStates() }
 // USC, CSC) in a human-readable form.
 func (g *StateGraph) Report() string { return g.sg.Report() }
 
-// CSCConflicts returns a rendered description of every Complete State Coding
-// conflict: pairs of reachable states sharing a binary code but disagreeing
-// on the excited outputs.
-func (g *StateGraph) CSCConflicts() []string {
-	cs := g.sg.CheckCSC()
-	out := make([]string, len(cs))
-	for i, c := range cs {
-		out[i] = c.String()
-	}
-	return out
+// CSCConflict is one structured Complete State Coding conflict: two reachable
+// states sharing a binary code but disagreeing on the excited outputs.  It
+// carries the conflicting state pair, the output signals whose excitation
+// differs, and shortest witness traces from the initial state to each state;
+// String renders the conventional one-line description.
+type CSCConflict = stategraph.CSCConflict
+
+// CSCConflicts returns every Complete State Coding conflict of the state
+// graph as structured values (render one with its String method).  An
+// implementable specification returns none; the CSC resolver behind
+// WithResolveCSC consumes exactly this analysis.
+func (g *StateGraph) CSCConflicts() []CSCConflict {
+	return g.sg.CheckCSC()
 }

@@ -52,13 +52,20 @@ type BatchSummary struct {
 	// literals of the successful items.
 	Events   int
 	Literals int
+	// Resolved counts the successful items whose specification was repaired
+	// by the WithResolveCSC resolver before synthesis.
+	Resolved int
 }
 
 // String summarises the batch.
 func (s BatchSummary) String() string {
-	return fmt.Sprintf("batch: %d items, %d ok, %d failed, %d workers, wall=%v work=%v",
+	out := fmt.Sprintf("batch: %d items, %d ok, %d failed, %d workers, wall=%v work=%v",
 		s.Items, s.Succeeded, s.Failed, s.Workers,
 		s.Elapsed.Round(time.Millisecond), s.Work.Round(time.Millisecond))
+	if s.Resolved > 0 {
+		out += fmt.Sprintf(", %d CSC-resolved", s.Resolved)
+	}
+	return out
 }
 
 // Batch synthesises many specifications concurrently with the options of s:
@@ -127,6 +134,9 @@ feed:
 		sum.Succeeded++
 		sum.Events += r.Result.Stats.Events
 		sum.Literals += r.Result.Literals()
+		if r.Result.Resolved() {
+			sum.Resolved++
+		}
 	}
 	return results, sum
 }

@@ -39,16 +39,25 @@ func (s *Synthesizer) cacheKey(spec *Spec) string {
 			sel = "portfolio(" + strings.Join(names, ",") + ")"
 		}
 	}
-	return fmt.Sprintf("%s|mode=%d|arch=%d|me=%d|ms=%d|mn=%d|sel=%s",
-		spec.Hash(), s.cfg.mode, s.cfg.arch, s.cfg.maxEvents, s.cfg.maxStates, s.cfg.maxNodes, sel)
+	// The resolver bound is part of the key: a result synthesised from a
+	// resolver-repaired specification (extra internal signals, different
+	// implementation) must never be served for a configuration that would
+	// have failed with ErrCSC, and vice versa.
+	return fmt.Sprintf("%s|mode=%d|arch=%d|me=%d|ms=%d|mn=%d|rcsc=%d|sel=%s",
+		spec.Hash(), s.cfg.mode, s.cfg.arch, s.cfg.maxEvents, s.cfg.maxStates, s.cfg.maxNodes, s.cfg.resolveCSC, sel)
 }
 
 // cachedResult adapts a cache hit to the requesting call: the implementation
 // and stats are shared (both immutable), the Spec is the caller's own and
-// Stats.Cached marks the result as served from the cache.
+// Stats.Cached marks the result as served from the cache.  A resolver-repaired
+// result keeps the stored repaired Spec instead — the implementation realises
+// and verifies against the post-insertion specification, not the caller's
+// conflicted one, and Result.Spec promises exactly that.
 func cachedResult(res *Result, spec *Spec) *Result {
 	cp := *res
-	cp.Spec = spec
+	if cp.Resolution == nil {
+		cp.Spec = spec
+	}
 	cp.Stats.Cached = true
 	return &cp
 }

@@ -7,7 +7,8 @@
 //
 //	punt [-engine unfolding|explicit|symbolic|portfolio] [-exact]
 //	     [-arch complex-gate|standard-c|rs-latch] [-verilog] [-stats]
-//	     [-verify] [-cache] file.g [file2.g ...]
+//	     [-verify] [-cache] [-resolve-csc] [-max-csc-signals N]
+//	     file.g [file2.g ...]
 //
 // With "-" as a file name the STG is read from standard input.
 //
@@ -15,6 +16,13 @@
 // one of the state-graph baselines, or the portfolio scheduler that races all
 // three and keeps the first success.  An unknown engine (or architecture)
 // name is a usage error and exits with status 2.
+//
+// With -resolve-csc a specification rejected for a Complete State Coding
+// conflict is repaired automatically: internal state signals (csc0, csc1, …)
+// are inserted until CSC holds (at most -max-csc-signals of them), the
+// repaired specification is synthesised instead, and the result is checked by
+// the closed-loop verifier against the repaired specification.  The insertion
+// summary is reported on standard error.
 //
 // With -cache a content-addressed result cache is shared across the given
 // files, so repeated specifications are synthesised once ( -stats marks the
@@ -56,6 +64,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	doVerify := fs.Bool("verify", false, "verify the implementation with the closed-loop simulation; exit 3 on failure")
 	maxStates := fs.Int("max-states", 0, "abort verification beyond this many composed states per cluster (0 = default)")
 	useCache := fs.Bool("cache", false, "share a content-addressed result cache across the given files")
+	resolveCSC := fs.Bool("resolve-csc", false, "repair CSC conflicts by inserting internal state signals")
+	maxCSCSignals := fs.Int("max-csc-signals", 0, "bound on inserted CSC signals with -resolve-csc (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -89,6 +99,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *useCache {
 		opts = append(opts, punt.WithCache(punt.NewLRU(0)))
 	}
+	if *resolveCSC {
+		opts = append(opts, punt.WithResolveCSC(*maxCSCSignals))
+	}
 	synth := punt.New(opts...)
 
 	for _, path := range fs.Args() {
@@ -103,12 +116,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if *stats {
 			fmt.Fprintf(stderr, "%s\n", &res.Stats)
 		}
+		if res.Resolved() {
+			fmt.Fprintf(stderr, "punt: %s: resolved CSC by inserting %s\n", res.Spec.Name(), res.Resolution.Signal)
+			for _, line := range res.Resolution.Trace {
+				fmt.Fprintf(stderr, "punt:   %s\n", line)
+			}
+		}
 		// A cached result was already verified when it entered the cache
 		// earlier in this invocation (the cache is per-run, so every entry
-		// went through this same loop): skip the expensive re-verification of
-		// an identical implementation.
-		if *doVerify && !res.Stats.Cached {
-			rep, err := punt.Verify(context.Background(), spec, res, punt.WithMaxStates(*maxStates))
+		// went through this same loop), and a resolver-repaired result was
+		// already closed-loop-verified against the repaired specification
+		// inside Synthesize: skip the expensive re-verification of an
+		// identical implementation in both cases.
+		if *doVerify && !res.Stats.Cached && !res.Resolved() {
+			rep, err := punt.Verify(context.Background(), res.Spec, res, punt.WithMaxStates(*maxStates))
 			if err != nil {
 				// Exit 3: the implementation failed (or could not complete)
 				// verification, as opposed to synthesis failure (1).

@@ -196,6 +196,45 @@ func TestBadEngineExitsTwo(t *testing.T) {
 	}
 }
 
+func TestResolveCSCFlag(t *testing.T) {
+	// Without -resolve-csc the CSC-conflicted controller fails with exit 1.
+	code, stdout, stderr := runCmd(t, []string{"../../testdata/csc.g"}, "")
+	if code != 1 || stdout != "" {
+		t.Fatalf("without -resolve-csc: exit=%d stdout=%q stderr=%s", code, stdout, stderr)
+	}
+	// With it the repair is automatic: the implementation (including the
+	// inserted csc0 gate) goes to stdout and the insertion summary to stderr.
+	code, stdout, stderr = runCmd(t, []string{"-resolve-csc", "-verify", "../../testdata/csc.g"}, "")
+	if code != 0 {
+		t.Fatalf("-resolve-csc: exit=%d stderr=%s", code, stderr)
+	}
+	for _, want := range []string{"out1 =", "out2 =", "csc0 ="} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("implementation missing %q:\n%s", want, stdout)
+		}
+	}
+	if !strings.Contains(stderr, "resolved CSC by inserting csc0") ||
+		!strings.Contains(stderr, "csc0+ after out1+") {
+		t.Errorf("stderr should carry the insertion summary, got: %s", stderr)
+	}
+}
+
+func TestResolveCSCSignalBound(t *testing.T) {
+	// A -max-csc-signals bound of zero falls back to the default and still
+	// repairs; the flag is plumbed through (a negative bound is also the
+	// default, so use a generous explicit bound to prove acceptance).
+	code, stdout, stderr := runCmd(t, []string{"-resolve-csc", "-max-csc-signals", "2", "-stats", "../../testdata/csc.g"}, "")
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "csc-inserted=1") {
+		t.Errorf("-stats should report the insertion counters: %s", stderr)
+	}
+	if !strings.Contains(stdout, "csc0 =") {
+		t.Errorf("stdout: %q", stdout)
+	}
+}
+
 func TestMultiFileWithSharedCache(t *testing.T) {
 	// The same file twice with -cache: the second synthesis is a cache hit,
 	// visible in its -stats line, and both implementations are emitted.

@@ -2,11 +2,14 @@
 // properties of the underlying net, builds the state graph and checks the
 // correctness criteria required for speed-independent synthesis (consistency,
 // safeness, output persistency, USC/CSC), and summarises the size of the
-// STG-unfolding segment for comparison.
+// STG-unfolding segment for comparison.  Complete State Coding conflicts are
+// reported in detail: the conflicting state pair with its shared code, the
+// output signals whose excitation disagrees, and a shortest witness firing
+// sequence to each of the two states.
 //
 // Usage:
 //
-//	stginfo [-max-states N] file.g
+//	stginfo [-max-states N] [-max-conflicts N] file.g
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"punt"
 )
@@ -29,6 +33,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("stginfo", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	maxStates := fs.Int("max-states", 1000000, "abort state graph construction beyond this many states")
+	maxConflicts := fs.Int("max-conflicts", 8, "print at most this many CSC conflicts in detail")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -67,5 +72,29 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 0
 	}
 	fmt.Fprint(stdout, sg.Report())
+
+	// Per-conflict detail from the structured API: the conflicting state
+	// pair with its shared code, the output signals that disagree, and a
+	// shortest witness trace to each state.
+	conflicts := sg.CSCConflicts()
+	for i, c := range conflicts {
+		if i >= *maxConflicts {
+			fmt.Fprintf(stdout, "  … %d more conflicts (raise -max-conflicts)\n", len(conflicts)-i)
+			break
+		}
+		fmt.Fprintf(stdout, "  conflict %d: code %s: state %d {%s} vs state %d {%s}, differing on %s\n",
+			i+1, c.Code, c.StateA, c.SignalsA, c.StateB, c.SignalsB, strings.Join(c.DiffSignals, ","))
+		fmt.Fprintf(stdout, "    witness to state %d: %s\n", c.StateA, renderTrace(c.TraceA))
+		fmt.Fprintf(stdout, "    witness to state %d: %s\n", c.StateB, renderTrace(c.TraceB))
+	}
 	return 0
+}
+
+// renderTrace joins a witness firing sequence, naming the empty trace (the
+// initial state itself) explicitly.
+func renderTrace(trace []string) string {
+	if len(trace) == 0 {
+		return "(initial state)"
+	}
+	return strings.Join(trace, " ")
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args []string, stdin string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCleanSpecReport(t *testing.T) {
+	code, stdout, stderr := runCmd(t, []string{"../../testdata/fig1.g"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"CSC: ok", "USC: ok", "output persistency: ok", "deadlocks: none"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("report missing %q:\n%s", want, stdout)
+		}
+	}
+	if strings.Contains(stdout, "conflict 1:") {
+		t.Errorf("a clean spec must not print conflict detail:\n%s", stdout)
+	}
+}
+
+func TestCSCConflictDetail(t *testing.T) {
+	code, stdout, stderr := runCmd(t, []string{"../../testdata/csc.g"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	// The verdict line and, below it, the structured per-conflict detail:
+	// state pair with shared code, differing outputs and witness traces.
+	for _, want := range []string{
+		"CSC: 1 conflicts",
+		"conflict 1: code 100: state 1 {out1+} vs state 5 {out2+}, differing on out1,out2",
+		"witness to state 1: req+",
+		"witness to state 5: req+ out1+ req- out1- req+/2",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("report missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestMaxConflictsTruncation(t *testing.T) {
+	code, stdout, stderr := runCmd(t, []string{"-max-conflicts", "0", "../../testdata/csc.g"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "… 1 more conflicts") {
+		t.Errorf("truncation notice missing:\n%s", stdout)
+	}
+}
+
+func TestUsageAndLoadErrors(t *testing.T) {
+	if code, _, _ := runCmd(t, nil, ""); code != 2 {
+		t.Errorf("missing file argument must exit 2, got %d", code)
+	}
+	if code, _, stderr := runCmd(t, []string{"no-such-file.g"}, ""); code != 1 ||
+		!strings.Contains(stderr, "no-such-file.g") {
+		t.Errorf("missing file: exit=%d stderr=%s", code, stderr)
+	}
+}
+
+func TestRenderTrace(t *testing.T) {
+	if got := renderTrace(nil); got != "(initial state)" {
+		t.Errorf("empty trace renders %q", got)
+	}
+	if got := renderTrace([]string{"a+", "b-"}); got != "a+ b-" {
+		t.Errorf("trace renders %q", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"punt/internal/baseline"
 	"punt/internal/core"
+	"punt/internal/resolve"
 	"punt/internal/stategraph"
 	"punt/internal/unfolding"
 	"punt/internal/verify"
@@ -68,6 +69,10 @@ const (
 	// KindLiveness: a specification-enabled output transition can never be
 	// produced by the implementation (Verify).
 	KindLiveness
+	// KindResolved: informational, never returned as an error — the
+	// WithResolveCSC resolver repaired a CSC-conflicted specification by
+	// inserting internal state signals; see Result.Resolution.
+	KindResolved
 )
 
 // String names the kind.
@@ -93,6 +98,8 @@ func (k DiagKind) String() string {
 		return "hazard"
 	case KindLiveness:
 		return "lost liveness"
+	case KindResolved:
+		return "CSC resolved"
 	default:
 		return "error"
 	}
@@ -193,6 +200,7 @@ func diagnose(op, spec string, err error) error {
 		coreCSC     *core.CSCError
 		baselineCSC *baseline.CSCError
 		violation   *verify.Violation
+		unresolved  *resolve.UnresolvedError
 	)
 	switch {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
@@ -237,6 +245,10 @@ func diagnose(op, spec string, err error) error {
 		if baselineCSC.Conflict != "" {
 			d.Trace = []string{baselineCSC.Conflict}
 		}
+	case errors.As(err, &unresolved):
+		// The resolver could not repair every conflict within its signal
+		// budget: the specification still violates CSC.
+		d.Kind = KindCSC
 	case errors.Is(err, unfolding.ErrEventLimit),
 		errors.Is(err, baseline.ErrLimit),
 		errors.Is(err, stategraph.ErrStateLimit),

@@ -20,9 +20,19 @@
 // specifications through a bounded worker pool with per-item error isolation.
 // Failures are structured *Diagnostic values carrying the offending signal,
 // place and trace, matchable against the package sentinels (ErrNotSafe,
-// ErrEventLimit, ErrNotSemiModular, ErrCSC, ErrLimit) with errors.Is.
+// ErrEventLimit, ErrNotSemiModular, ErrCSC, ErrLimit, ErrVerification) with
+// errors.Is.  Not every rejection is final: a Complete State Coding conflict
+// (KindCSC) is repairable, and WithResolveCSC turns the rejection into an
+// automatic repair — internal state signals csc0, csc1, … are inserted until
+// CSC holds, the repaired specification is re-synthesised and proven
+// conformant, hazard-free and live by the closed-loop verifier, and the
+// result carries the repair record as a KindResolved informational
+// diagnostic (Result.Resolution) plus Stats counters; only when the signal
+// bound cannot repair the conflict does Synthesize still fail with KindCSC.
 // Unfold and BuildStateGraph expose the segment and the explicit state graph
-// for analysis; punt/bench re-runs the paper's evaluation.
+// for analysis (BuildStateGraph's CSCConflicts returns the structured
+// conflict cores: state pairs, differing outputs, witness traces); punt/bench
+// re-runs the paper's evaluation.
 //
 // The engine layer is open: synthesis engines are Backend implementations in
 // a package-level registry (Register, Backends, WithBackend), the builtin

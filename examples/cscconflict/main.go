@@ -1,16 +1,18 @@
 // cscconflict: what happens when a specification violates Complete State
-// Coding.
+// Coding — and how the resolver repairs it automatically.
 //
 // The program parses a controller in which the same input performs two
 // successive handshakes with two different outputs.  The specification is
 // consistent, safe and semi-modular, yet it cannot be implemented as a
 // speed-independent circuit: two reachable states carry the same binary code
 // but require different output behaviour.  The example shows how the
-// unfolding-based flow reports the conflict through the structured
-// *punt.Diagnostic (after refining its approximated covers to exact ones) and
-// how the state-graph analysis pinpoints the pair of conflicting states.  It
-// then repairs the specification by inserting an internal state signal and
-// synthesises the corrected controller.
+// synthesis flow reports the conflict through the structured
+// *punt.Diagnostic, how the state-graph analysis pinpoints the pair of
+// conflicting states (with witness traces), and how WithResolveCSC repairs
+// the specification without manual intervention: an internal state signal is
+// inserted to distinguish the two handshake phases, the repaired controller
+// is synthesised, and the result is proven conformant, hazard-free and live
+// by the closed-loop verifier.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"strings"
 
 	"punt"
 )
@@ -39,30 +42,6 @@ req-/2 out2-
 out2- req+
 .marking { <out2-,req+> }
 .initial_state 000
-.end
-`
-
-// The repaired controller: an internal signal x distinguishes the first
-// handshake from the second (the standard CSC repair by signal insertion the
-// paper mentions in Section 2.2).
-const repairedSpec = `
-.model csc-repaired
-.inputs req
-.outputs out1 out2
-.internal x
-.graph
-req+ out1+
-out1+ x+
-x+ req-
-req- out1-
-out1- req+/2
-req+/2 out2+
-out2+ x-
-x- req-/2
-req-/2 out2-
-out2- req+
-.marking { <out2-,req+> }
-.initial_state 0000
 .end
 `
 
@@ -90,22 +69,42 @@ func main() {
 		log.Fatal("the diagnostic should match punt.ErrCSC")
 	}
 
+	// The state graph pinpoints the conflict: the same code, two states,
+	// different excited outputs — with a shortest witness trace to each.
 	sg, err := punt.BuildStateGraph(ctx, broken)
 	if err != nil {
 		log.Fatal(err)
 	}
 	conflicts := sg.CSCConflicts()
-	fmt.Printf("state graph analysis: %d CSC conflict(s); first: %s\n\n", len(conflicts), conflicts[0])
+	fmt.Printf("state graph analysis: %d CSC conflict(s)\n", len(conflicts))
+	c := conflicts[0]
+	fmt.Printf("  %s\n", c)
+	fmt.Printf("  differing outputs: %s\n", strings.Join(c.DiffSignals, ", "))
+	fmt.Printf("  witness to state %d: %s\n", c.StateA, strings.Join(c.TraceA, " "))
+	fmt.Printf("  witness to state %d: %s\n\n", c.StateB, strings.Join(c.TraceB, " "))
 
-	fmt.Println("synthesising the repaired controller (internal signal x inserted)...")
-	repaired, err := punt.Parse(repairedSpec)
+	// The repair is automatic: WithResolveCSC inserts internal state signals
+	// until Complete State Coding holds, re-synthesises, and checks the
+	// repaired circuit with the closed-loop verifier.
+	fmt.Println("synthesising again with punt.WithResolveCSC(4)...")
+	res, err := punt.New(punt.WithResolveCSC(4)).Synthesize(ctx, broken)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("automatic resolution failed: %v", err)
 	}
-	res, err := punt.New().Synthesize(ctx, repaired)
+	fmt.Printf("resolved: inserted %d internal signal(s) [%s] in %d iteration(s)\n",
+		res.Stats.CSCSignalsInserted, res.Resolution.Signal, res.Stats.CSCIterations)
+	for _, line := range res.Resolution.Trace {
+		fmt.Printf("  %s\n", line)
+	}
+	fmt.Printf("repaired specification signals: %s\n\n", strings.Join(res.Spec.SignalNames(), " "))
+
+	// Result.Spec is the repaired specification; the implementation is
+	// verified against it (Synthesize already did this once internally).
+	rep, err := punt.Verify(ctx, res.Spec, res)
 	if err != nil {
-		log.Fatalf("repaired controller failed: %v", err)
+		log.Fatalf("the repaired circuit must verify: %v", err)
 	}
+	fmt.Printf("closed-loop verification: %s\n\n", rep)
 	fmt.Printf("success: %d literals, segment of %d events\n\n", res.Literals(), res.Stats.Events)
 	fmt.Print(res.Eqn())
 }

@@ -89,6 +89,53 @@ func (n *Net) AddArcPT(p PlaceID, t TransitionID) {
 	n.placeOut[p] = append(n.placeOut[p], t)
 }
 
+// RemoveArcTP removes the arc from transition t to place p, if present.  It
+// is the surgical counterpart of AddArcTP used by net rewrites (signal
+// insertion redirects a transition's postset through a fresh transition).
+func (n *Net) RemoveArcTP(t TransitionID, p PlaceID) {
+	n.checkPlace(p)
+	n.checkTransition(t)
+	n.post[t] = removeID(n.post[t], p)
+	n.placeIn[p] = removeID(n.placeIn[p], t)
+}
+
+// removeID deletes the first occurrence of id from ids, preserving order.
+func removeID[T comparable](ids []T, id T) []T {
+	for i, q := range ids {
+		if q == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// Clone returns a deep copy of the net: rewrites of the copy (adding places,
+// transitions or arcs, removing arcs, changing the marking) never affect the
+// original.
+func (n *Net) Clone() *Net {
+	c := &Net{
+		name:       n.name,
+		placeNames: append([]string(nil), n.placeNames...),
+		transNames: append([]string(nil), n.transNames...),
+		pre:        cloneIDLists(n.pre),
+		post:       cloneIDLists(n.post),
+		placeOut:   cloneIDLists(n.placeOut),
+		placeIn:    cloneIDLists(n.placeIn),
+		initial:    n.initial.Clone(),
+	}
+	return c
+}
+
+func cloneIDLists[T any](lists [][]T) [][]T {
+	out := make([][]T, len(lists))
+	for i, l := range lists {
+		if l != nil {
+			out[i] = append([]T(nil), l...)
+		}
+	}
+	return out
+}
+
 // AddArcTP adds an arc from transition t to place p.
 func (n *Net) AddArcTP(t TransitionID, p PlaceID) {
 	n.checkPlace(p)

@@ -1,0 +1,153 @@
+package resolve
+
+import (
+	"sort"
+
+	"punt/internal/petri"
+	"punt/internal/stategraph"
+	"punt/internal/stg"
+)
+
+// candidate is one feasible insertion: the new signal rises in series after
+// rise and falls in series after fall.
+type candidate struct {
+	rise, fall petri.TransitionID
+	// separated is the number of conflicting state pairs the induced value
+	// assignment distinguishes.
+	separated int
+	// penalty prefers insertion points on output/internal transitions over
+	// dummies and inputs (classic practice: the inserted state signal should
+	// follow the circuit's own events where possible).
+	penalty int
+	// initHigh is the induced initial value of the new signal.
+	initHigh bool
+}
+
+// findCandidates enumerates every ordered transition pair (rise, fall) whose
+// serial insertion admits a consistent value assignment of the new signal
+// over the state graph, and ranks the feasible ones: most conflict pairs
+// separated first, then lowest insertion-point penalty, then deterministic
+// transition order.
+func findCandidates(sg *stategraph.Graph, conflicts []stategraph.CSCConflict) []candidate {
+	g := sg.STG
+	m := g.Net().NumTransitions()
+
+	// Edges grouped by transition, so a pair's anchors are found without
+	// rescanning the whole edge list.
+	edgesByTrans := make([][]int, m)
+	for e := range sg.Edges {
+		t := sg.Edges[e].Transition
+		edgesByTrans[t] = append(edgesByTrans[t], e)
+	}
+	// Undirected incidence: for the equality propagation every non-toggle
+	// edge forces its endpoints to the same value.
+	type half struct {
+		other int // neighbouring state
+		trans petri.TransitionID
+	}
+	inc := make([][]half, len(sg.States))
+	for _, e := range sg.Edges {
+		inc[e.From] = append(inc[e.From], half{other: e.To, trans: e.Transition})
+		inc[e.To] = append(inc[e.To], half{other: e.From, trans: e.Transition})
+	}
+
+	penalty := func(t petri.TransitionID) int {
+		l := g.Label(t)
+		switch {
+		case l.IsDummy:
+			return 1
+		case g.Signal(l.Signal).Kind == stg.Input:
+			return 2
+		default:
+			return 0
+		}
+	}
+
+	value := make([]int8, len(sg.States))
+	var stack []int
+
+	// color computes the value assignment induced by the pair (rise, fall):
+	// rise edges force 0→1, fall edges force 1→0, every other edge forces
+	// equality.  It reports whether the constraints are satisfiable.
+	color := func(rise, fall petri.TransitionID) bool {
+		for i := range value {
+			value[i] = -1
+		}
+		stack = stack[:0]
+		assign := func(s int, v int8) bool {
+			if value[s] == -1 {
+				value[s] = v
+				stack = append(stack, s)
+				return true
+			}
+			return value[s] == v
+		}
+		for _, e := range edgesByTrans[rise] {
+			if !assign(sg.Edges[e].From, 0) || !assign(sg.Edges[e].To, 1) {
+				return false
+			}
+		}
+		for _, e := range edgesByTrans[fall] {
+			if !assign(sg.Edges[e].From, 1) || !assign(sg.Edges[e].To, 0) {
+				return false
+			}
+		}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, h := range inc[s] {
+				if h.trans == rise || h.trans == fall {
+					continue // toggle edges were anchored above
+				}
+				if !assign(h.other, value[s]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	var out []candidate
+	for rise := petri.TransitionID(0); int(rise) < m; rise++ {
+		if len(edgesByTrans[rise]) == 0 {
+			continue // never fires: the new signal would never rise
+		}
+		for fall := petri.TransitionID(0); int(fall) < m; fall++ {
+			if rise == fall || len(edgesByTrans[fall]) == 0 {
+				continue
+			}
+			if !color(rise, fall) {
+				continue
+			}
+			sep := 0
+			for _, c := range conflicts {
+				if value[c.StateA] != value[c.StateB] {
+					sep++
+				}
+			}
+			if sep == 0 {
+				continue // the new signal would not distinguish any conflict
+			}
+			out = append(out, candidate{
+				rise:      rise,
+				fall:      fall,
+				separated: sep,
+				penalty:   penalty(rise) + penalty(fall),
+				initHigh:  value[0] == 1,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].separated != out[j].separated {
+			return out[i].separated > out[j].separated
+		}
+		if out[i].penalty != out[j].penalty {
+			return out[i].penalty < out[j].penalty
+		}
+		if out[i].rise != out[j].rise {
+			return out[i].rise < out[j].rise
+		}
+		return out[i].fall < out[j].fall
+	})
+	return out
+}

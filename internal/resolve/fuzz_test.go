@@ -1,0 +1,65 @@
+package resolve
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"punt/internal/benchgen"
+	"punt/internal/stategraph"
+)
+
+// FuzzResolve mutates the RandomSTG generator seed and signal budget and
+// checks the resolver's contract on every specification the generator can
+// produce: resolution terminates within the signal bound, the repaired state
+// graph has zero CSC conflicts, and the repair preserves consistency, output
+// persistency and deadlock-freedom.  Run it with:
+//
+//	go test -run=NONE -fuzz=FuzzResolve -fuzztime=30s ./internal/resolve
+func FuzzResolve(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed, uint8(seed*7))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, budget uint8) {
+		ctx := context.Background()
+		g := benchgen.RandomSTG(seed, 4+int(budget)%11)
+		sg, err := stategraph.Build(ctx, g, stategraph.Options{MaxStates: 50000})
+		if err != nil {
+			t.Skip() // state explosion on an adversarial budget
+		}
+		conflicts := sg.CheckCSC()
+		rg, rep, err := Resolve(ctx, g, Options{MaxSignals: 12, MaxStates: 50000})
+		if err != nil {
+			if errors.Is(err, stategraph.ErrStateLimit) {
+				t.Skip()
+			}
+			t.Fatalf("seed %d budget %d (%d conflicts): %v", seed, budget, len(conflicts), err)
+		}
+		if len(conflicts) == 0 {
+			// A conflict-free input must come back untouched.
+			if rg != g || rep.Iterations != 0 || len(rep.Inserted) != 0 {
+				t.Fatalf("seed %d budget %d: resolver modified a CSC-clean specification: %s", seed, budget, rep)
+			}
+			return
+		}
+		if len(rep.Inserted) == 0 || len(rep.Inserted) > 12 {
+			t.Fatalf("seed %d budget %d: inserted %d signals", seed, budget, len(rep.Inserted))
+		}
+		nsg, err := stategraph.Build(ctx, rg, stategraph.Options{MaxStates: 500000})
+		if err != nil {
+			t.Fatalf("seed %d budget %d: repaired state graph: %v", seed, budget, err)
+		}
+		if n := len(nsg.CheckCSC()); n != 0 {
+			t.Fatalf("seed %d budget %d: %d conflicts remain", seed, budget, n)
+		}
+		if v := nsg.CheckOutputPersistency(); len(v) != 0 {
+			t.Fatalf("seed %d budget %d: repair broke persistency: %s", seed, budget, v[0])
+		}
+		if d := nsg.Deadlocks(); len(d) != 0 {
+			t.Fatalf("seed %d budget %d: repair introduced %d deadlocks", seed, budget, len(d))
+		}
+		if err := rg.Validate(); err != nil {
+			t.Fatalf("seed %d budget %d: repaired STG invalid: %v", seed, budget, err)
+		}
+	})
+}

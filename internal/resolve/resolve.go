@@ -1,0 +1,293 @@
+// Package resolve repairs Complete State Coding conflicts by internal-signal
+// insertion: the standard transformation that turns an unimplementable STG
+// (two reachable states share a binary code but require different output
+// behaviour) into an equivalent one whose extra internal state signal
+// disambiguates the conflicting states.
+//
+// The resolver works on the explicit state graph.  Each iteration it
+//
+//  1. collects the structured CSC conflicts (stategraph.CheckCSC),
+//  2. searches for a pair of transitions (t↑, t↓) such that inserting a fresh
+//     internal signal x with x+ in series after t↑ and x- in series after t↓
+//     admits a consistent value assignment of x over the whole state graph
+//     (x alternates along every firing sequence) while separating as many
+//     conflicting state pairs as possible, and
+//  3. validates the best candidates by actually rewriting the STG and
+//     rebuilding its state graph: the rewrite must keep the specification
+//     consistent, output-persistent and deadlock-free, and must strictly
+//     reduce the number of CSC conflicts.
+//
+// Serial insertion after a transition t redirects t's entire postset through
+// the new signal transition (t → x* → old postset), so the new signal's only
+// input place is fresh and private: x* can never be disabled once excited
+// (the insertion preserves output persistency and speed-independence by
+// construction) and every behaviour of the rewritten STG maps back to the
+// original by erasing the x* firings.  Iterating inserts csc0, csc1, … until
+// CSC holds or the signal budget is exhausted.
+package resolve
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"punt/internal/bitvec"
+	"punt/internal/petri"
+	"punt/internal/stategraph"
+	"punt/internal/stg"
+)
+
+// DefaultMaxSignals bounds the number of inserted signals when
+// Options.MaxSignals is zero.
+const DefaultMaxSignals = 8
+
+// DefaultMaxCandidates bounds how many ranked candidates are validated by a
+// full state-graph rebuild per iteration when Options.MaxCandidates is zero.
+const DefaultMaxCandidates = 24
+
+// DefaultPrefix names inserted signals csc0, csc1, … when Options.Prefix is
+// empty.
+const DefaultPrefix = "csc"
+
+// Options configures Resolve.
+type Options struct {
+	// MaxSignals bounds the number of internal signals the resolver may
+	// insert (0 = DefaultMaxSignals).
+	MaxSignals int
+	// MaxStates bounds every state-graph construction (0 = unlimited).
+	MaxStates int
+	// MaxCandidates bounds the number of insertion candidates validated by a
+	// full state-graph rebuild per iteration (0 = DefaultMaxCandidates).
+	MaxCandidates int
+	// Prefix names the inserted signals Prefix0, Prefix1, …
+	// (empty = DefaultPrefix).
+	Prefix string
+}
+
+// Insertion records one inserted signal.
+type Insertion struct {
+	// Signal is the fresh internal signal's name.
+	Signal string
+	// Rise and Fall name the transitions after which Signal+ and Signal-
+	// were inserted in series.
+	Rise string
+	Fall string
+	// Separated is the number of conflicting state pairs the insertion's
+	// value assignment separated at selection time.
+	Separated int
+	// Remaining is the number of CSC conflicts left after the insertion.
+	Remaining int
+}
+
+// String renders the insertion.
+func (in Insertion) String() string {
+	return fmt.Sprintf("%s: %s+ after %s, %s- after %s (separated %d, %d left)",
+		in.Signal, in.Signal, in.Rise, in.Signal, in.Fall, in.Separated, in.Remaining)
+}
+
+// Report summarises a resolution run.
+type Report struct {
+	// ConflictsBefore is the number of CSC conflicts of the input.
+	ConflictsBefore int
+	// StatesBefore and StatesAfter are the state-graph sizes of the input and
+	// of the resolved specification.
+	StatesBefore int
+	StatesAfter  int
+	// Iterations counts resolution rounds (state-graph rebuild plus candidate
+	// search); zero when the input already satisfied CSC.
+	Iterations int
+	// Inserted lists the inserted signals in order.
+	Inserted []Insertion
+}
+
+// Signals returns the names of the inserted signals in order.
+func (r *Report) Signals() []string {
+	out := make([]string, len(r.Inserted))
+	for i, in := range r.Inserted {
+		out[i] = in.Signal
+	}
+	return out
+}
+
+// String summarises the report.
+func (r *Report) String() string {
+	if len(r.Inserted) == 0 {
+		return "resolve: no CSC conflicts"
+	}
+	return fmt.Sprintf("resolve: %d conflicts repaired by inserting %s in %d iterations",
+		r.ConflictsBefore, strings.Join(r.Signals(), ", "), r.Iterations)
+}
+
+// UnresolvedError reports that the resolver could not eliminate every CSC
+// conflict within the configured signal budget.
+type UnresolvedError struct {
+	// Inserted is the number of signals inserted before giving up.
+	Inserted int
+	// Remaining is the number of CSC conflicts still present.
+	Remaining int
+	// MaxSignals is the configured budget.
+	MaxSignals int
+}
+
+func (e *UnresolvedError) Error() string {
+	return fmt.Sprintf("resolve: %d CSC conflicts remain after inserting %d of at most %d signals",
+		e.Remaining, e.Inserted, e.MaxSignals)
+}
+
+// Resolve returns a CSC-conflict-free rewrite of g obtained by inserting
+// fresh internal state signals, together with a report of what was done.  The
+// input STG is never mutated; when it already satisfies CSC it is returned
+// unchanged.  Resolve fails with *UnresolvedError when the signal budget is
+// exhausted (or no insertion makes progress), and propagates state-graph
+// construction failures (inconsistent or unsafe nets, ErrStateLimit, context
+// cancellation) unchanged.
+func Resolve(ctx context.Context, g *stg.STG, opts Options) (*stg.STG, *Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	maxSignals := opts.MaxSignals
+	if maxSignals <= 0 {
+		maxSignals = DefaultMaxSignals
+	}
+	maxCandidates := opts.MaxCandidates
+	if maxCandidates <= 0 {
+		maxCandidates = DefaultMaxCandidates
+	}
+	prefix := opts.Prefix
+	if prefix == "" {
+		prefix = DefaultPrefix
+	}
+	sgOpts := stategraph.Options{MaxStates: opts.MaxStates}
+
+	rep := &Report{}
+	cur := g
+	sg, err := stategraph.Build(ctx, cur, sgOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	conflicts := sg.CheckCSC()
+	rep.ConflictsBefore = len(conflicts)
+	rep.StatesBefore = sg.NumStates()
+	rep.StatesAfter = sg.NumStates()
+	if len(conflicts) == 0 {
+		return cur, rep, nil
+	}
+	// The rewrite must not make the specification worse than it already is:
+	// remember the input's persistency-violation and deadlock counts as the
+	// acceptance baseline (zero for every specification the synthesis flow
+	// hands over, but Resolve is also callable directly).
+	baseViolations := len(sg.CheckOutputPersistency())
+	baseDeadlocks := len(sg.Deadlocks())
+
+	for len(conflicts) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		if len(rep.Inserted) >= maxSignals {
+			return nil, nil, &UnresolvedError{Inserted: len(rep.Inserted), Remaining: len(conflicts), MaxSignals: maxSignals}
+		}
+		rep.Iterations++
+		name := freshSignalName(cur, prefix)
+		cands := findCandidates(sg, conflicts)
+
+		// Validate the ranked candidates by rebuilding the state graph of the
+		// rewritten STG; keep the best strict improvement, stopping early on a
+		// perfect repair.
+		var (
+			best          *stg.STG
+			bestSG        *stategraph.Graph
+			bestConflicts []stategraph.CSCConflict
+			bestCand      candidate
+			tried         int
+		)
+		for _, cand := range cands {
+			if tried >= maxCandidates {
+				break
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			tried++
+			next := insertToggle(cur, name, cand.rise, cand.fall, cand.initHigh)
+			nsg, err := stategraph.Build(ctx, next, sgOpts)
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, nil, ctx.Err()
+				}
+				continue // the rewrite broke the net; try the next candidate
+			}
+			ncs := nsg.CheckCSC()
+			if len(ncs) >= len(conflicts) {
+				continue
+			}
+			if len(nsg.CheckOutputPersistency()) > baseViolations {
+				continue
+			}
+			if len(nsg.Deadlocks()) > baseDeadlocks {
+				continue
+			}
+			if best == nil || len(ncs) < len(bestConflicts) {
+				best, bestSG, bestConflicts, bestCand = next, nsg, ncs, cand
+			}
+			if len(ncs) == 0 {
+				break
+			}
+		}
+		if best == nil {
+			return nil, nil, &UnresolvedError{Inserted: len(rep.Inserted), Remaining: len(conflicts), MaxSignals: maxSignals}
+		}
+		rep.Inserted = append(rep.Inserted, Insertion{
+			Signal:    name,
+			Rise:      cur.TransitionString(bestCand.rise),
+			Fall:      cur.TransitionString(bestCand.fall),
+			Separated: bestCand.separated,
+			Remaining: len(bestConflicts),
+		})
+		cur, sg, conflicts = best, bestSG, bestConflicts
+		rep.StatesAfter = sg.NumStates()
+	}
+	return cur, rep, nil
+}
+
+// freshSignalName returns prefixN for the smallest N not already declared.
+func freshSignalName(g *stg.STG, prefix string) string {
+	for n := 0; ; n++ {
+		name := fmt.Sprintf("%s%d", prefix, n)
+		if _, taken := g.SignalIndex(name); !taken {
+			return name
+		}
+	}
+}
+
+// insertToggle clones g and inserts a fresh internal signal that rises in
+// series after transition rise and falls in series after transition fall:
+// each insertion point's postset is redirected through the new signal
+// transition, whose single fresh input place makes it persistent by
+// construction.  initHigh is the signal's initial binary value.
+func insertToggle(g *stg.STG, name string, rise, fall petri.TransitionID, initHigh bool) *stg.STG {
+	ng := g.Clone()
+	sig := ng.AddSignal(name, stg.Internal)
+
+	insert := func(after petri.TransitionID, dir stg.Direction) {
+		x := ng.AddTransition(sig, dir)
+		net := ng.Net()
+		post := append([]petri.PlaceID(nil), net.Post(after)...)
+		for _, p := range post {
+			net.RemoveArcTP(after, p)
+			net.AddArcTP(x, p)
+		}
+		ng.AddArcTT(after, x)
+	}
+	insert(rise, stg.Plus)
+	insert(fall, stg.Minus)
+
+	// Extend the initial binary state with the new signal's value.
+	old := g.InitialState()
+	ext := make([]bool, old.Len()+1)
+	for i := 0; i < old.Len(); i++ {
+		ext[i] = old.Get(i)
+	}
+	ext[len(ext)-1] = initHigh
+	ng.SetInitialState(bitvec.FromBools(ext))
+	return ng
+}

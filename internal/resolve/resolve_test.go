@@ -1,0 +1,209 @@
+package resolve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"punt/internal/benchgen"
+	"punt/internal/stategraph"
+	"punt/internal/stg"
+)
+
+// loadCSCExample parses testdata/csc.g, the broken two-handshake controller
+// whose manual repair the cscconflict example used to narrate.
+func loadCSCExample(t *testing.T) *stg.STG {
+	t.Helper()
+	g, err := stg.ParseFile("../../testdata/csc.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestCSCExampleGolden pins the resolver's behaviour on the canonical broken
+// controller: exactly one internal signal repairs it, inserted at exactly the
+// points the manual repair (the old cscconflict example) used — csc0+ after
+// out1+, csc0- after out2+.
+func TestCSCExampleGolden(t *testing.T) {
+	g := loadCSCExample(t)
+	rg, rep, err := Resolve(context.Background(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Inserted) != 1 || rep.Iterations != 1 {
+		t.Fatalf("want exactly one inserted signal in one iteration, got %s", rep)
+	}
+	in := rep.Inserted[0]
+	if in.Signal != "csc0" || in.Rise != "out1+" || in.Fall != "out2+" {
+		t.Errorf("insertion = %s, want csc0+ after out1+ and csc0- after out2+", in)
+	}
+	if in.Separated != 1 || in.Remaining != 0 {
+		t.Errorf("insertion bookkeeping = %s", in)
+	}
+	if rep.ConflictsBefore != 1 {
+		t.Errorf("ConflictsBefore = %d, want 1", rep.ConflictsBefore)
+	}
+	if rep.StatesBefore != 8 || rep.StatesAfter != 10 {
+		t.Errorf("states %d -> %d, want 8 -> 10", rep.StatesBefore, rep.StatesAfter)
+	}
+	if got := rep.Signals(); len(got) != 1 || got[0] != "csc0" {
+		t.Errorf("Signals() = %v", got)
+	}
+	if s := rep.String(); !strings.Contains(s, "inserting csc0 in 1 iterations") {
+		t.Errorf("report renders %q", s)
+	}
+	if s := in.String(); !strings.Contains(s, "csc0+ after out1+") || !strings.Contains(s, "csc0- after out2+") {
+		t.Errorf("insertion renders %q", s)
+	}
+
+	sg, err := stategraph.Build(context.Background(), rg, stategraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(sg.CheckCSC()); n != 0 {
+		t.Fatalf("%d conflicts remain", n)
+	}
+	if v := sg.CheckOutputPersistency(); len(v) != 0 {
+		t.Fatalf("repair broke persistency: %s", v[0])
+	}
+
+	// The repaired STG must survive a .g round trip (it is what Spec.Text and
+	// the content-addressed cache hash).
+	back, err := stg.ParseString(stg.Format(rg))
+	if err != nil {
+		t.Fatalf("repaired STG does not round-trip: %v", err)
+	}
+	if stg.Format(back) != stg.Format(rg) {
+		t.Error("repaired STG round trip is not stable")
+	}
+
+	// The input must not have been mutated.
+	if _, ok := g.SignalIndex("csc0"); ok {
+		t.Error("Resolve mutated its input STG")
+	}
+}
+
+// TestCleanSpecUntouched: a CSC-clean specification comes back as the same
+// *stg.STG value with an empty report.
+func TestCleanSpecUntouched(t *testing.T) {
+	g, err := stg.ParseFile("../../testdata/fig1.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, rep, err := Resolve(context.Background(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg != g {
+		t.Error("Resolve must return the input unchanged when CSC already holds")
+	}
+	if rep.Iterations != 0 || len(rep.Inserted) != 0 || rep.ConflictsBefore != 0 {
+		t.Errorf("unexpected report on a clean spec: %s", rep)
+	}
+	if rep.String() != "resolve: no CSC conflicts" {
+		t.Errorf("clean report renders %q", rep.String())
+	}
+}
+
+// TestDeterministic: the resolver's candidate ranking is fully ordered, so
+// the same input always yields byte-identical repaired text.
+func TestDeterministic(t *testing.T) {
+	first := ""
+	for i := 0; i < 3; i++ {
+		rg, _, err := Resolve(context.Background(), benchgen.RandomSTG(11, 8), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := stg.Format(rg)
+		if i == 0 {
+			first = text
+			continue
+		}
+		if text != first {
+			t.Fatalf("run %d produced a different repair:\n%s\nvs\n%s", i, text, first)
+		}
+	}
+}
+
+// TestBudgetExhausted: a specification needing several signals fails with
+// *UnresolvedError when the bound is one, and the error survives as-is.
+func TestBudgetExhausted(t *testing.T) {
+	ctx := context.Background()
+	// Find a generator seed whose repair needs at least two signals.
+	for seed := int64(0); seed < 2000; seed++ {
+		g := benchgen.RandomSTG(seed, 4+int(seed)%9)
+		sg, err := stategraph.Build(ctx, g, stategraph.Options{MaxStates: 100000})
+		if err != nil || len(sg.CheckCSC()) == 0 {
+			continue
+		}
+		_, rep, err := Resolve(ctx, g, Options{MaxStates: 100000})
+		if err != nil || len(rep.Inserted) < 2 {
+			continue
+		}
+		_, _, err = Resolve(ctx, g, Options{MaxSignals: 1, MaxStates: 100000})
+		var un *UnresolvedError
+		if !errors.As(err, &un) {
+			t.Fatalf("seed %d: want *UnresolvedError with MaxSignals=1, got %v", seed, err)
+		}
+		if un.MaxSignals != 1 || un.Inserted > 1 || un.Remaining == 0 {
+			t.Fatalf("seed %d: implausible error detail: %+v", seed, un)
+		}
+		if !strings.Contains(un.Error(), "CSC conflicts remain") {
+			t.Errorf("error renders %q", un.Error())
+		}
+		return
+	}
+	t.Fatal("no generator seed needing two signals found in range")
+}
+
+// TestResolveProperty sweeps at least 200 RandomSTG seeds whose deliberate
+// CSC gadget produced a real conflict and asserts the resolver's contract on
+// every one: termination within the default signal bound, a conflict-free
+// repaired state graph, preserved output persistency and deadlock-freedom.
+// (The facade-level sweep in the root package additionally runs the repaired
+// circuits through closed-loop verification and the differential harness.)
+func TestResolveProperty(t *testing.T) {
+	ctx := context.Background()
+	want := 200
+	if testing.Short() {
+		want = 40
+	}
+	found := 0
+	for seed := int64(0); found < want && seed < 20000; seed++ {
+		g := benchgen.RandomSTG(seed, 4+int(seed)%9)
+		sg, err := stategraph.Build(ctx, g, stategraph.Options{MaxStates: 200000})
+		if err != nil {
+			continue
+		}
+		if len(sg.CheckCSC()) == 0 {
+			continue
+		}
+		found++
+		rg, rep, err := Resolve(ctx, g, Options{MaxStates: 200000})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(rep.Inserted) == 0 || len(rep.Inserted) > DefaultMaxSignals {
+			t.Fatalf("seed %d: inserted %d signals", seed, len(rep.Inserted))
+		}
+		nsg, err := stategraph.Build(ctx, rg, stategraph.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: repaired state graph: %v", seed, err)
+		}
+		if n := len(nsg.CheckCSC()); n != 0 {
+			t.Fatalf("seed %d: %d conflicts remain", seed, n)
+		}
+		if v := nsg.CheckOutputPersistency(); len(v) != 0 {
+			t.Fatalf("seed %d: repair broke persistency: %s", seed, v[0])
+		}
+		if d := nsg.Deadlocks(); len(d) != 0 {
+			t.Fatalf("seed %d: repair introduced deadlocks", seed)
+		}
+	}
+	if found < want {
+		t.Fatalf("only %d CSC-conflicted seeds found, want %d", found, want)
+	}
+	t.Logf("resolved %d CSC-conflicted specifications", found)
+}

@@ -63,13 +63,24 @@ func (sg *Graph) CheckOutputPersistency() []PersistencyViolation {
 
 // CSCConflict reports two reachable states that carry the same binary code
 // but disagree on the excited output signals, violating Complete State
-// Coding.
+// Coding.  Beyond the rendered excitation summaries it carries the structure
+// a resolver (or a detailed report) needs: which output signals actually
+// differ, and a shortest firing sequence from the initial state to each of
+// the two conflicting states.
 type CSCConflict struct {
 	Code     string
 	StateA   int
 	StateB   int
 	SignalsA string // excitation summary of state A
 	SignalsB string
+	// DiffSignals names the output signals whose excitation differs between
+	// the two states, sorted.
+	DiffSignals []string
+	// TraceA and TraceB are shortest witness traces: the transition labels of
+	// a minimal firing sequence from the initial state to StateA and StateB
+	// respectively.
+	TraceA []string
+	TraceB []string
 }
 
 // String renders the conflict for diagnostics.
@@ -81,6 +92,11 @@ func (c CSCConflict) String() string {
 // excitationSummary returns a canonical description of the output excitations
 // of a state, e.g. "b+,c-".
 func (sg *Graph) excitationSummary(i int) string {
+	return strings.Join(sg.excitationEdges(i), ",")
+}
+
+// excitationEdges lists the excited output signal edges of a state, sorted.
+func (sg *Graph) excitationEdges(i int) []string {
 	g := sg.STG
 	var parts []string
 	for _, sig := range g.OutputSignals() {
@@ -92,11 +108,70 @@ func (sg *Graph) excitationSummary(i int) string {
 		}
 	}
 	sort.Strings(parts)
-	return strings.Join(parts, ",")
+	return parts
+}
+
+// diffSignals returns the sorted names of the output signals whose excitation
+// (in either direction) differs between states a and b.
+func (sg *Graph) diffSignals(a, b int) []string {
+	g := sg.STG
+	var out []string
+	for _, sig := range g.OutputSignals() {
+		if sg.SignalExcited(a, sig, stg.Plus) != sg.SignalExcited(b, sig, stg.Plus) ||
+			sg.SignalExcited(a, sig, stg.Minus) != sg.SignalExcited(b, sig, stg.Minus) {
+			out = append(out, g.Signal(sig).Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// shortestTraces runs one breadth-first search from the initial state and
+// returns, for every state, the edge through which it was first discovered
+// (-1 for the initial state).  Following the parents backwards yields a
+// shortest witness firing sequence.
+func (sg *Graph) shortestTraces() []int {
+	parent := make([]int, len(sg.States))
+	for i := range parent {
+		parent[i] = -2 // undiscovered
+	}
+	parent[0] = -1
+	queue := []int{0}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range sg.Succ[cur] {
+			to := sg.Edges[e].To
+			if parent[to] == -2 {
+				parent[to] = e
+				queue = append(queue, to)
+			}
+		}
+	}
+	return parent
+}
+
+// witness renders the shortest firing sequence to state i under the parent
+// edges computed by shortestTraces.
+func (sg *Graph) witness(parent []int, i int) []string {
+	var rev []string
+	for cur := i; parent[cur] >= 0; {
+		e := sg.Edges[parent[cur]]
+		rev = append(rev, sg.STG.TransitionString(e.Transition))
+		cur = e.From
+	}
+	out := make([]string, len(rev))
+	for k, s := range rev {
+		out[len(rev)-1-k] = s
+	}
+	return out
 }
 
 // CheckCSC verifies Complete State Coding: any two states with equal binary
-// codes must have the same set of excited output signals.
+// codes must have the same set of excited output signals.  Each conflict
+// carries the differing output signals and shortest witness traces to both
+// states, so callers (the stginfo report, the CSC resolver) can act on the
+// conflict structurally instead of parsing the rendered string.
 func (sg *Graph) CheckCSC() []CSCConflict {
 	byCode := map[string][]int{}
 	for i, s := range sg.States {
@@ -104,6 +179,7 @@ func (sg *Graph) CheckCSC() []CSCConflict {
 		byCode[k] = append(byCode[k], i)
 	}
 	var out []CSCConflict
+	var parent []int // witness BFS, computed lazily on the first conflict
 	for code, states := range byCode {
 		if len(states) < 2 {
 			continue
@@ -111,18 +187,33 @@ func (sg *Graph) CheckCSC() []CSCConflict {
 		ref := sg.excitationSummary(states[0])
 		for _, other := range states[1:] {
 			sum := sg.excitationSummary(other)
-			if sum != ref {
-				out = append(out, CSCConflict{
-					Code:     code,
-					StateA:   states[0],
-					StateB:   other,
-					SignalsA: ref,
-					SignalsB: sum,
-				})
+			if sum == ref {
+				continue
 			}
+			if parent == nil {
+				parent = sg.shortestTraces()
+			}
+			out = append(out, CSCConflict{
+				Code:        code,
+				StateA:      states[0],
+				StateB:      other,
+				SignalsA:    ref,
+				SignalsB:    sum,
+				DiffSignals: sg.diffSignals(states[0], other),
+				TraceA:      sg.witness(parent, states[0]),
+				TraceB:      sg.witness(parent, other),
+			})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Code != out[j].Code {
+			return out[i].Code < out[j].Code
+		}
+		if out[i].StateA != out[j].StateA {
+			return out[i].StateA < out[j].StateA
+		}
+		return out[i].StateB < out[j].StateB
+	})
 	return out
 }
 

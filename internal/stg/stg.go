@@ -103,6 +103,26 @@ func New(name string) *STG {
 	}
 }
 
+// Clone returns a deep copy of the STG: signals, labels, the underlying net
+// and the initial state are all copied, so rewrites of the clone (such as the
+// CSC resolver's signal insertion) never affect the original.
+func (g *STG) Clone() *STG {
+	c := &STG{
+		net:             g.net.Clone(),
+		signals:         append([]Signal(nil), g.signals...),
+		byName:          make(map[string]int, len(g.byName)),
+		labels:          append([]Label(nil), g.labels...),
+		initialStateSet: g.initialStateSet,
+	}
+	for name, i := range g.byName {
+		c.byName[name] = i
+	}
+	if g.initialStateSet {
+		c.initialState = g.initialState.Clone()
+	}
+	return c
+}
+
 // Name returns the STG's name.
 func (g *STG) Name() string { return g.net.Name() }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"punt/internal/benchgen"
+	"punt/internal/resolve"
 	"punt/internal/stategraph"
 )
 
@@ -13,7 +14,11 @@ import (
 // mutates the generator seed and signal budget, RandomSTG turns them into a
 // structurally varied specification, and every synthesis engine must agree
 // with the state-graph oracle on the verdict and on every next-state
-// function.  Run it with:
+// function.  Seeds whose specification carries a deliberate CSC conflict
+// gadget are not discarded: the conflict is repaired by the resolver and the
+// repaired specification is cross-checked end to end, so roughly a third of
+// the generator's output space is real coverage of the resolution path.
+// Run it with:
 //
 //	go test -run=NONE -fuzz=FuzzDifferential -fuzztime=30s ./internal/verify
 func FuzzDifferential(f *testing.F) {
@@ -21,8 +26,9 @@ func FuzzDifferential(f *testing.F) {
 		f.Add(seed, uint8(seed*5))
 	}
 	f.Fuzz(func(t *testing.T, seed int64, budget uint8) {
+		ctx := context.Background()
 		g := benchgen.RandomSTG(seed, 4+int(budget)%11)
-		rep, err := Differential(context.Background(), g, DiffOptions{MaxStates: 50000, Architectures: true})
+		rep, err := Differential(ctx, g, DiffOptions{MaxStates: 50000, Architectures: true})
 		if err != nil {
 			// Exhausting a resource budget on an adversarial seed is not an
 			// engine disagreement.
@@ -36,6 +42,35 @@ func FuzzDifferential(f *testing.F) {
 		}
 		if !rep.Ok() {
 			t.Fatalf("seed %d budget %d: %s", seed, budget, rep)
+		}
+		if !rep.CSCConflict {
+			return
+		}
+		// The oracle found a CSC conflict (and every engine rejected
+		// accordingly): repair the specification by internal-signal insertion
+		// and cross-check the repaired implementation the same way.
+		rg, _, err := resolve.Resolve(ctx, g, resolve.Options{MaxSignals: 12, MaxStates: 50000})
+		if err != nil {
+			if errors.Is(err, stategraph.ErrStateLimit) {
+				t.Skip()
+			}
+			t.Fatalf("seed %d budget %d: resolve: %v", seed, budget, err)
+		}
+		rrep, err := Differential(ctx, rg, DiffOptions{MaxStates: 50000, Architectures: true})
+		if err != nil {
+			if errors.Is(err, stategraph.ErrStateLimit) || errors.Is(err, ErrStateLimit) {
+				t.Skip()
+			}
+			t.Fatalf("seed %d budget %d: resolved differential: %v", seed, budget, err)
+		}
+		if rrep.CSCConflict {
+			t.Fatalf("seed %d budget %d: resolver left a CSC conflict behind", seed, budget)
+		}
+		if rrep.NonSemiModular {
+			t.Fatalf("seed %d budget %d: resolver broke semi-modularity", seed, budget)
+		}
+		if !rrep.Ok() {
+			t.Fatalf("seed %d budget %d: resolved: %s", seed, budget, rrep)
 		}
 	})
 }

@@ -2,12 +2,15 @@ package punt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
 
 	"punt/gates"
 	"punt/internal/core"
+	"punt/internal/resolve"
+	"punt/internal/verify"
 )
 
 // Mode selects how the unfolding-based flow derives covers.
@@ -45,17 +48,18 @@ type Progress struct {
 
 // config collects the functional options of a Synthesizer.
 type config struct {
-	mode      Mode
-	arch      gates.Architecture
-	engine    Engine
-	backend   string   // named backend override; empty = engine selects
-	portfolio []string // contender backend names for the Portfolio engine
-	cache     Cache
-	maxEvents int
-	maxStates int
-	maxNodes  int
-	workers   int
-	progress  func(Progress)
+	mode       Mode
+	arch       gates.Architecture
+	engine     Engine
+	backend    string   // named backend override; empty = engine selects
+	portfolio  []string // contender backend names for the Portfolio engine
+	cache      Cache
+	maxEvents  int
+	maxStates  int
+	maxNodes   int
+	workers    int
+	resolveCSC int // max internal signals the CSC resolver may insert; 0 = disabled
+	progress   func(Progress)
 }
 
 // Option configures a Synthesizer (and the package-level Batch, Unfold and
@@ -125,6 +129,34 @@ func WithContenders(names ...string) Option {
 	return func(c *config) {
 		c.engine = Portfolio
 		c.portfolio = append(c.portfolio[:0], names...)
+	}
+}
+
+// DefaultResolveSignals is the inserted-signal bound WithResolveCSC applies
+// when given a non-positive limit.
+const DefaultResolveSignals = resolve.DefaultMaxSignals
+
+// WithResolveCSC enables automatic Complete State Coding conflict resolution:
+// when the selected backend (the portfolio scheduler included) rejects a
+// specification with ErrCSC, the synthesizer repairs it by inserting up to
+// maxSignals fresh internal state signals (csc0, csc1, …) that disambiguate
+// the conflicting states, re-synthesises the repaired specification, and
+// checks the result with the closed-loop verifier against the post-insertion
+// specification before returning it.  maxSignals <= 0 applies
+// DefaultResolveSignals.
+//
+// A resolved Result carries the repaired specification in Result.Spec, the
+// insertion summary in Result.Resolution (a KindResolved informational
+// diagnostic) and the counters in Stats.CSCSignalsInserted and
+// Stats.CSCIterations.  When the conflicts cannot be eliminated within the
+// budget, Synthesize fails with a KindCSC diagnostic as before (still matched
+// by errors.Is against ErrCSC).
+func WithResolveCSC(maxSignals int) Option {
+	return func(c *config) {
+		if maxSignals <= 0 {
+			maxSignals = DefaultResolveSignals
+		}
+		c.resolveCSC = maxSignals
 	}
 }
 
@@ -219,6 +251,13 @@ type Stats struct {
 	// instead of a synthesis run; the timing fields then describe the
 	// original (cold) run that populated the cache.
 	Cached bool
+
+	// CSCSignalsInserted and CSCIterations record the WithResolveCSC repair
+	// that produced the result: how many internal state signals were inserted
+	// and in how many resolution rounds (both zero when the specification
+	// satisfied CSC as given).
+	CSCSignalsInserted int
+	CSCIterations      int
 }
 
 // String summarises the stats in the engine's natural vocabulary, covering
@@ -250,6 +289,9 @@ func (s *Stats) String() string {
 		}
 		sb.WriteByte(']')
 	}
+	if s.CSCSignalsInserted > 0 {
+		fmt.Fprintf(&sb, " csc-inserted=%d csc-iterations=%d", s.CSCSignalsInserted, s.CSCIterations)
+	}
 	if s.Cached {
 		sb.WriteString(" cached=true")
 	}
@@ -258,14 +300,26 @@ func (s *Stats) String() string {
 
 // Result is the outcome of one successful synthesis run.
 type Result struct {
-	// Spec is the synthesised specification.
+	// Spec is the synthesised specification.  When the WithResolveCSC
+	// resolver repaired the input, this is the repaired specification (the
+	// one the implementation realises and verifies against); the inserted
+	// internal signals are visible in its signal list and Text.
 	Spec *Spec
 	// Impl is the gate-level implementation; see punt/gates for the model,
 	// including per-signal covers.
 	Impl *gates.Implementation
 	// Stats is the Table-1-style timing and size breakdown.
 	Stats Stats
+	// Resolution, when non-nil, is the KindResolved informational diagnostic
+	// describing the WithResolveCSC repair: the inserted signals in Signal
+	// and one rendered insertion per Trace entry.  It is not an error — the
+	// synthesis succeeded — merely the structured record of what was changed.
+	Resolution *Diagnostic
 }
+
+// Resolved reports whether the result was produced through the WithResolveCSC
+// repair of a CSC-conflicted specification.
+func (r *Result) Resolved() bool { return r.Resolution != nil }
 
 // Eqn renders the implementation as boolean equations.
 func (r *Result) Eqn() string { return r.Impl.Eqn() }
@@ -368,17 +422,72 @@ func (s *Synthesizer) Synthesize(ctx context.Context, spec *Spec) (*Result, erro
 			return cachedResult(res, spec), nil
 		}
 	}
-	var res *Result
-	if single != nil {
-		res, err = runBackend(ctx, single, spec, s.backendConfig())
-	} else {
-		res, err = runPortfolio(ctx, contenders, spec, s.backendConfig(), s.cfg.workers)
+	res, err := s.dispatch(ctx, single, contenders, spec)
+	if err != nil && s.cfg.resolveCSC > 0 && errors.Is(err, ErrCSC) {
+		res, err = s.resolveAndRetry(ctx, single, contenders, spec)
 	}
 	if err != nil {
 		return nil, err
 	}
 	if s.cfg.cache != nil {
 		s.cfg.cache.Put(key, res)
+	}
+	return res, nil
+}
+
+// dispatch runs the resolved backend selection: the single backend, or the
+// portfolio scheduler over the contenders.
+func (s *Synthesizer) dispatch(ctx context.Context, single Backend, contenders []Backend, spec *Spec) (*Result, error) {
+	if single != nil {
+		return runBackend(ctx, single, spec, s.backendConfig())
+	}
+	return runPortfolio(ctx, contenders, spec, s.backendConfig(), s.cfg.workers)
+}
+
+// resolveAndRetry is the WithResolveCSC path: the backend rejected spec with a
+// CSC conflict, so the resolver inserts internal state signals until Complete
+// State Coding holds, the repaired specification is re-dispatched to the same
+// backend selection, and the resulting circuit is proven conformant,
+// hazard-free and live by the closed-loop verifier against the post-insertion
+// specification.  Any failure along the way — unresolvable conflicts, the
+// retry, the verification — fails the Synthesize call as a *Diagnostic.
+func (s *Synthesizer) resolveAndRetry(ctx context.Context, single Backend, contenders []Backend, spec *Spec) (*Result, error) {
+	if p := s.cfg.progress; p != nil {
+		p(Progress{Engine: "resolve", Stage: "resolve"})
+	}
+	rg, rrep, err := resolve.Resolve(ctx, spec.g, resolve.Options{
+		MaxSignals: s.cfg.resolveCSC,
+		MaxStates:  s.cfg.maxStates,
+	})
+	if err != nil {
+		return nil, diagnose("resolve", spec.Name(), err)
+	}
+	resolved, err := wrapSpec(rg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.dispatch(ctx, single, contenders, resolved)
+	if err != nil {
+		return nil, err
+	}
+	// The repair is only done when the repaired circuit provably conforms to
+	// the post-insertion specification: close the loop before reporting
+	// success.
+	if _, verr := verify.Verify(ctx, rg, res.Impl, verify.Options{MaxStates: s.cfg.maxStates}); verr != nil {
+		return nil, diagnose("resolve", spec.Name(), verr)
+	}
+	res.Stats.CSCSignalsInserted = len(rrep.Inserted)
+	res.Stats.CSCIterations = rrep.Iterations
+	traces := make([]string, len(rrep.Inserted))
+	for i, in := range rrep.Inserted {
+		traces[i] = in.String()
+	}
+	res.Resolution = &Diagnostic{
+		Op:     "resolve",
+		Spec:   spec.Name(),
+		Kind:   KindResolved,
+		Signal: strings.Join(rrep.Signals(), ","),
+		Trace:  traces,
 	}
 	return res, nil
 }
