@@ -3,6 +3,7 @@ package punt
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 
@@ -178,10 +179,31 @@ func instrumentProgress(p func(Progress), engine string) func(Progress) {
 
 // runBackend drives one backend and normalises its outcome: errors become
 // *Diagnostic values and the Result always carries the Spec and the backend
-// name.
-func runBackend(ctx context.Context, b Backend, spec *Spec, cfg BackendConfig) (*Result, error) {
+// name.  This is the central recovery point for backend panics — every entry
+// path (plain Synthesize, Batch workers, portfolio contenders) funnels
+// through here, so a panicking backend yields a KindPanic diagnostic instead
+// of crashing the process — and the anti-poisoning guard: a result delivered
+// under an already-expired context is discarded, because the engines abandon
+// work mid-loop on cancellation and a backend may race its own cancellation
+// check.
+func runBackend(ctx context.Context, b Backend, spec *Spec, cfg BackendConfig) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, diagnose("synthesize", spec.Name(),
+				&PanicError{Backend: b.Name(), Value: p, Stack: debug.Stack()})
+		}
+	}()
 	cfg.Progress = instrumentProgress(cfg.Progress, b.Name())
-	res, err := b.Synthesize(ctx, spec, cfg)
+	res, err = b.Synthesize(ctx, spec, cfg)
+	if err == nil && ctx.Err() != nil {
+		// Never trust a result produced under an expired context: the cause
+		// (the caller's cancellation or a budget trip) becomes the error.
+		cause := context.Cause(ctx)
+		if cause == nil {
+			cause = ctx.Err()
+		}
+		return nil, diagnose("synthesize", spec.Name(), cause)
+	}
 	if err != nil {
 		return nil, diagnose("synthesize", spec.Name(), err)
 	}

@@ -2,8 +2,10 @@ package punt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -55,6 +57,12 @@ type BatchSummary struct {
 	// Resolved counts the successful items whose specification was repaired
 	// by the WithResolveCSC resolver before synthesis.
 	Resolved int
+	// Degraded counts the successful items whose result was produced by a
+	// WithFallback step instead of the primary configuration.
+	Degraded int
+	// BudgetExceeded counts the failed items that exhausted their
+	// WithDeadline/WithMemoryBudget budget (after any fallback steps).
+	BudgetExceeded int
 }
 
 // String summarises the batch.
@@ -64,6 +72,12 @@ func (s BatchSummary) String() string {
 		s.Elapsed.Round(time.Millisecond), s.Work.Round(time.Millisecond))
 	if s.Resolved > 0 {
 		out += fmt.Sprintf(", %d CSC-resolved", s.Resolved)
+	}
+	if s.Degraded > 0 {
+		out += fmt.Sprintf(", %d degraded", s.Degraded)
+	}
+	if s.BudgetExceeded > 0 {
+		out += fmt.Sprintf(", %d over budget", s.BudgetExceeded)
 	}
 	return out
 }
@@ -129,6 +143,9 @@ feed:
 		sum.Work += r.Elapsed
 		if r.Err != nil {
 			sum.Failed++
+			if errors.Is(r.Err, ErrBudget) {
+				sum.BudgetExceeded++
+			}
 			continue
 		}
 		sum.Succeeded++
@@ -137,12 +154,17 @@ feed:
 		if r.Result.Resolved() {
 			sum.Resolved++
 		}
+		if r.Result.Degraded() {
+			sum.Degraded++
+		}
 	}
 	return results, sum
 }
 
-// runItem synthesises one batch item, translating a worker panic into the
-// item's error instead of taking the whole batch down.
+// runItem synthesises one batch item.  Panics inside the synthesis pipeline
+// are already recovered into KindPanic diagnostics by the central dispatch;
+// the recover here is the worker's last line of defence (facade bookkeeping
+// outside the dispatch), so a panic fails only its item, never the batch.
 func (s *Synthesizer) runItem(ctx context.Context, idx int, item BatchItem) (res BatchResult) {
 	name := itemName(item)
 	res = BatchResult{Name: name, Index: idx}
@@ -151,7 +173,8 @@ func (s *Synthesizer) runItem(ctx context.Context, idx int, item BatchItem) (res
 		res.Elapsed = time.Since(start)
 		if p := recover(); p != nil {
 			res.Result = nil
-			res.Err = diagnose("synthesize", name, fmt.Errorf("panic during synthesis: %v", p))
+			res.Err = diagnose("synthesize", name,
+				&PanicError{Backend: s.cfg.selection(), Value: p, Stack: debug.Stack()})
 		}
 	}()
 	if item.Spec == nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"punt"
+	"punt/internal/faultinject"
 )
 
 // TestSynthesizeCancellation aborts a large pipeline synthesis shortly after
@@ -141,8 +142,10 @@ func TestBatchTable1(t *testing.T) {
 }
 
 // TestBatchCancellation: cancelling the batch context fails the remaining
-// items with the context error but keeps the completed ones.
+// items with the context error but keeps the completed ones, and the worker
+// pool winds down without leaking goroutines.
 func TestBatchCancellation(t *testing.T) {
+	defer faultinject.LeakCheck(t)()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	items := []punt.BatchItem{

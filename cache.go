@@ -4,7 +4,6 @@ import (
 	"container/list"
 	"fmt"
 	"hash/maphash"
-	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -26,19 +25,12 @@ type Cache interface {
 // the specification hash crossed with every configuration field that can
 // change the result.  Workers and the progress callback are deliberately
 // excluded — they affect scheduling and observability, never the
-// implementation.
+// implementation.  The budgets (WithDeadline/WithMemoryBudget) and the
+// WithFallback ladder are excluded too: only primary-configuration,
+// non-degraded results are ever stored, and those are deterministic in the
+// fields below regardless of how much budget it took to produce them.
 func (s *Synthesizer) cacheKey(spec *Spec) string {
-	sel := s.cfg.backend
-	if sel == "" {
-		sel = s.cfg.engine.String()
-		if s.cfg.engine == Portfolio {
-			names := s.cfg.portfolio
-			if len(names) == 0 {
-				names = defaultContenders
-			}
-			sel = "portfolio(" + strings.Join(names, ",") + ")"
-		}
-	}
+	sel := s.cfg.selection()
 	// The resolver bound is part of the key: a result synthesised from a
 	// resolver-repaired specification (extra internal signals, different
 	// implementation) must never be served for a configuration that would

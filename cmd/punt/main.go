@@ -8,6 +8,7 @@
 //	punt [-engine unfolding|explicit|symbolic|portfolio] [-exact]
 //	     [-arch complex-gate|standard-c|rs-latch] [-verilog] [-stats]
 //	     [-verify] [-cache] [-resolve-csc] [-max-csc-signals N]
+//	     [-deadline D] [-mem-budget BYTES] [-fallback]
 //	     file.g [file2.g ...]
 //
 // With "-" as a file name the STG is read from standard input.
@@ -32,6 +33,16 @@
 // closed-loop gate-level simulation (conformance, hazard-freedom, liveness);
 // a failed or inconclusive verification exits with status 3, distinct from
 // the synthesis-failure status 1 and the usage status 2.
+//
+// With -deadline (a duration, e.g. 500ms) and -mem-budget (bytes) each
+// synthesis attempt runs under a resource watchdog; an attempt that exhausts
+// its budget exits with status 4 — distinct from every other failure — and
+// the budget diagnostic (elapsed time, partial segment/state-space size) is
+// printed on standard error.  With -fallback a budget- or limit-exhausted
+// synthesis is retried through a built-in degradation ladder (approximate
+// mode, then the unfolding engine with a reduced segment bound); a degraded
+// result still exits 0 and the attempt breakdown is reported on standard
+// error.
 package main
 
 import (
@@ -66,6 +77,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	useCache := fs.Bool("cache", false, "share a content-addressed result cache across the given files")
 	resolveCSC := fs.Bool("resolve-csc", false, "repair CSC conflicts by inserting internal state signals")
 	maxCSCSignals := fs.Int("max-csc-signals", 0, "bound on inserted CSC signals with -resolve-csc (0 = default)")
+	deadline := fs.Duration("deadline", 0, "per-attempt wall-clock budget (0 = none); exhaustion exits with status 4")
+	memBudget := fs.Int64("mem-budget", 0, "per-attempt heap-growth budget in bytes (0 = none); exhaustion exits with status 4")
+	fallback := fs.Bool("fallback", false, "degrade through cheaper configurations when a resource budget is exhausted")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -102,6 +116,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *resolveCSC {
 		opts = append(opts, punt.WithResolveCSC(*maxCSCSignals))
 	}
+	if *deadline > 0 {
+		opts = append(opts, punt.WithDeadline(*deadline))
+	}
+	if *memBudget > 0 {
+		opts = append(opts, punt.WithMemoryBudget(*memBudget))
+	}
+	if *fallback {
+		// The built-in ladder: first retry with the cheap approximate covers,
+		// then fall back to the unfolding engine with a tight segment bound —
+		// the paper's own degradation strategy (a truncated segment in place
+		// of the full state space).
+		opts = append(opts, punt.WithFallback(
+			punt.Fallback("approximate", punt.WithMode(punt.Approximate)),
+			punt.Fallback("unfolding-small", punt.WithEngine(punt.Unfolding), punt.WithMaxEvents(10000)),
+		))
+	}
 	synth := punt.New(opts...)
 
 	for _, path := range fs.Args() {
@@ -111,10 +141,24 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		res, err := synth.Synthesize(context.Background(), spec)
 		if err != nil {
+			if errors.Is(err, punt.ErrBudget) {
+				// Exit 4: the resource budget ran out, as opposed to a property
+				// of the specification (1).  The diagnostic carries the
+				// attempt's partial progress.
+				fmt.Fprintln(stderr, "punt:", err)
+				return 4
+			}
 			return fail(stderr, err)
 		}
 		if *stats {
 			fmt.Fprintf(stderr, "%s\n", &res.Stats)
+		}
+		if res.Degraded() {
+			fmt.Fprintf(stderr, "punt: %s: degraded to fallback step %q after exhausting the primary configuration\n",
+				res.Spec.Name(), res.Degradation.Signal)
+			for _, line := range res.Degradation.Trace {
+				fmt.Fprintf(stderr, "punt:   %s\n", line)
+			}
 		}
 		if res.Resolved() {
 			fmt.Fprintf(stderr, "punt: %s: resolved CSC by inserting %s\n", res.Spec.Name(), res.Resolution.Signal)

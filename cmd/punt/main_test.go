@@ -253,3 +253,47 @@ func TestMultiFileWithSharedCache(t *testing.T) {
 		t.Errorf("only the second run may be cached: %s", stderr)
 	}
 }
+
+func TestDeadlineExhaustionExitsFour(t *testing.T) {
+	// Explicit enumeration of the 22-stage pipeline cannot finish in 50ms:
+	// the budget trip must use its own exit status, distinct from synthesis
+	// failure (1), usage (2) and verification (3), and print the budget
+	// diagnostic.
+	code, _, stderr := runCmd(t,
+		[]string{"-engine", "explicit", "-deadline", "50ms", "../../testdata/pipeline24.g"}, "")
+	if code != 4 {
+		t.Fatalf("exit = %d, want 4; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "budget exhausted") || !strings.Contains(stderr, "deadline 50ms") {
+		t.Errorf("stderr should carry the budget diagnostic: %s", stderr)
+	}
+}
+
+func TestFallbackFlagDegrades(t *testing.T) {
+	// The same over-budget request with -fallback degrades to the unfolding
+	// engine and succeeds, reporting the attempt ladder on stderr.  The
+	// deadline is far above what the unfolding rungs need even under the race
+	// detector's slowdown, yet explicit enumeration of the ~4M-state pipeline
+	// cannot come close to finishing within it.
+	code, stdout, stderr := runCmd(t,
+		[]string{"-engine", "explicit", "-deadline", "2s", "-fallback", "-stats",
+			"../../testdata/pipeline24.g"}, "")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if stdout == "" {
+		t.Error("no implementation emitted")
+	}
+	if !strings.Contains(stderr, "degraded to fallback step") {
+		t.Errorf("stderr should report the degradation: %s", stderr)
+	}
+	if !strings.Contains(stderr, "attempts=[") {
+		t.Errorf("-stats should render the attempt ladder: %s", stderr)
+	}
+}
+
+func TestBadDeadlineIsUsageError(t *testing.T) {
+	if code, _, _ := runCmd(t, []string{"-deadline", "soon", "../../testdata/fig1.g"}, ""); code != 2 {
+		t.Fatalf("exit = %d, want the usage status 2", code)
+	}
+}

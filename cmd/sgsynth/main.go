@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	sgsynth [-symbolic] [-arch ...] [-verilog] [-stats] file.g
+//	sgsynth [-symbolic] [-arch ...] [-verilog] [-stats] [-deadline D] file.g
+//
+// With -deadline the synthesis attempt runs under a wall-clock watchdog;
+// exhausting it exits with status 4 and prints the budget diagnostic.
 package main
 
 import (
@@ -34,6 +37,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	stats := fs.Bool("stats", false, "print the synthesis time breakdown")
 	maxStates := fs.Int("max-states", 0, "abort explicit enumeration beyond this many states (0 = unlimited)")
 	maxNodes := fs.Int("max-nodes", 0, "abort symbolic reachability beyond this many BDD nodes (0 = unlimited)")
+	deadline := fs.Duration("deadline", 0, "wall-clock budget for the attempt (0 = none); exhaustion exits with status 4")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -63,8 +67,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		punt.WithArch(arch),
 		punt.WithMaxStates(*maxStates),
 		punt.WithMaxNodes(*maxNodes),
+		punt.WithDeadline(*deadline),
 	).Synthesize(context.Background(), spec)
 	if err != nil {
+		if errors.Is(err, punt.ErrBudget) {
+			fmt.Fprintln(stderr, "sgsynth:", err)
+			return 4
+		}
 		return fail(stderr, err)
 	}
 	if *stats {

@@ -77,3 +77,13 @@ func TestStateLimitErrorExit(t *testing.T) {
 		t.Errorf("state limit: exit=%d stderr=%s", code, stderr)
 	}
 }
+
+func TestDeadlineExhaustionExitsFour(t *testing.T) {
+	code, _, stderr := runCmd(t, []string{"-deadline", "50ms", "../../testdata/pipeline24.g"}, "")
+	if code != 4 {
+		t.Fatalf("exit = %d, want 4; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "budget exhausted") {
+		t.Errorf("stderr should carry the budget diagnostic: %s", stderr)
+	}
+}

@@ -32,6 +32,12 @@ var (
 	// ErrLimit: a state, node or event resource budget was exceeded; matched
 	// by every flavour of resource exhaustion, ErrEventLimit included.
 	ErrLimit = errors.New("punt: resource limit exceeded")
+	// ErrBudget: a WithDeadline wall-clock or WithMemoryBudget heap budget
+	// was exhausted by the attempt's watchdog.  Distinct from ErrLimit (a
+	// structural engine bound) and from KindCanceled (the caller's own
+	// context): both ErrLimit and ErrBudget are retryable through the
+	// WithFallback degradation ladder.
+	ErrBudget = errors.New("punt: resource budget exhausted")
 	// ErrVerification: the implementation failed the closed-loop verification
 	// (Verify); matched by conformance, hazard and liveness violations alike.
 	ErrVerification = errors.New("punt: implementation fails verification")
@@ -73,6 +79,19 @@ const (
 	// WithResolveCSC resolver repaired a CSC-conflicted specification by
 	// inserting internal state signals; see Result.Resolution.
 	KindResolved
+	// KindBudget: the attempt exhausted its WithDeadline wall-clock or
+	// WithMemoryBudget heap budget; the Diagnostic wraps a *BudgetError
+	// carrying the attempt's partial stats (elapsed time, heap growth, last
+	// observed segment/state-space size).
+	KindBudget
+	// KindDegraded: informational, never returned as an error — the result
+	// was produced by a WithFallback step after the primary configuration
+	// ran out of resources; see Result.Degradation and Stats.Attempts.
+	KindDegraded
+	// KindPanic: a backend panicked and the dispatch layer recovered it into
+	// a diagnostic (wrapping a *PanicError with the captured stack) instead
+	// of crashing the process.
+	KindPanic
 )
 
 // String names the kind.
@@ -100,6 +119,12 @@ func (k DiagKind) String() string {
 		return "lost liveness"
 	case KindResolved:
 		return "CSC resolved"
+	case KindBudget:
+		return "budget exhausted"
+	case KindDegraded:
+		return "degraded"
+	case KindPanic:
+		return "backend panic"
 	default:
 		return "error"
 	}
@@ -138,6 +163,10 @@ type Diagnostic struct {
 	// inconsistent transition, or the disabled/disabling event pairs of a
 	// semi-modularity violation.
 	Trace []string
+	// Attempts records the per-attempt breakdown of a Synthesize call that
+	// walked the WithFallback degradation ladder before failing: one entry
+	// per configuration tried, each with its outcome and duration.
+	Attempts []Attempt
 	// Err is the underlying engine error.
 	Err error
 }
@@ -172,6 +201,8 @@ func (d *Diagnostic) Is(target error) bool {
 		return d.Kind == KindCSC
 	case ErrLimit:
 		return d.Kind == KindLimit
+	case ErrBudget:
+		return d.Kind == KindBudget
 	case ErrVerification:
 		return d.Kind.IsVerification()
 	default:
@@ -201,8 +232,17 @@ func diagnose(op, spec string, err error) error {
 		baselineCSC *baseline.CSCError
 		violation   *verify.Violation
 		unresolved  *resolve.UnresolvedError
+		budget      *BudgetError
+		panicked    *PanicError
 	)
 	switch {
+	case errors.As(err, &budget):
+		// Checked before the context cases: a budget trip surfaces as a
+		// context cancellation to the engines, but the *cause* is the budget.
+		d.Kind = KindBudget
+	case errors.As(err, &panicked):
+		d.Kind = KindPanic
+		d.Trace = []string{fmt.Sprintf("backend %q panicked: %v", panicked.Backend, panicked.Value)}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		d.Kind = KindCanceled
 	case errors.As(err, &violation):

@@ -48,6 +48,26 @@
 // high-traffic service and of Batch/Differential sweeps — is a sharded-LRU
 // lookup instead of a re-run (hits are marked Stats.Cached).
 //
+// The facade is also governed: WithDeadline and WithMemoryBudget bound every
+// synthesis attempt with a watchdog (wall clock and sampled heap growth), and
+// exhaustion fails with a KindBudget diagnostic wrapping a *BudgetError that
+// carries the attempt's partial progress — matched by the ErrBudget sentinel,
+// distinct from ErrLimit (a structural engine bound) and from the caller's
+// own cancellation (KindCanceled).  WithFallback installs a degradation
+// ladder: on ErrLimit or ErrBudget the request is retried through named
+// cheaper configurations (approximate mode, smaller bounds, an alternate
+// engine — the paper's own move of substituting a truncated segment for the
+// full state space), every rung is recorded in Stats.Attempts (or
+// Diagnostic.Attempts on total failure), and a result produced by a fallback
+// step is tagged with a KindDegraded informational diagnostic
+// (Result.Degradation) and never cached.  Backend panics are recovered at the
+// central dispatch on every entry point and surface as KindPanic diagnostics
+// wrapping a *PanicError with the captured stack; results produced under an
+// expired or budget-tripped context are discarded rather than returned or
+// cached.  The internal/faultinject harness drives all of this under seeded
+// fault schedules (injected cancellations, panics, slowdowns and cache
+// corruption) in the chaos test suite.
+//
 // Synthesis results do not have to be trusted blindly: Verify closes the loop
 // with an event-driven gate-level simulation of the implementation composed
 // with the specification's environment, exploring every interleaving under

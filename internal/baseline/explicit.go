@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"punt/internal/boolcover"
+	"punt/internal/faultinject"
 	"punt/internal/gatelib"
 	"punt/internal/stategraph"
 	"punt/internal/stg"
@@ -32,8 +33,14 @@ func (s *ExplicitSynthesizer) Synthesize(ctx context.Context, g *stg.STG) (*gate
 	stats := &Stats{}
 	total := time.Now()
 
+	sgOpts := stategraph.Options{MaxStates: s.MaxStates}
+	if p := s.Progress; p != nil {
+		// Periodic in-flight notifications: a watchdog observing the attempt
+		// sees the partial state count, not just the final size.
+		sgOpts.Progress = func(states int) { p("build", "", states) }
+	}
 	start := time.Now()
-	sg, err := stategraph.Build(ctx, g, stategraph.Options{MaxStates: s.MaxStates})
+	sg, err := stategraph.Build(ctx, g, sgOpts)
 	stats.BuildTime = time.Since(start)
 	if err != nil {
 		if errors.Is(err, stategraph.ErrStateLimit) {
@@ -53,6 +60,9 @@ func (s *ExplicitSynthesizer) Synthesize(ctx context.Context, g *stg.STG) (*gate
 	im := &gatelib.Implementation{Name: g.Name(), SignalNames: g.SignalNames()}
 	for _, sig := range g.OutputSignals() {
 		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		if err := faultinject.Check(ctx, faultinject.OpExplicitCovers); err != nil {
 			return nil, stats, err
 		}
 		if s.Progress != nil {

@@ -7,6 +7,7 @@ import (
 
 	"punt/internal/bdd"
 	"punt/internal/boolcover"
+	"punt/internal/faultinject"
 	"punt/internal/gatelib"
 	"punt/internal/petri"
 	"punt/internal/stg"
@@ -127,6 +128,10 @@ func (s *SymbolicSynthesizer) Synthesize(ctx context.Context, g *stg.STG) (*gate
 	frontier := init
 	for frontier != bdd.False {
 		if err := ctx.Err(); err != nil {
+			stats.BuildTime = time.Since(buildStart)
+			return nil, stats, err
+		}
+		if err := faultinject.Check(ctx, faultinject.OpSymbolicFixpoint); err != nil {
 			stats.BuildTime = time.Since(buildStart)
 			return nil, stats, err
 		}

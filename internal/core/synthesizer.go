@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"punt/internal/boolcover"
+	"punt/internal/faultinject"
 	"punt/internal/gatelib"
 	"punt/internal/stg"
 	"punt/internal/unfolding"
@@ -154,6 +155,9 @@ func (s *Synthesizer) Synthesize(ctx context.Context, g *stg.STG) (*gatelib.Impl
 	nvars := g.NumSignals()
 	for _, sig := range g.OutputSignals() {
 		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		if err := faultinject.Check(ctx, faultinject.OpCoreCovers); err != nil {
 			return nil, stats, err
 		}
 		if p := s.Options.Progress; p != nil {

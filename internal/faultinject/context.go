@@ -1,0 +1,35 @@
+package faultinject
+
+import "context"
+
+type ctxKey struct{}
+
+// With returns a context carrying the injector; every pipeline checkpoint
+// reached under it consults the schedule.
+func With(ctx context.Context, i *Injector) context.Context {
+	return context.WithValue(ctx, ctxKey{}, i)
+}
+
+// From extracts the context's injector, nil when none was installed.
+func From(ctx context.Context) *Injector {
+	i, _ := ctx.Value(ctxKey{}).(*Injector)
+	return i
+}
+
+// Check fires any due cancel/panic/delay rule for op on the context's
+// injector.  Without an injector it is a single Value lookup — the
+// checkpoints sit next to the engines' existing periodic cancellation
+// checks, so production runs pay nothing measurable.
+func Check(ctx context.Context, op string) error {
+	i := From(ctx)
+	if i == nil {
+		return nil
+	}
+	return i.Check(op)
+}
+
+// Corrupt reports whether a corruption rule fires for op on the context's
+// injector.
+func Corrupt(ctx context.Context, op string) bool {
+	return From(ctx).Corrupt(op)
+}

@@ -1,0 +1,108 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCheckWithoutInjectorIsNil(t *testing.T) {
+	if err := Check(context.Background(), OpUnfoldPop); err != nil {
+		t.Fatalf("bare context must never inject: %v", err)
+	}
+	if Corrupt(context.Background(), OpCacheGet) {
+		t.Fatal("bare context must never corrupt")
+	}
+}
+
+func TestCancelRuleFiresOnceAtTheConfiguredHit(t *testing.T) {
+	ctx := With(context.Background(), New(Rule{Op: OpUnfoldPop, AfterN: 2, Act: ActCancel}))
+	for i := 0; i < 2; i++ {
+		if err := Check(ctx, OpUnfoldPop); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	err := Check(ctx, OpUnfoldPop)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("hit 2 should inject, got %v", err)
+	}
+	// One-shot: the rule never fires again.
+	if err := Check(ctx, OpUnfoldPop); err != nil {
+		t.Fatalf("rule fired twice: %v", err)
+	}
+	// Other ops are untouched.
+	if err := Check(ctx, OpCoreCovers); err != nil {
+		t.Fatalf("unrelated op injected: %v", err)
+	}
+}
+
+func TestPanicRulePanicsWithInjectedPanic(t *testing.T) {
+	ctx := With(context.Background(), New(Rule{Op: OpCoreCovers, Act: ActPanic}))
+	defer func() {
+		p := recover()
+		ip, ok := p.(InjectedPanic)
+		if !ok || ip.Op != OpCoreCovers {
+			t.Fatalf("recovered %v, want InjectedPanic at %s", p, OpCoreCovers)
+		}
+	}()
+	Check(ctx, OpCoreCovers)
+	t.Fatal("checkpoint did not panic")
+}
+
+func TestDelayRuleSleeps(t *testing.T) {
+	ctx := With(context.Background(), New(Rule{Op: OpCacheGet, Act: ActDelay, Delay: 20 * time.Millisecond}))
+	start := time.Now()
+	if err := Check(ctx, OpCacheGet); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Errorf("delay rule slept only %v", d)
+	}
+}
+
+func TestCorruptRuleIsInvisibleToCheck(t *testing.T) {
+	inj := New(Rule{Op: OpCacheGet, Act: ActCorrupt})
+	ctx := With(context.Background(), inj)
+	if err := Check(ctx, OpCacheGet); err != nil {
+		t.Fatalf("Check must ignore corrupt rules: %v", err)
+	}
+	if !Corrupt(ctx, OpCacheGet) {
+		t.Fatal("Corrupt should fire")
+	}
+	if Corrupt(ctx, OpCacheGet) {
+		t.Fatal("corrupt rule fired twice")
+	}
+}
+
+func TestScheduleIsReproducibleAndNeverPanicsFacadeOps(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		a := Schedule(seed, AllOps, 3, 20)
+		b := Schedule(seed, AllOps, 3, 20)
+		if len(a.rules) != len(b.rules) {
+			t.Fatalf("seed %d: rule counts differ", seed)
+		}
+		for i := range a.rules {
+			if a.rules[i] != b.rules[i] {
+				t.Fatalf("seed %d: rule %d differs: %v vs %v", seed, i, a.rules[i], b.rules[i])
+			}
+			if a.rules[i].Act == ActPanic && !isEngineOp(a.rules[i].Op) {
+				t.Fatalf("seed %d: panic armed on facade op %s", seed, a.rules[i].Op)
+			}
+		}
+	}
+}
+
+func TestFiredRecordsFiringOrder(t *testing.T) {
+	inj := New(
+		Rule{Op: OpUnfoldPop, AfterN: 0, Act: ActCancel},
+		Rule{Op: OpCoreCovers, AfterN: 0, Act: ActDelay, Delay: time.Millisecond},
+	)
+	ctx := With(context.Background(), inj)
+	Check(ctx, OpCoreCovers)
+	Check(ctx, OpUnfoldPop)
+	fired := inj.Fired()
+	if len(fired) != 2 || fired[0] != (Rule{Op: OpCoreCovers, Act: ActDelay, Delay: time.Millisecond}).String() {
+		t.Errorf("Fired() = %v", fired)
+	}
+}

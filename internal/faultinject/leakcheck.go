@@ -1,0 +1,45 @@
+package faultinject
+
+import (
+	"runtime"
+	"time"
+)
+
+// TB is the subset of testing.TB the leak checker needs; an interface so
+// this package (which the engines link) never imports testing.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// LeakCheck snapshots the current goroutine count and returns a function
+// that asserts the count settles back to (at most) that baseline.  Use as
+//
+//	defer faultinject.LeakCheck(t)()
+//
+// at the top of any test that spawns portfolio contenders, batch workers or
+// budget watchdogs.  Cancelled goroutines need a moment to unwind, so the
+// check polls with a grace period before reporting a leak, and dumps all
+// goroutine stacks when it does.
+func LeakCheck(tb TB) func() {
+	tb.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		tb.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		tb.Errorf("goroutine leak: %d goroutines alive, baseline %d\n%s", n, base, buf)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"punt/internal/bitvec"
 	"punt/internal/boolcover"
+	"punt/internal/faultinject"
 	"punt/internal/petri"
 	"punt/internal/stg"
 )
@@ -134,6 +135,9 @@ func Build(ctx context.Context, g *stg.STG, opts Options) (*Graph, error) {
 	for len(queue) > 0 {
 		if expanded%cancelCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := faultinject.Check(ctx, faultinject.OpStategraphExpand); err != nil {
 				return nil, err
 			}
 			if opts.Progress != nil {

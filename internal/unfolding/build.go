@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"punt/internal/bitvec"
+	"punt/internal/faultinject"
 	"punt/internal/petri"
 	"punt/internal/stg"
 )
@@ -198,6 +199,9 @@ func Build(ctx context.Context, g *stg.STG, opts Options) (*Unfolding, error) {
 	for b.queue.Len() > 0 {
 		if pops%cancelCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := faultinject.Check(ctx, faultinject.OpUnfoldPop); err != nil {
 				return nil, err
 			}
 			if b.opts.Progress != nil {

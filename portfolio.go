@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -74,11 +75,15 @@ func runPortfolio(ctx context.Context, contenders []Backend, spec *Spec, cfg Bac
 			start := time.Now()
 			defer func() {
 				// A panicking contender loses its race instead of taking the
-				// process down; custom backends are arbitrary code.
+				// process down.  runBackend already recovers backend panics
+				// centrally; this is the contender goroutine's last line of
+				// defence, so a panic in the scheduler's own bookkeeping can
+				// never kill the process either.
 				if p := recover(); p != nil {
 					mu.Lock()
 					slots[i] = slot{
-						err:     diagnose("synthesize", spec.Name(), fmt.Errorf("backend %q panicked: %v", b.Name(), p)),
+						err: diagnose("synthesize", spec.Name(),
+							&PanicError{Backend: b.Name(), Value: p, Stack: debug.Stack()}),
 						elapsed: time.Since(start),
 						started: true,
 					}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"punt"
+	"punt/internal/faultinject"
 )
 
 func TestPortfolioDefaultRacesBuiltins(t *testing.T) {
@@ -68,7 +69,9 @@ func TestPortfolioDeterministicWinnerWithOneWorker(t *testing.T) {
 func TestPortfolioCancelsLosersPromptly(t *testing.T) {
 	// Race a backend that blocks until cancellation against the real
 	// unfolding flow: the moment the unfolding engine wins, the sleeper must
-	// be cancelled — in milliseconds, not after its two-minute timeout.
+	// be cancelled — in milliseconds, not after its two-minute timeout — and
+	// no contender goroutine may outlive the call.
+	defer faultinject.LeakCheck(t)()
 	start := time.Now()
 	res, err := punt.New(
 		punt.WithContenders("test-sleeper", "unfolding"),

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"time"
 
 	"punt/gates"
 	"punt/internal/core"
+	"punt/internal/faultinject"
 	"punt/internal/resolve"
 	"punt/internal/verify"
 )
@@ -58,8 +60,28 @@ type config struct {
 	maxStates  int
 	maxNodes   int
 	workers    int
-	resolveCSC int // max internal signals the CSC resolver may insert; 0 = disabled
+	resolveCSC int            // max internal signals the CSC resolver may insert; 0 = disabled
+	deadline   time.Duration  // per-attempt wall-clock budget; 0 = none
+	memBudget  int64          // per-attempt heap-growth budget in bytes; 0 = none
+	fallback   []FallbackStep // degradation ladder tried on ErrLimit/ErrBudget
 	progress   func(Progress)
+}
+
+// selection names the config's backend selection the way Stats.Backend and
+// the cache key do: the named backend, the engine, or the portfolio with its
+// contender list.
+func (c *config) selection() string {
+	if c.backend != "" {
+		return c.backend
+	}
+	if c.engine != Portfolio {
+		return c.engine.String()
+	}
+	names := c.portfolio
+	if len(names) == 0 {
+		names = defaultContenders
+	}
+	return "portfolio(" + strings.Join(names, ",") + ")"
 }
 
 // Option configures a Synthesizer (and the package-level Batch, Unfold and
@@ -247,6 +269,12 @@ type Stats struct {
 	// Contenders is the per-contender breakdown of a portfolio run (empty
 	// outside portfolio mode).
 	Contenders []Contender
+	// Attempts is the per-attempt breakdown of the Synthesize call: the
+	// primary configuration plus every WithFallback step that ran, each
+	// with its outcome and duration.  A single-attempt run has one entry;
+	// len(Attempts) > 1 means the result was produced by the degradation
+	// ladder (see Result.Degradation).
+	Attempts []Attempt
 	// Cached reports that the result was served from the WithCache cache
 	// instead of a synthesis run; the timing fields then describe the
 	// original (cold) run that populated the cache.
@@ -289,6 +317,16 @@ func (s *Stats) String() string {
 		}
 		sb.WriteByte(']')
 	}
+	if len(s.Attempts) > 1 {
+		sb.WriteString(" attempts=[")
+		for i, a := range s.Attempts {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(a.String())
+		}
+		sb.WriteByte(']')
+	}
 	if s.CSCSignalsInserted > 0 {
 		fmt.Fprintf(&sb, " csc-inserted=%d csc-iterations=%d", s.CSCSignalsInserted, s.CSCIterations)
 	}
@@ -315,11 +353,22 @@ type Result struct {
 	// and one rendered insertion per Trace entry.  It is not an error — the
 	// synthesis succeeded — merely the structured record of what was changed.
 	Resolution *Diagnostic
+	// Degradation, when non-nil, is the KindDegraded informational
+	// diagnostic recording that the result came from a WithFallback step
+	// after the primary configuration exhausted its resources: the winning
+	// step's name in Signal, one rendered Attempt per Trace entry.  Like
+	// Resolution it is never an error — the synthesis succeeded, merely
+	// under a cheaper configuration than asked for.
+	Degradation *Diagnostic
 }
 
 // Resolved reports whether the result was produced through the WithResolveCSC
 // repair of a CSC-conflicted specification.
 func (r *Result) Resolved() bool { return r.Resolution != nil }
+
+// Degraded reports whether the result was produced by a WithFallback
+// degradation step instead of the primary configuration.
+func (r *Result) Degraded() bool { return r.Degradation != nil }
 
 // Eqn renders the implementation as boolean equations.
 func (r *Result) Eqn() string { return r.Impl.Eqn() }
@@ -402,46 +451,177 @@ func (s *Synthesizer) resolveBackends() (single Backend, contenders []Backend, e
 }
 
 // Synthesize derives a speed-independent implementation of spec with the
-// configured engine: it resolves the selection against the backend registry,
-// consults the WithCache cache, and dispatches to the single backend or to
-// the portfolio scheduler.  It honours ctx: cancellation aborts the
-// segment/state construction loops promptly and the error (wrapped in a
-// *Diagnostic) matches context.Canceled / context.DeadlineExceeded.
+// configured engine: it consults the WithCache cache, then walks the attempt
+// ladder — the primary configuration followed by every WithFallback step —
+// dispatching each attempt to the single backend or the portfolio scheduler
+// under its own WithDeadline/WithMemoryBudget watchdog.  It honours ctx:
+// cancellation aborts the segment/state construction loops promptly and the
+// error (wrapped in a *Diagnostic) matches context.Canceled /
+// context.DeadlineExceeded.  Every attempt is recorded in Stats.Attempts on
+// success and Diagnostic.Attempts on failure; a backend panic surfaces as a
+// KindPanic diagnostic on every path, never a crash.
 func (s *Synthesizer) Synthesize(ctx context.Context, spec *Spec) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	single, contenders, err := s.resolveBackends()
-	if err != nil {
+	if err := faultinject.Check(ctx, faultinject.OpFacadeSynthesize); err != nil {
 		return nil, diagnose("synthesize", spec.Name(), err)
 	}
 	var key string
-	if s.cfg.cache != nil {
+	useCache := s.cfg.cache != nil
+	if useCache {
 		key = s.cacheKey(spec)
-		if res, ok := s.cfg.cache.Get(key); ok {
-			return cachedResult(res, spec), nil
+		// A faulted cache degrades to a miss instead of failing the request,
+		// and so does a hit that fails validation (a corrupted entry): the
+		// cache is an accelerator, never a point of failure.
+		if faultinject.Check(ctx, faultinject.OpCacheGet) == nil {
+			if res, ok := s.cfg.cache.Get(key); ok && usableCacheHit(res) {
+				return cachedResult(res, spec), nil
+			}
 		}
 	}
-	res, err := s.dispatch(ctx, single, contenders, spec)
-	if err != nil && s.cfg.resolveCSC > 0 && errors.Is(err, ErrCSC) {
-		res, err = s.resolveAndRetry(ctx, single, contenders, spec)
+
+	steps := s.attemptConfigs()
+	attempts := make([]Attempt, 0, len(steps))
+	var res *Result
+	var err error
+	for _, ac := range steps {
+		start := time.Now()
+		res, err = synthesizeAttempt(ctx, ac.cfg, spec)
+		outcome := "ok"
+		if err != nil {
+			outcome = outcomeLabel(err)
+		}
+		attempts = append(attempts, Attempt{
+			Backend: ac.cfg.selection(),
+			Step:    ac.step,
+			Outcome: outcome,
+			Elapsed: time.Since(start),
+		})
+		// Only resource exhaustion falls through to the next rung: errors the
+		// ladder cannot fix (CSC, safeness, the caller's own cancellation)
+		// fail immediately with the primary attempt's diagnostic.
+		if err == nil || !retryable(err) || ctx.Err() != nil {
+			break
+		}
 	}
 	if err != nil {
+		var d *Diagnostic
+		if errors.As(err, &d) {
+			d.Attempts = attempts
+		}
 		return nil, err
 	}
-	if s.cfg.cache != nil {
+	res.Stats.Attempts = attempts
+	if n := len(attempts); n > 1 {
+		traces := make([]string, n)
+		for i, a := range attempts {
+			traces[i] = a.String()
+		}
+		res.Degradation = &Diagnostic{
+			Op:     "synthesize",
+			Spec:   spec.Name(),
+			Kind:   KindDegraded,
+			Signal: attempts[n-1].Step,
+			Trace:  traces,
+		}
+	}
+	// Only primary-configuration results enter the cache — a degraded result
+	// must never be served to a caller whose configuration could afford the
+	// real one — and never a result produced under an already-expired
+	// context, whose work may be truncated.
+	if useCache && !res.Degraded() && ctx.Err() == nil &&
+		faultinject.Check(ctx, faultinject.OpCachePut) == nil {
 		s.cfg.cache.Put(key, res)
 	}
 	return res, nil
 }
 
+// usableCacheHit validates a cache hit before it is served: a corrupted or
+// truncated entry (however it got there — a buggy Cache implementation, a
+// faulted store) is treated as a miss, never returned to a caller.
+func usableCacheHit(res *Result) bool {
+	return res != nil && res.Impl != nil && res.Spec != nil
+}
+
+// outcomeLabel compresses an attempt's failure for the Attempts record.
+func outcomeLabel(err error) string {
+	var d *Diagnostic
+	if errors.As(err, &d) {
+		return d.Kind.String()
+	}
+	return "failed"
+}
+
+// attemptConfig is one rung of the attempt ladder: the step name (empty for
+// the primary configuration) and the fully derived config.
+type attemptConfig struct {
+	step string
+	cfg  config
+}
+
+// attemptConfigs derives the attempt ladder from the options: the primary
+// configuration first, then one config per WithFallback step with the step's
+// options applied on top of the base.
+func (s *Synthesizer) attemptConfigs() []attemptConfig {
+	out := make([]attemptConfig, 0, 1+len(s.cfg.fallback))
+	out = append(out, attemptConfig{cfg: s.cfg})
+	for _, st := range s.cfg.fallback {
+		c := s.cfg
+		// Options mutate slice fields in place (WithPortfolio reuses the
+		// backing array): give the derived config its own copies before
+		// applying the step, and strip nested ladders either way.
+		c.portfolio = append([]string(nil), c.portfolio...)
+		c.fallback = nil
+		for _, o := range st.Options {
+			o(&c)
+		}
+		c.fallback = nil
+		out = append(out, attemptConfig{step: st.Name, cfg: c})
+	}
+	return out
+}
+
+// synthesizeAttempt runs one configuration attempt end to end: backend
+// resolution, budget watchdog, dispatch and CSC resolution.  Panics anywhere
+// in the attempt — a backend, the resolver, the verifier — are recovered
+// into KindPanic diagnostics here, so every entry point (plain Synthesize,
+// Batch, the portfolio) degrades to a structured error instead of crashing.
+func synthesizeAttempt(ctx context.Context, cfg config, spec *Spec) (res *Result, err error) {
+	att := &Synthesizer{cfg: cfg}
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, diagnose("synthesize", spec.Name(),
+				&PanicError{Backend: cfg.selection(), Value: p, Stack: debug.Stack()})
+		}
+	}()
+	single, contenders, err := att.resolveBackends()
+	if err != nil {
+		return nil, diagnose("synthesize", spec.Name(), err)
+	}
+	bcfg := att.backendConfig()
+	actx, release := startWatchdog(ctx, cfg.deadline, cfg.memBudget, &bcfg)
+	defer release()
+	res, err = att.dispatch(actx, single, contenders, spec, bcfg)
+	if err != nil && cfg.resolveCSC > 0 && errors.Is(err, ErrCSC) {
+		res, err = att.resolveAndRetry(actx, single, contenders, spec, bcfg)
+	}
+	// The watchdog tripped: even a result delivered after the trip is the
+	// product of an over-budget attempt — possibly truncated work that must
+	// not escape to the caller or the cache.
+	if be := budgetCause(actx); be != nil {
+		return nil, diagnose("synthesize", spec.Name(), be)
+	}
+	return res, err
+}
+
 // dispatch runs the resolved backend selection: the single backend, or the
 // portfolio scheduler over the contenders.
-func (s *Synthesizer) dispatch(ctx context.Context, single Backend, contenders []Backend, spec *Spec) (*Result, error) {
+func (s *Synthesizer) dispatch(ctx context.Context, single Backend, contenders []Backend, spec *Spec, bcfg BackendConfig) (*Result, error) {
 	if single != nil {
-		return runBackend(ctx, single, spec, s.backendConfig())
+		return runBackend(ctx, single, spec, bcfg)
 	}
-	return runPortfolio(ctx, contenders, spec, s.backendConfig(), s.cfg.workers)
+	return runPortfolio(ctx, contenders, spec, bcfg, s.cfg.workers)
 }
 
 // resolveAndRetry is the WithResolveCSC path: the backend rejected spec with a
@@ -451,7 +631,7 @@ func (s *Synthesizer) dispatch(ctx context.Context, single Backend, contenders [
 // hazard-free and live by the closed-loop verifier against the post-insertion
 // specification.  Any failure along the way — unresolvable conflicts, the
 // retry, the verification — fails the Synthesize call as a *Diagnostic.
-func (s *Synthesizer) resolveAndRetry(ctx context.Context, single Backend, contenders []Backend, spec *Spec) (*Result, error) {
+func (s *Synthesizer) resolveAndRetry(ctx context.Context, single Backend, contenders []Backend, spec *Spec, bcfg BackendConfig) (*Result, error) {
 	if p := s.cfg.progress; p != nil {
 		p(Progress{Engine: "resolve", Stage: "resolve"})
 	}
@@ -466,7 +646,7 @@ func (s *Synthesizer) resolveAndRetry(ctx context.Context, single Backend, conte
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.dispatch(ctx, single, contenders, resolved)
+	res, err := s.dispatch(ctx, single, contenders, resolved, bcfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,55 @@
+.model muller-pipeline-22
+.inputs c0 c23
+.outputs c1 c2 c3 c4 c5 c6 c7 c8 c9 c10 c11 c12 c13 c14 c15 c16 c17 c18 c19 c20 c21 c22
+.graph
+c0+ c1+
+c0- c1-
+c1+ c2+ c0-
+c1- c2- c0+
+c2+ c1- c3+
+c2- c1+ c3-
+c3+ c2- c4+
+c3- c2+ c4-
+c4+ c3- c5+
+c4- c3+ c5-
+c5+ c4- c6+
+c5- c4+ c6-
+c6+ c5- c7+
+c6- c5+ c7-
+c7+ c6- c8+
+c7- c6+ c8-
+c8+ c7- c9+
+c8- c7+ c9-
+c9+ c8- c10+
+c9- c8+ c10-
+c10+ c9- c11+
+c10- c9+ c11-
+c11+ c10- c12+
+c11- c10+ c12-
+c12+ c11- c13+
+c12- c11+ c13-
+c13+ c12- c14+
+c13- c12+ c14-
+c14+ c13- c15+
+c14- c13+ c15-
+c15+ c14- c16+
+c15- c14+ c16-
+c16+ c15- c17+
+c16- c15+ c17-
+c17+ c16- c18+
+c17- c16+ c18-
+c18+ c17- c19+
+c18- c17+ c19-
+c19+ c18- c20+
+c19- c18+ c20-
+c20+ c19- c21+
+c20- c19+ c21-
+c21+ c20- c22+
+c21- c20+ c22-
+c22+ c21- c23+
+c22- c21+ c23-
+c23+ c22-
+c23- c22+
+.marking { <c1-,c0+> <c10-,c9+> <c11-,c10+> <c12-,c11+> <c13-,c12+> <c14-,c13+> <c15-,c14+> <c16-,c15+> <c17-,c16+> <c18-,c17+> <c19-,c18+> <c2-,c1+> <c20-,c19+> <c21-,c20+> <c22-,c21+> <c23-,c22+> <c3-,c2+> <c4-,c3+> <c5-,c4+> <c6-,c5+> <c7-,c6+> <c8-,c7+> <c9-,c8+> }
+.initial_state 000000000000000000000000
+.end
