@@ -59,8 +59,8 @@ func FormatFacade(points []FacadePoint) string { return experiments.FormatFacade
 func FormatCache(points []CachePoint) string { return experiments.FormatCache(points) }
 
 // NewReport assembles the JSON perf-trajectory report.
-func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, cache []CachePoint, now time.Time) Report {
-	return experiments.NewReport(rows, points, facade, cache, now)
+func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, cache, disk []CachePoint, now time.Time) Report {
+	return experiments.NewReport(rows, points, facade, cache, disk, now)
 }
 
 // WriteJSON writes the report, indented, to w.
@@ -166,6 +166,76 @@ func RunCache(ctx context.Context, runs int) ([]CachePoint, error) {
 			}
 			if !res.Stats.Cached {
 				return nil, fmt.Errorf("bench: warm synthesis of %s was not served from the cache", fs.name)
+			}
+		}
+		p.Warm = warm / time.Duration(runs)
+		if p.Warm > 0 {
+			p.Speedup = float64(p.Cold) / float64(p.Warm)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RunDiskCache measures the persistent result store the way a puntd restart
+// exercises it: the cold synthesis runs through a tiered cache (in-memory LRU
+// over a content-addressed disk store rooted at dir) and populates both
+// tiers, then every warm run re-parses the specification and looks it up
+// through *fresh* tiers over the same directory — an empty L1, exactly the
+// state after a daemon restart or on a sibling replica — so Warm prices a
+// disk hit plus decode and L1 promotion, not an in-memory lookup.  Every
+// warm run must be served from the store (Stats.Cached).
+func RunDiskCache(ctx context.Context, dir string, runs int) ([]CachePoint, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	specs := []facadeSpec{
+		{name: "fig1", text: punt.Fig1().Text()},
+		{name: "pipeline-22", text: punt.MullerPipelineWithSignals(22).Text()},
+	}
+	tiered := func() (*punt.Tiered, error) {
+		disk, err := punt.NewDiskCache(dir)
+		if err != nil {
+			return nil, fmt.Errorf("bench: opening disk store: %w", err)
+		}
+		return punt.NewTiered(punt.NewLRU(64), disk), nil
+	}
+	out := make([]CachePoint, 0, len(specs))
+	for _, fs := range specs {
+		spec, err := punt.Parse(fs.text)
+		if err != nil {
+			return nil, fmt.Errorf("bench: disk-cache parse of %s: %w", fs.name, err)
+		}
+		cache, err := tiered()
+		if err != nil {
+			return nil, err
+		}
+		p := CachePoint{Spec: fs.name, Runs: runs}
+		t0 := time.Now()
+		cold, err := punt.New(punt.WithCache(cache)).Synthesize(ctx, spec)
+		p.Cold = time.Since(t0)
+		if err != nil {
+			return nil, fmt.Errorf("bench: cold synthesis of %s: %w", fs.name, err)
+		}
+		p.Literals = cold.Literals()
+		var warm time.Duration
+		for i := 0; i < runs; i++ {
+			restarted, err := tiered()
+			if err != nil {
+				return nil, err
+			}
+			again, err := punt.Parse(fs.text)
+			if err != nil {
+				return nil, fmt.Errorf("bench: disk-cache re-parse of %s: %w", fs.name, err)
+			}
+			t1 := time.Now()
+			res, err := punt.New(punt.WithCache(restarted)).Synthesize(ctx, again)
+			warm += time.Since(t1)
+			if err != nil {
+				return nil, fmt.Errorf("bench: warm synthesis of %s: %w", fs.name, err)
+			}
+			if !res.Stats.Cached {
+				return nil, fmt.Errorf("bench: warm synthesis of %s was not served from the disk store", fs.name)
 			}
 		}
 		p.Warm = warm / time.Duration(runs)

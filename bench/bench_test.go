@@ -30,12 +30,34 @@ func TestRunFacade(t *testing.T) {
 	}
 }
 
+func TestRunDiskCache(t *testing.T) {
+	points, err := RunDiskCache(context.Background(), t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Cold <= 0 || p.Warm <= 0 {
+			t.Errorf("%s: non-positive timings: %+v", p.Spec, p)
+		}
+		if p.Speedup <= 0 {
+			t.Errorf("%s: no speedup computed: %+v", p.Spec, p)
+		}
+	}
+	report := NewReport(nil, nil, nil, nil, points, time.Unix(0, 0))
+	if len(report.DiskCache) != 2 || report.DiskCache[0].Spec != "fig1" {
+		t.Errorf("disk-cache points lost in the report: %+v", report.DiskCache)
+	}
+}
+
 func TestFacadePointsInJSONReport(t *testing.T) {
 	points, err := RunFacade(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	report := NewReport(nil, nil, points, nil, time.Unix(0, 0))
+	report := NewReport(nil, nil, points, nil, nil, time.Unix(0, 0))
 	var buf bytes.Buffer
 	if err := WriteJSON(&buf, report); err != nil {
 		t.Fatal(err)

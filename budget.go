@@ -77,15 +77,15 @@ func WithFallback(steps ...FallbackStep) Option {
 type Attempt struct {
 	// Backend is the attempt's backend selection ("unfolding",
 	// "portfolio(...)", a registered name, ...).
-	Backend string
+	Backend string `json:"backend"`
 	// Step names the WithFallback step that configured the attempt; empty
 	// for the primary configuration.
-	Step string
+	Step string `json:"step,omitempty"`
 	// Outcome is "ok" for the winning attempt, otherwise the failure's
 	// diagnostic kind ("resource limit", "budget exhausted", ...).
-	Outcome string
+	Outcome string `json:"outcome"`
 	// Elapsed is the attempt's wall-clock duration.
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
 // String renders the attempt.

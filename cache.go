@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"hash/maphash"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -54,20 +55,54 @@ func cachedResult(res *Result, spec *Spec) *Result {
 	return &cp
 }
 
-// CacheStats is a point-in-time LRU cache effectiveness snapshot.
+// CacheStats is a point-in-time cache effectiveness snapshot.  Every cache
+// of the package reports one: the in-memory LRU, the persistent DiskCache
+// and the Tiered combination, whose Tiers field carries the per-tier
+// breakdown the /v1/stats endpoint of puntd serves.
 type CacheStats struct {
+	// Tier names the reporting cache layer: "lru", "disk", or "tiered" for
+	// the combined view.
+	Tier string `json:"tier,omitempty"`
 	// Hits and Misses count Get outcomes since the cache was created.
-	Hits   int64
-	Misses int64
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Evictions counts entries displaced by the capacity bound (LRU only).
+	Evictions int64 `json:"evictions,omitempty"`
+	// Corrupt counts entries that existed but failed validation and were
+	// treated as misses — checksum damage at the disk layer, decode or
+	// hash-verification failures at the result layer.  Corrupt entries are
+	// dropped, never served and never promoted into a faster tier.
+	Corrupt int64 `json:"corrupt,omitempty"`
 	// Entries is the number of results currently held.
-	Entries int
-	// Capacity is the configured entry bound.
-	Capacity int
+	Entries int `json:"entries"`
+	// Capacity is the configured entry bound (0 = unbounded, as on disk).
+	Capacity int `json:"capacity,omitempty"`
+	// Tiers is the per-tier breakdown of a Tiered cache, fastest first.
+	Tiers []CacheStats `json:"tiers,omitempty"`
 }
 
 // String summarises the snapshot.
 func (s CacheStats) String() string {
-	return fmt.Sprintf("cache: %d/%d entries, %d hits, %d misses", s.Entries, s.Capacity, s.Hits, s.Misses)
+	var sb strings.Builder
+	name := s.Tier
+	if name == "" {
+		name = "cache"
+	}
+	if s.Capacity > 0 {
+		fmt.Fprintf(&sb, "%s: %d/%d entries, %d hits, %d misses", name, s.Entries, s.Capacity, s.Hits, s.Misses)
+	} else {
+		fmt.Fprintf(&sb, "%s: %d entries, %d hits, %d misses", name, s.Entries, s.Hits, s.Misses)
+	}
+	if s.Evictions > 0 {
+		fmt.Fprintf(&sb, ", %d evictions", s.Evictions)
+	}
+	if s.Corrupt > 0 {
+		fmt.Fprintf(&sb, ", %d corrupt", s.Corrupt)
+	}
+	for _, tier := range s.Tiers {
+		fmt.Fprintf(&sb, "; %s", tier)
+	}
+	return sb.String()
 }
 
 // DefaultCacheCapacity is the entry bound NewLRU applies when given a
@@ -84,10 +119,11 @@ const cacheShards = 16
 // on one mutex; each shard evicts its least recently used entry when full.
 // The zero value is not usable — construct with NewLRU.
 type LRU struct {
-	seed   maphash.Seed
-	shards [cacheShards]lruShard
-	hits   atomic.Int64
-	misses atomic.Int64
+	seed      maphash.Seed
+	shards    [cacheShards]lruShard
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 type lruShard struct {
@@ -165,12 +201,13 @@ func (c *LRU) Put(key string, res *Result) {
 		oldest := s.ll.Back()
 		s.ll.Remove(oldest)
 		delete(s.m, oldest.Value.(*lruEntry).key)
+		c.evictions.Add(1)
 	}
 }
 
 // Stats snapshots the cache's effectiveness counters.
 func (c *LRU) Stats() CacheStats {
-	st := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	st := CacheStats{Tier: "lru", Hits: c.hits.Load(), Misses: c.misses.Load(), Evictions: c.evictions.Load()}
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()

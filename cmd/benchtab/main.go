@@ -9,6 +9,7 @@
 //	benchtab -figure6 [-signals 5,8,12,22,32,50]
 //	benchtab -facade
 //	benchtab -cache
+//	benchtab -disk [-store DIR]
 //	benchtab -table1 -figure6 -quick
 //	benchtab -table1 -figure6 -json results.json
 //
@@ -19,6 +20,13 @@
 // cache-effectiveness benchmark (cold synthesis vs warm content-addressed
 // hit), so the trajectory tracks public-API overhead and cache behaviour
 // next to the raw cores.
+//
+// With -disk the persistent result store behind puntd is measured: cold
+// synthesis through a tiered in-memory-LRU-over-disk cache against warm hits
+// served through fresh tiers on the same directory, i.e. the cost of a warm
+// request after a daemon restart.  -store names the store directory (default:
+// a temporary directory removed afterwards); point it at an existing puntd
+// store to price hits against real contents.
 package main
 
 import (
@@ -38,14 +46,16 @@ func main() {
 	figure6 := flag.Bool("figure6", false, "reproduce the Figure 6 scaling series")
 	facade := flag.Bool("facade", false, "measure the end-to-end public-API pipeline (implied by -json)")
 	cacheBench := flag.Bool("cache", false, "measure cold-vs-warm result-cache effectiveness (implied by -json)")
+	diskBench := flag.Bool("disk", false, "measure cold-vs-warm hits on the persistent disk store (implied by -json)")
+	storeDir := flag.String("store", "", "disk store directory for -disk (default: a temporary directory)")
 	quick := flag.Bool("quick", false, "use small resource budgets so the whole run finishes quickly")
 	skipBaselines := flag.Bool("punt-only", false, "run only the unfolding-based flow (no baselines)")
 	signalsFlag := flag.String("signals", "", "comma-separated pipeline sizes (signal counts) for -figure6")
 	facadeRuns := flag.Int("facade-runs", 5, "how many runs the facade and cache benchmarks average over")
 	jsonOut := flag.String("json", "", `also write the measurements as JSON to this file ("-" = stdout)`)
 	flag.Parse()
-	if !*table1 && !*figure6 && !*facade && !*cacheBench && *jsonOut == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchtab [-table1] [-figure6] [-facade] [-cache] [flags]")
+	if !*table1 && !*figure6 && !*facade && !*cacheBench && !*diskBench && *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchtab [-table1] [-figure6] [-facade] [-cache] [-disk] [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -54,7 +64,7 @@ func main() {
 	var rows []bench.Table1Row
 	var points []bench.Figure6Point
 	var facadePoints []bench.FacadePoint
-	var cachePoints []bench.CachePoint
+	var cachePoints, diskPoints []bench.CachePoint
 	if *table1 {
 		opts := bench.Table1Options{SkipBaselines: *skipBaselines}
 		if *quick {
@@ -121,8 +131,32 @@ func main() {
 		fmt.Println("Cache: cold synthesis vs warm content-addressed hit (punt.WithCache)")
 		fmt.Print(bench.FormatCache(cachePoints))
 	}
+	if *diskBench || *jsonOut != "" {
+		runs := *facadeRuns
+		if *quick && runs > 2 {
+			runs = 2
+		}
+		dir := *storeDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "punt-bench-store-")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		var err error
+		diskPoints, err = bench.RunDiskCache(ctx, dir, runs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("Disk store: cold synthesis vs warm hit through fresh tiers (restart cost; punt.NewTiered + punt.NewDiskCache)")
+		fmt.Print(bench.FormatCache(diskPoints))
+	}
 	if *jsonOut != "" {
-		report := bench.NewReport(rows, points, facadePoints, cachePoints, time.Now())
+		report := bench.NewReport(rows, points, facadePoints, cachePoints, diskPoints, time.Now())
 		if err := writeReport(*jsonOut, report); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)

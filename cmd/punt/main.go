@@ -8,7 +8,7 @@
 //	punt [-engine unfolding|explicit|symbolic|portfolio] [-exact]
 //	     [-arch complex-gate|standard-c|rs-latch] [-verilog] [-stats]
 //	     [-verify] [-cache] [-resolve-csc] [-max-csc-signals N]
-//	     [-deadline D] [-mem-budget BYTES] [-fallback]
+//	     [-deadline D] [-mem-budget BYTES] [-fallback] [-server URL]
 //	     file.g [file2.g ...]
 //
 // With "-" as a file name the STG is read from standard input.
@@ -34,6 +34,14 @@
 // a failed or inconclusive verification exits with status 3, distinct from
 // the synthesis-failure status 1 and the usage status 2.
 //
+// With -server the synthesis runs on a puntd daemon instead of in-process:
+// each specification is submitted to URL/v1/synthesize with the same
+// configuration the local flags would apply, and the response — the result
+// document or a structured error — is rendered exactly like a local run,
+// preserving the exit-code contract (1 synthesis failure, 2 usage, 3 failed
+// verification, 4 budget exhaustion).  -verify is evaluated by the daemon;
+// -cache is ignored, since the daemon maintains the shared result store.
+//
 // With -deadline (a duration, e.g. 500ms) and -mem-budget (bytes) each
 // synthesis attempt runs under a resource watchdog; an attempt that exhausts
 // its budget exits with status 4 — distinct from every other failure — and
@@ -46,15 +54,20 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"strings"
 
 	"punt"
 	"punt/gates"
+	"punt/server"
 )
 
 func main() {
@@ -80,6 +93,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	deadline := fs.Duration("deadline", 0, "per-attempt wall-clock budget (0 = none); exhaustion exits with status 4")
 	memBudget := fs.Int64("mem-budget", 0, "per-attempt heap-growth budget in bytes (0 = none); exhaustion exits with status 4")
 	fallback := fs.Bool("fallback", false, "degrade through cheaper configurations when a resource budget is exhausted")
+	serverURL := fs.String("server", "", "synthesize on a puntd daemon at this base URL instead of in-process")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -139,16 +153,40 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(stderr, err)
 		}
-		res, err := synth.Synthesize(context.Background(), spec)
-		if err != nil {
-			if errors.Is(err, punt.ErrBudget) {
-				// Exit 4: the resource budget ran out, as opposed to a property
-				// of the specification (1).  The diagnostic carries the
-				// attempt's partial progress.
-				fmt.Fprintln(stderr, "punt:", err)
-				return 4
+		var res *punt.Result
+		if *serverURL != "" {
+			req := server.Request{
+				Spec:          spec.Text(),
+				Engine:        *engineName,
+				Arch:          *archName,
+				Exact:         *exact,
+				MaxEvents:     *maxEvents,
+				MaxStates:     *maxStates,
+				ResolveCSC:    *resolveCSC,
+				MaxCSCSignals: *maxCSCSignals,
+				DeadlineMS:    deadline.Milliseconds(),
+				MemBudget:     *memBudget,
+				Fallback:      *fallback,
+				Verify:        *doVerify,
 			}
-			return fail(stderr, err)
+			var code int
+			res, code, err = remoteSynthesize(*serverURL, req)
+			if err != nil {
+				fmt.Fprintln(stderr, "punt:", err)
+				return code
+			}
+		} else {
+			res, err = synth.Synthesize(context.Background(), spec)
+			if err != nil {
+				if errors.Is(err, punt.ErrBudget) {
+					// Exit 4: the resource budget ran out, as opposed to a
+					// property of the specification (1).  The diagnostic
+					// carries the attempt's partial progress.
+					fmt.Fprintln(stderr, "punt:", err)
+					return 4
+				}
+				return fail(stderr, err)
+			}
 		}
 		if *stats {
 			fmt.Fprintf(stderr, "%s\n", &res.Stats)
@@ -172,7 +210,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		// already closed-loop-verified against the repaired specification
 		// inside Synthesize: skip the expensive re-verification of an
 		// identical implementation in both cases.
-		if *doVerify && !res.Stats.Cached && !res.Resolved() {
+		if *doVerify && *serverURL == "" && !res.Stats.Cached && !res.Resolved() {
 			rep, err := punt.Verify(context.Background(), res.Spec, res, punt.WithMaxStates(*maxStates))
 			if err != nil {
 				// Exit 3: the implementation failed (or could not complete)
@@ -191,6 +229,43 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// remoteSynthesize submits one specification to a puntd daemon and adapts
+// the response to the local command's contract: a 200 yields the decoded
+// Result, anything else yields the server-reported exit code — the same
+// code a local run of the failing configuration would have returned.
+func remoteSynthesize(baseURL string, req server.Request) (*punt.Result, int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, 1, err
+	}
+	url := strings.TrimRight(baseURL, "/") + "/v1/synthesize"
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 1, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 1, err
+	}
+	if resp.StatusCode == http.StatusOK {
+		res, err := punt.DecodeResult(bytes.TrimSpace(data))
+		if err != nil {
+			return nil, 1, fmt.Errorf("decoding server result: %w", err)
+		}
+		return res, 0, nil
+	}
+	var eb server.ErrorBody
+	if err := json.Unmarshal(data, &eb); err == nil && eb.ExitCode != 0 {
+		msg := eb.Error
+		if eb.RetryAfter > 0 {
+			msg = fmt.Sprintf("%s (retry after %ds)", msg, eb.RetryAfter)
+		}
+		return nil, eb.ExitCode, errors.New(msg)
+	}
+	return nil, 1, fmt.Errorf("server returned %s: %s", resp.Status, bytes.TrimSpace(data))
 }
 
 func usage(fs *flag.FlagSet, stderr io.Writer, err error) int {

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"punt"
+	"punt/server"
+)
+
+// syncBuffer is a concurrency-safe bytes.Buffer: run() writes log lines from
+// the daemon goroutine while the test polls them.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	var buf syncBuffer
+	if code := run([]string{"-no-such-flag"}, &buf); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"positional"}, &buf); code != 2 {
+		t.Errorf("positional argument: exit %d, want 2", code)
+	}
+}
+
+func TestBadStoreDir(t *testing.T) {
+	// A store path that is a regular file cannot become a directory.
+	f, err := os.CreateTemp(t.TempDir(), "not-a-dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var buf syncBuffer
+	if code := run([]string{"-store", f.Name()}, &buf); code != 1 {
+		t.Errorf("exit %d, want 1; log: %s", code, buf.String())
+	}
+}
+
+// TestLifecycle drives the daemon end to end in-process: start on an
+// ephemeral port with a persistent store, synthesize cold then warm, check
+// /v1/stats, then shut down gracefully with SIGINT and prove a restarted
+// daemon on the same store serves the result warm.
+func TestLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	listenRE := regexp.MustCompile(`listening on (http://[^\s]+)`)
+
+	start := func() (url string, done chan int, buf *syncBuffer) {
+		buf = &syncBuffer{}
+		done = make(chan int, 1)
+		go func() { done <- run([]string{"-addr", "127.0.0.1:0", "-store", dir}, buf) }()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if m := listenRE.FindStringSubmatch(buf.String()); m != nil {
+				return m[1], done, buf
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("daemon never announced its address; log: %s", buf.String())
+		return "", nil, nil
+	}
+	stop := func(url string, done chan int, buf *syncBuffer) {
+		if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Fatalf("daemon exited %d; log: %s", code, buf.String())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("daemon did not shut down on SIGINT; log: %s", buf.String())
+		}
+		if !strings.Contains(buf.String(), "drained") {
+			t.Errorf("no drain confirmation in log: %s", buf.String())
+		}
+	}
+	synthesize := func(url string) *punt.Result {
+		body, _ := json.Marshal(server.Request{Spec: punt.Fig1().Text()})
+		resp, err := http.Post(url+"/v1/synthesize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var raw bytes.Buffer
+		if _, err := raw.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, raw.String())
+		}
+		res, err := punt.DecodeResult(bytes.TrimSpace(raw.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	url, done, buf := start()
+	cold := synthesize(url)
+	if cold.Stats.Cached {
+		t.Error("first synthesis reported cached")
+	}
+	warm := synthesize(url)
+	if !warm.Stats.Cached {
+		t.Error("repeat request not served from the cache")
+	}
+
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st server.Stats
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 2 || st.WarmHits != 1 {
+		t.Errorf("stats = %+v, want 2 requests / 1 warm hit", st)
+	}
+	if st.Cache == nil || st.Cache.Tier != "tiered" {
+		t.Errorf("stats carry no tiered cache breakdown: %+v", st.Cache)
+	}
+	stop(url, done, buf)
+
+	// Restart on the same store: the result must survive as a warm hit.
+	url2, done2, buf2 := start()
+	revived := synthesize(url2)
+	if !revived.Stats.Cached {
+		t.Error("result did not survive the daemon restart as a warm hit")
+	}
+	if revived.Eqn() != cold.Eqn() {
+		t.Error("restarted daemon serves a different implementation")
+	}
+	stop(url2, done2, buf2)
+}

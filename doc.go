@@ -46,7 +46,19 @@
 // by Spec.Hash crossed with the canonicalised engine configuration, so
 // repeated synthesis of identical specifications — the hot path of a
 // high-traffic service and of Batch/Differential sweeps — is a sharded-LRU
-// lookup instead of a re-run (hits are marked Stats.Cached).
+// lookup instead of a re-run (hits are marked Stats.Cached).  The cache
+// composes into a persistent tier: NewDiskCache is a content-addressed
+// on-disk store of EncodeResult documents (atomic write-then-rename,
+// checksummed, a corrupt entry degrades to a miss and is evicted), and
+// NewTiered stacks an in-memory LRU over it with promotion on hit, so warm
+// results survive process restarts and are shared by every process pointed
+// at the same directory.  CacheKey and Cached expose the key derivation and
+// the hit path to outer layers, and Stats() on each tier reports
+// hit/miss/eviction/corruption counters (CacheStats).  The punt/server
+// package and the puntd command serve this whole facade over HTTP —
+// synthesis-as-a-service with admission control, single-flight deduplication
+// of identical concurrent requests, streamed progress and the persistent
+// store as its backing cache.
 //
 // The facade is also governed: WithDeadline and WithMemoryBudget bound every
 // synthesis attempt with a watchdog (wall clock and sampled heap growth), and

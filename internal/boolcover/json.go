@@ -1,0 +1,54 @@
+package boolcover
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// coverJSON is the wire shape of a Cover: the variable count plus one
+// positional-ternary string per cube ("10-").  The explicit variable count
+// keeps empty covers (the constant-0 function) round-trippable — their width
+// cannot be recovered from the cube list.
+type coverJSON struct {
+	Vars  int      `json:"vars"`
+	Cubes []string `json:"cubes,omitempty"`
+}
+
+// MarshalJSON renders the cover in the shared wire format of the synthesis
+// result serializer (the HTTP API and the on-disk result store use the same
+// bytes).
+func (c *Cover) MarshalJSON() ([]byte, error) {
+	w := coverJSON{Vars: c.n}
+	if len(c.cubes) > 0 {
+		w.Cubes = make([]string, len(c.cubes))
+		for i, cb := range c.cubes {
+			w.Cubes[i] = cb.String()
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON parses the wire format back into a cover, validating that
+// every cube matches the declared variable count.
+func (c *Cover) UnmarshalJSON(data []byte) error {
+	var w coverJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.Vars < 0 {
+		return fmt.Errorf("boolcover: negative variable count %d", w.Vars)
+	}
+	cubes := make([]Cube, 0, len(w.Cubes))
+	for _, s := range w.Cubes {
+		cb, err := CubeFromString(s)
+		if err != nil {
+			return err
+		}
+		if cb.Len() != w.Vars {
+			return fmt.Errorf("boolcover: cube %q has %d variables, cover declares %d", s, cb.Len(), w.Vars)
+		}
+		cubes = append(cubes, cb)
+	}
+	*c = Cover{n: w.Vars, cubes: cubes}
+	return nil
+}

@@ -1,0 +1,59 @@
+package boolcover
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCoverJSONRoundTrip(t *testing.T) {
+	c := NewCover(3)
+	for _, s := range []string{"10-", "-01"} {
+		cb, err := CubeFromString(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Add(cb)
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Cover
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Vars() != 3 || back.String() != c.String() {
+		t.Fatalf("round trip changed the cover: %s -> %s", c, &back)
+	}
+}
+
+func TestCoverJSONEmptyKeepsWidth(t *testing.T) {
+	// The constant-0 function: no cubes, but the variable count must survive
+	// the round trip (it cannot be recovered from an empty cube list).
+	data, err := json.Marshal(NewCover(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Cover
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Vars() != 5 || len(back.Cubes()) != 0 {
+		t.Fatalf("empty cover round trip: vars=%d cubes=%d", back.Vars(), len(back.Cubes()))
+	}
+}
+
+func TestCoverJSONRejectsDamage(t *testing.T) {
+	for _, bad := range []string{
+		`{"vars":-1}`,                // negative width
+		`{"vars":3,"cubes":["10"]}`,  // cube narrower than declared
+		`{"vars":3,"cubes":["1x-"]}`, // invalid ternary digit
+		`{"vars":3,"cubes":[4]}`,     // wrong cube type
+		`"not an object"`,            // wrong document shape
+	} {
+		var c Cover
+		if err := json.Unmarshal([]byte(bad), &c); err == nil {
+			t.Errorf("%s was accepted", bad)
+		}
+	}
+}

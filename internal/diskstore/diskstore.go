@@ -1,0 +1,265 @@
+// Package diskstore is a content-addressed, corruption-tolerant on-disk blob
+// store: the persistence layer under the punt result cache and the puntd
+// synthesis daemon.
+//
+// Keys are opaque strings (the facade's cache keys: spec hash × canonical
+// configuration); each key maps to one file whose name is the SHA-256 of the
+// key, sharded into 256 two-hex-digit subdirectories so even millions of
+// entries keep directory listings cheap.  Every write goes to a temporary
+// file in the same directory followed by an atomic rename, so concurrent
+// readers — including other processes sharing the directory, the N-replica
+// deployment the store exists for — never observe a half-written entry.
+//
+// The file format is versioned and checksummed:
+//
+//	puntstore <version> <sha256-of-body-hex> <body-length>\n
+//	<body bytes>
+//
+// Reads verify all four header fields and the checksum; any mismatch — a
+// torn file from a crashed writer, bit rot, a foreign file, a future format
+// — is reported as a miss with the Corrupt counter bumped, never as an
+// error.  The store is an accelerator: losing an entry costs a re-synthesis,
+// trusting a damaged one would cost correctness.
+package diskstore
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+
+	"punt/internal/faultinject"
+)
+
+// FormatVersion is the on-disk envelope version this package writes and
+// accepts.  (The body carries its own format version managed by the result
+// serializer; this one only covers the envelope.)
+const FormatVersion = 1
+
+// magic is the first header token of every entry file.
+const magic = "puntstore"
+
+// Stats is a point-in-time snapshot of the store's effectiveness counters.
+type Stats struct {
+	// Hits and Misses count Get outcomes; Corrupt counts the subset of
+	// misses caused by an entry that existed but failed validation (and was
+	// deleted).
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Corrupt int64 `json:"corrupt"`
+	// Puts counts successful stores, PutErrors failed ones (the entry is
+	// simply not persisted; the store never fails a request).
+	Puts      int64 `json:"puts"`
+	PutErrors int64 `json:"put_errors"`
+	// Entries is the number of entry files currently on disk (scanned at
+	// Open, maintained incrementally afterwards; other replicas' writes
+	// appear after their next Open or are approximated).
+	Entries int64 `json:"entries"`
+}
+
+// Store is a content-addressed blob store rooted at one directory.  It is
+// safe for concurrent use by multiple goroutines and — thanks to atomic
+// renames — by multiple processes sharing the directory.
+type Store struct {
+	dir string
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	corrupt   atomic.Int64
+	puts      atomic.Int64
+	putErrors atomic.Int64
+	entries   atomic.Int64
+}
+
+// Open prepares a store rooted at dir, creating the directory when missing
+// and counting the entries already present (the warm state a restarted
+// daemon inherits).
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("diskstore: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	s := &Store{dir: dir}
+	// Count existing entries: one level of shard directories, entry files
+	// below.  Foreign files are ignored here and rejected by the header
+	// check on read.
+	shards, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	var n int64
+	for _, sh := range shards {
+		if !sh.IsDir() || len(sh.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(dir, sh.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if f.Type().IsRegular() {
+				n++
+			}
+		}
+	}
+	s.entries.Store(n)
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a key to its entry file: <dir>/<h[0:2]>/<h>, h = SHA-256(key).
+func (s *Store) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	h := hex.EncodeToString(sum[:])
+	return filepath.Join(s.dir, h[:2], h)
+}
+
+// Get returns the blob stored under key.  Every failure mode — absent
+// entry, unreadable file, header or checksum mismatch — is a miss; corrupt
+// entries are additionally counted and deleted so they are re-warmed instead
+// of being re-validated on every request.  The context carries the
+// fault-injection schedule in tests.
+func (s *Store) Get(ctx context.Context, key string) ([]byte, bool) {
+	if faultinject.Check(ctx, faultinject.OpDiskGet) != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	path := s.path(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	body, ok := decodeEntry(raw)
+	if !ok || faultinject.Corrupt(ctx, faultinject.OpDiskGet) {
+		// A corrupted entry is evidence, not an error: count it, drop the
+		// file, report a miss.  The next synthesis re-warms the slot.
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		if os.Remove(path) == nil {
+			s.entries.Add(-1)
+		}
+		return nil, false
+	}
+	s.hits.Add(1)
+	return body, true
+}
+
+// Put stores blob under key with an atomic write-then-rename.  Failures are
+// counted and swallowed: a store that cannot persist degrades to a smaller
+// cache, never to a failing request.  It reports whether the entry was
+// persisted.
+func (s *Store) Put(ctx context.Context, key string, blob []byte) bool {
+	if faultinject.Check(ctx, faultinject.OpDiskPut) != nil {
+		s.putErrors.Add(1)
+		return false
+	}
+	payload := blob
+	if faultinject.Corrupt(ctx, faultinject.OpDiskPut) {
+		// Simulated bit rot: flip a byte of the body so the checksum written
+		// below no longer matches it — exactly the damage Get must detect.
+		payload = append([]byte(nil), blob...)
+		if len(payload) > 0 {
+			payload[len(payload)/2] ^= 0xff
+		}
+	}
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		s.putErrors.Add(1)
+		return false
+	}
+	sum := sha256.Sum256(blob)
+	header := fmt.Sprintf("%s %d %s %d\n", magic, FormatVersion, hex.EncodeToString(sum[:]), len(payload))
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		s.putErrors.Add(1)
+		return false
+	}
+	_, werr := tmp.WriteString(header)
+	if werr == nil {
+		_, werr = tmp.Write(payload)
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		s.putErrors.Add(1)
+		return false
+	}
+	fresh := !s.exists(path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		s.putErrors.Add(1)
+		return false
+	}
+	s.puts.Add(1)
+	if fresh {
+		s.entries.Add(1)
+	}
+	return true
+}
+
+// Delete removes the entry stored under key, if any.
+func (s *Store) Delete(key string) {
+	if os.Remove(s.path(key)) == nil {
+		s.entries.Add(-1)
+	}
+}
+
+func (s *Store) exists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Corrupt:   s.corrupt.Load(),
+		Puts:      s.puts.Load(),
+		PutErrors: s.putErrors.Load(),
+		Entries:   s.entries.Load(),
+	}
+}
+
+// decodeEntry validates an entry file and returns its body.  The header
+// must parse exactly and the body must match the recorded length and
+// checksum; anything else is corruption.
+func decodeEntry(raw []byte) ([]byte, bool) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, false
+	}
+	fields := bytes.Fields(raw[:nl])
+	if len(fields) != 4 || string(fields[0]) != magic {
+		return nil, false
+	}
+	version, err := strconv.Atoi(string(fields[1]))
+	if err != nil || version != FormatVersion {
+		return nil, false
+	}
+	length, err := strconv.Atoi(string(fields[3]))
+	if err != nil || length < 0 {
+		return nil, false
+	}
+	body := raw[nl+1:]
+	if len(body) != length {
+		return nil, false
+	}
+	sum := sha256.Sum256(body)
+	if hex.EncodeToString(sum[:]) != string(fields[2]) {
+		return nil, false
+	}
+	return body, true
+}

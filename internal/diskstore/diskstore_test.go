@@ -1,0 +1,210 @@
+package diskstore
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"punt/internal/faultinject"
+)
+
+func ctx() context.Context { return context.Background() }
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte(`{"hello":"world"}`)
+	if !s.Put(ctx(), "key-1", blob) {
+		t.Fatal("put failed")
+	}
+	got, ok := s.Get(ctx(), "key-1")
+	if !ok || string(got) != string(blob) {
+		t.Fatalf("get = %q, %v; want %q, true", got, ok, blob)
+	}
+	if _, ok := s.Get(ctx(), "key-2"); ok {
+		t.Fatal("absent key hit")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDirAndDelete(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dir() != dir {
+		t.Fatalf("Dir() = %q, want %q", s.Dir(), dir)
+	}
+	s.Put(ctx(), "key-1", []byte("payload"))
+	s.Delete("key-1")
+	if _, ok := s.Get(ctx(), "key-1"); ok {
+		t.Fatal("deleted entry still served")
+	}
+	if got := s.Stats().Entries; got != 0 {
+		t.Fatalf("entries = %d after delete, want 0", got)
+	}
+	s.Delete("never-existed") // must be a no-op, not a panic or a counter glitch
+	if got := s.Stats().Entries; got != 0 {
+		t.Fatalf("entries = %d after deleting an absent key", got)
+	}
+}
+
+func TestReopenSeesEntries(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	for i := 0; i < 5; i++ {
+		s.Put(ctx(), fmt.Sprintf("key-%d", i), []byte("payload"))
+	}
+	again, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := again.Stats().Entries; got != 5 {
+		t.Fatalf("reopened store counts %d entries, want 5", got)
+	}
+	if _, ok := again.Get(ctx(), "key-3"); !ok {
+		t.Fatal("entry lost across reopen")
+	}
+}
+
+// entryFiles returns the paths of all entry files in the store directory.
+func entryFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.Type().IsRegular() {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCorruptionIsAMiss(t *testing.T) {
+	for name, damage := range map[string]func([]byte) []byte{
+		"flipped body byte": func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b },
+		"truncated":         func(b []byte) []byte { return b[:len(b)/2] },
+		"wrong magic":       func(b []byte) []byte { copy(b, "BADSTORE!"); return b },
+		"future version":    func(b []byte) []byte { return append([]byte("puntstore 99"), b[11:]...) },
+		"empty file":        func(b []byte) []byte { return nil },
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, _ := Open(dir)
+			s.Put(ctx(), "key", []byte("precious payload"))
+			files := entryFiles(t, dir)
+			if len(files) != 1 {
+				t.Fatalf("expected one entry file, found %v", files)
+			}
+			raw, err := os.ReadFile(files[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(files[0], damage(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Get(ctx(), "key"); ok {
+				t.Fatal("corrupted entry served as a hit")
+			}
+			st := s.Stats()
+			if st.Corrupt != 1 {
+				t.Fatalf("corrupt counter = %d, want 1 (stats %+v)", st.Corrupt, st)
+			}
+			// The damaged file is dropped: the slot re-warms on the next Put.
+			if remaining := entryFiles(t, dir); len(remaining) != 0 {
+				t.Fatalf("corrupted entry not deleted: %v", remaining)
+			}
+		})
+	}
+}
+
+func TestInjectedFaults(t *testing.T) {
+	t.Run("get fault is a miss", func(t *testing.T) {
+		s, _ := Open(t.TempDir())
+		s.Put(ctx(), "key", []byte("payload"))
+		inj := faultinject.New(faultinject.Rule{Op: faultinject.OpDiskGet, Act: faultinject.ActCancel})
+		fctx := faultinject.With(context.Background(), inj)
+		if _, ok := s.Get(fctx, "key"); ok {
+			t.Fatal("faulted get served a hit")
+		}
+		if _, ok := s.Get(fctx, "key"); !ok {
+			t.Fatal("rule fired more than once")
+		}
+	})
+	t.Run("put fault skips the store", func(t *testing.T) {
+		s, _ := Open(t.TempDir())
+		inj := faultinject.New(faultinject.Rule{Op: faultinject.OpDiskPut, Act: faultinject.ActCancel})
+		fctx := faultinject.With(context.Background(), inj)
+		if s.Put(fctx, "key", []byte("payload")) {
+			t.Fatal("faulted put claimed success")
+		}
+		if _, ok := s.Get(ctx(), "key"); ok {
+			t.Fatal("faulted put persisted anyway")
+		}
+		if s.Stats().PutErrors != 1 {
+			t.Fatalf("put errors = %d, want 1", s.Stats().PutErrors)
+		}
+	})
+	t.Run("corrupt put is detected by get", func(t *testing.T) {
+		s, _ := Open(t.TempDir())
+		inj := faultinject.New(faultinject.Rule{Op: faultinject.OpDiskPut, Act: faultinject.ActCorrupt})
+		fctx := faultinject.With(context.Background(), inj)
+		if !s.Put(fctx, "key", []byte("a payload long enough to damage")) {
+			t.Fatal("corrupt put should still write")
+		}
+		if _, ok := s.Get(ctx(), "key"); ok {
+			t.Fatal("damaged entry served as a hit")
+		}
+		if s.Stats().Corrupt != 1 {
+			t.Fatalf("corrupt counter = %d, want 1", s.Stats().Corrupt)
+		}
+	})
+}
+
+func TestConcurrentSharedDir(t *testing.T) {
+	// Two Store instances on one directory stand in for two puntd replicas
+	// behind a load balancer: entries written by one are served by the other,
+	// and concurrent mixed traffic stays consistent (atomic rename means a
+	// reader sees either the whole entry or none of it).
+	dir := t.TempDir()
+	a, _ := Open(dir)
+	b, _ := Open(dir)
+	a.Put(ctx(), "shared", []byte("written by a"))
+	if got, ok := b.Get(ctx(), "shared"); !ok || string(got) != "written by a" {
+		t.Fatalf("replica b missed replica a's entry: %q, %v", got, ok)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			store := a
+			if w%2 == 1 {
+				store = b
+			}
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("key-%d", i%10)
+				store.Put(ctx(), key, []byte(key+" payload"))
+				if got, ok := store.Get(ctx(), key); ok && string(got) != key+" payload" {
+					t.Errorf("torn read: %q for %s", got, key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -103,7 +103,8 @@ func TestJSONReportRoundTrip(t *testing.T) {
 	points := RunFigure6(context.Background(), Figure6Options{Signals: []int{5}, SkipBaselines: true})
 	facade := []FacadePoint{{Spec: "fig1", Runs: 3, Parse: time.Millisecond, Synth: 2 * time.Millisecond, Total: 3 * time.Millisecond, Literals: 5, Events: 8}}
 	cache := []CachePoint{{Spec: "fig1", Runs: 3, Cold: 4 * time.Millisecond, Warm: 2 * time.Microsecond, Speedup: 2000, Literals: 2}}
-	report := NewReport(rows, points, facade, cache, time.Unix(0, 0))
+	disk := []CachePoint{{Spec: "fig1", Runs: 3, Cold: 4 * time.Millisecond, Warm: 80 * time.Microsecond, Speedup: 50, Literals: 2}}
+	report := NewReport(rows, points, facade, cache, disk, time.Unix(0, 0))
 
 	if len(report.Table1) != len(rows) || len(report.Figure6) != len(points) {
 		t.Fatalf("report sizes: table1=%d figure6=%d", len(report.Table1), len(report.Figure6))
@@ -113,6 +114,9 @@ func TestJSONReportRoundTrip(t *testing.T) {
 	}
 	if len(report.Cache) != 1 || report.Cache[0].ColdSeconds != 0.004 || report.Cache[0].Speedup != 2000 {
 		t.Fatalf("cache point not carried into the report: %+v", report.Cache)
+	}
+	if len(report.DiskCache) != 1 || report.DiskCache[0].WarmSeconds != 0.00008 {
+		t.Fatalf("disk-cache point not carried into the report: %+v", report.DiskCache)
 	}
 	if report.Table1[0].Conditions != rows[0].Conditions {
 		t.Fatal("table1 conditions column not carried into the report")

@@ -77,10 +77,14 @@ type Report struct {
 	Figure6     []JSONFigure6Point `json:"figure6,omitempty"`
 	Facade      []JSONFacadePoint  `json:"facade,omitempty"`
 	Cache       []JSONCachePoint   `json:"cache,omitempty"`
+	// DiskCache holds the persistent-store measurements: Warm is a hit served
+	// by the on-disk tier through fresh in-memory tiers, i.e. the cost of a
+	// warm request after a daemon restart.
+	DiskCache []JSONCachePoint `json:"disk_cache,omitempty"`
 }
 
 // NewReport converts measured rows and points into the JSON report shape.
-func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, cache []CachePoint, now time.Time) Report {
+func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, cache, disk []CachePoint, now time.Time) Report {
 	r := Report{GeneratedAt: now.UTC().Format(time.RFC3339)}
 	for _, p := range facade {
 		r.Facade = append(r.Facade, JSONFacadePoint{
@@ -93,16 +97,8 @@ func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, ca
 			Events:       p.Events,
 		})
 	}
-	for _, p := range cache {
-		r.Cache = append(r.Cache, JSONCachePoint{
-			Spec:        p.Spec,
-			Runs:        p.Runs,
-			ColdSeconds: p.Cold.Seconds(),
-			WarmSeconds: p.Warm.Seconds(),
-			Speedup:     p.Speedup,
-			Literals:    p.Literals,
-		})
-	}
+	r.Cache = jsonCachePoints(cache)
+	r.DiskCache = jsonCachePoints(disk)
 	for _, row := range rows {
 		r.Table1 = append(r.Table1, JSONTable1Row{
 			Name:           row.Name,
@@ -129,6 +125,21 @@ func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, ca
 		})
 	}
 	return r
+}
+
+func jsonCachePoints(points []CachePoint) []JSONCachePoint {
+	var out []JSONCachePoint
+	for _, p := range points {
+		out = append(out, JSONCachePoint{
+			Spec:        p.Spec,
+			Runs:        p.Runs,
+			ColdSeconds: p.Cold.Seconds(),
+			WarmSeconds: p.Warm.Seconds(),
+			Speedup:     p.Speedup,
+			Literals:    p.Literals,
+		})
+	}
+	return out
 }
 
 // WriteJSON writes the report, indented, to w.

@@ -44,6 +44,16 @@ const (
 	// failing the request.
 	OpCacheGet = "cache.get"
 	OpCachePut = "cache.put"
+	// OpDiskGet / OpDiskPut: the persistent result store's file accesses.  A
+	// cancel fault degrades to a miss (or a skipped store); a corrupt fault
+	// on put writes a deliberately damaged entry, which later reads must
+	// detect and treat as a miss.
+	OpDiskGet = "diskstore.get"
+	OpDiskPut = "diskstore.put"
+	// OpSingleFlight: the server's in-flight request deduplication.  A fault
+	// here makes the request bypass deduplication and synthesize solo —
+	// dedup is an optimisation, never a point of failure.
+	OpSingleFlight = "server.singleflight"
 )
 
 // EngineOps are the checkpoints inside backend synthesis runs, where an
@@ -53,7 +63,7 @@ var EngineOps = []string{OpUnfoldPop, OpStategraphExpand, OpExplicitCovers, OpSy
 
 // FacadeOps are the checkpoints in facade code outside the backends, where a
 // panic would be a real bug: Schedule assigns only non-panicking actions.
-var FacadeOps = []string{OpFacadeSynthesize, OpCacheGet, OpCachePut}
+var FacadeOps = []string{OpFacadeSynthesize, OpCacheGet, OpCachePut, OpDiskGet, OpDiskPut, OpSingleFlight}
 
 // AllOps lists every checkpoint, for schedule generation.
 var AllOps = append(append([]string{}, EngineOps...), FacadeOps...)

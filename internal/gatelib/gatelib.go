@@ -46,14 +46,15 @@ func (a Architecture) String() string {
 
 // Gate is the implementation of a single output or internal signal.
 type Gate struct {
-	Signal string
-	Arch   Architecture
+	Signal string       `json:"signal"`
+	Arch   Architecture `json:"arch"`
 
 	// Cover is the next-state (on-set) cover for ComplexGate implementations.
-	Cover *boolcover.Cover
+	Cover *boolcover.Cover `json:"cover,omitempty"`
 	// Set and Reset are the excitation function covers for StandardC and
 	// RSLatch implementations.
-	Set, Reset *boolcover.Cover
+	Set   *boolcover.Cover `json:"set,omitempty"`
+	Reset *boolcover.Cover `json:"reset,omitempty"`
 }
 
 // Literals reports the number of literals of the gate, counting both the set
@@ -79,11 +80,11 @@ func (g Gate) Literals() int {
 
 // Implementation is a complete circuit: one gate per implemented signal.
 type Implementation struct {
-	Name string
+	Name string `json:"name"`
 	// SignalNames is the variable order of every cover in the implementation
 	// (all signals of the STG, inputs included).
-	SignalNames []string
-	Gates       []Gate
+	SignalNames []string `json:"signals"`
+	Gates       []Gate   `json:"gates"`
 }
 
 // Literals reports the total literal count of the circuit (the paper's

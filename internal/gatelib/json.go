@@ -1,0 +1,99 @@
+package gatelib
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"punt/internal/boolcover"
+)
+
+// ParseArchitecture resolves an architecture's String() name; it is the
+// inverse of Architecture.String for the three declared values.
+func ParseArchitecture(name string) (Architecture, error) {
+	switch name {
+	case "complex-gate":
+		return ComplexGate, nil
+	case "standard-c":
+		return StandardC, nil
+	case "rs-latch":
+		return RSLatch, nil
+	default:
+		return ComplexGate, fmt.Errorf("gatelib: unknown architecture %q", name)
+	}
+}
+
+// MarshalJSON renders the architecture by name, so the wire format stays
+// readable and stable even if the internal constant order ever changes.
+func (a Architecture) MarshalJSON() ([]byte, error) {
+	switch a {
+	case ComplexGate, StandardC, RSLatch:
+		return json.Marshal(a.String())
+	default:
+		return nil, fmt.Errorf("gatelib: cannot marshal unknown architecture %d", int(a))
+	}
+}
+
+// UnmarshalJSON parses the architecture name written by MarshalJSON.
+func (a *Architecture) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	parsed, err := ParseArchitecture(name)
+	if err != nil {
+		return err
+	}
+	*a = parsed
+	return nil
+}
+
+// Validate checks the structural invariants a deserialized implementation
+// must satisfy before it can be trusted by callers: every gate names a
+// declared signal, carries the covers its architecture requires, and every
+// cover is as wide as the signal list.  It is the integrity gate of the
+// result store — a corrupted or truncated entry fails here and is treated as
+// a cache miss instead of escaping to a caller.
+func (im *Implementation) Validate() error {
+	if im == nil {
+		return fmt.Errorf("gatelib: nil implementation")
+	}
+	if len(im.Gates) == 0 {
+		return fmt.Errorf("gatelib: implementation %q has no gates", im.Name)
+	}
+	declared := make(map[string]bool, len(im.SignalNames))
+	for _, s := range im.SignalNames {
+		declared[s] = true
+	}
+	n := len(im.SignalNames)
+	checkCover := func(signal, role string, c *boolcover.Cover) error {
+		if c == nil {
+			return fmt.Errorf("gatelib: gate %s has no %s cover", signal, role)
+		}
+		if c.Vars() != n {
+			return fmt.Errorf("gatelib: gate %s %s cover has %d variables, implementation declares %d",
+				signal, role, c.Vars(), n)
+		}
+		return nil
+	}
+	for _, g := range im.Gates {
+		if !declared[g.Signal] {
+			return fmt.Errorf("gatelib: gate %q implements an undeclared signal", g.Signal)
+		}
+		switch g.Arch {
+		case ComplexGate:
+			if err := checkCover(g.Signal, "on-set", g.Cover); err != nil {
+				return err
+			}
+		case StandardC, RSLatch:
+			if err := checkCover(g.Signal, "set", g.Set); err != nil {
+				return err
+			}
+			if err := checkCover(g.Signal, "reset", g.Reset); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("gatelib: gate %q has unknown architecture %d", g.Signal, int(g.Arch))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package gatelib
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"punt/internal/boolcover"
+)
+
+func TestParseArchitectureRoundTrip(t *testing.T) {
+	for _, a := range []Architecture{ComplexGate, StandardC, RSLatch} {
+		parsed, err := ParseArchitecture(a.String())
+		if err != nil || parsed != a {
+			t.Errorf("ParseArchitecture(%q) = %v, %v", a, parsed, err)
+		}
+	}
+	if _, err := ParseArchitecture("nand-forest"); err == nil {
+		t.Error("unknown architecture name was accepted")
+	}
+}
+
+func TestArchitectureJSON(t *testing.T) {
+	for _, a := range []Architecture{ComplexGate, StandardC, RSLatch} {
+		data, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Architecture
+		if err := json.Unmarshal(data, &back); err != nil || back != a {
+			t.Errorf("round trip of %v: got %v, %v", a, back, err)
+		}
+	}
+	if _, err := json.Marshal(Architecture(99)); err == nil {
+		t.Error("unknown architecture value marshalled")
+	}
+	var a Architecture
+	if err := json.Unmarshal([]byte(`"warp-drive"`), &a); err == nil {
+		t.Error("unknown architecture name unmarshalled")
+	}
+	if err := json.Unmarshal([]byte(`7`), &a); err == nil {
+		t.Error("non-string architecture unmarshalled")
+	}
+}
+
+func coverN(t *testing.T, n int, cubes ...string) *boolcover.Cover {
+	t.Helper()
+	c := boolcover.NewCover(n)
+	for _, s := range cubes {
+		cb, err := boolcover.CubeFromString(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Add(cb)
+	}
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	good := &Implementation{
+		Name:        "v",
+		SignalNames: []string{"a", "b"},
+		Gates: []Gate{
+			{Signal: "b", Arch: ComplexGate, Cover: coverN(t, 2, "1-")},
+			{Signal: "a", Arch: StandardC, Set: coverN(t, 2, "-1"), Reset: coverN(t, 2, "0-")},
+		},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid implementation rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		im   *Implementation
+		want string
+	}{
+		{"nil", nil, "nil implementation"},
+		{"no gates", &Implementation{Name: "v", SignalNames: []string{"a"}}, "no gates"},
+		{"undeclared signal", &Implementation{SignalNames: []string{"a"},
+			Gates: []Gate{{Signal: "z", Arch: ComplexGate, Cover: coverN(t, 1, "1")}}}, "undeclared"},
+		{"missing on-set", &Implementation{SignalNames: []string{"a"},
+			Gates: []Gate{{Signal: "a", Arch: ComplexGate}}}, "no on-set cover"},
+		{"missing reset", &Implementation{SignalNames: []string{"a"},
+			Gates: []Gate{{Signal: "a", Arch: RSLatch, Set: coverN(t, 1, "1")}}}, "no reset cover"},
+		{"wrong width", &Implementation{SignalNames: []string{"a", "b"},
+			Gates: []Gate{{Signal: "a", Arch: ComplexGate, Cover: coverN(t, 1, "1")}}}, "declares 2"},
+		{"unknown arch", &Implementation{SignalNames: []string{"a"},
+			Gates: []Gate{{Signal: "a", Arch: Architecture(99)}}}, "unknown architecture"},
+	}
+	for _, tc := range cases {
+		err := tc.im.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package punt
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"punt/gates"
+)
+
+// TestResultJSONRoundTrip proves the exported serializer round-trips a real
+// synthesis result: marshal → unmarshal → marshal yields byte-identical
+// documents (the stability the disk store and the HTTP API both rely on),
+// and the decoded result is semantically equal to the original.
+func TestResultJSONRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{name: "unfolding"},
+		{name: "explicit", opts: []Option{WithEngine(Explicit)}},
+		{name: "standard-c", opts: []Option{WithArch(gates.StandardC)}},
+		{name: "resolved", opts: []Option{WithResolveCSC(0)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := Fig1()
+			if tc.name == "resolved" {
+				var err error
+				spec, err = LoadFile("testdata/csc.g")
+				if err != nil {
+					t.Fatalf("load csc.g: %v", err)
+				}
+			}
+			res, err := New(tc.opts...).Synthesize(context.Background(), spec)
+			if err != nil {
+				t.Fatalf("synthesize: %v", err)
+			}
+			blob, err := EncodeResult(res)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			back, err := DecodeResult(blob)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if got, want := back.Eqn(), res.Eqn(); got != want {
+				t.Errorf("equations changed across the wire:\n got %q\nwant %q", got, want)
+			}
+			if got, want := back.Spec.Hash(), res.Spec.Hash(); got != want {
+				t.Errorf("spec hash changed: got %s want %s", got, want)
+			}
+			if got, want := back.Stats.Engine, res.Stats.Engine; got != want {
+				t.Errorf("engine changed: got %v want %v", got, want)
+			}
+			if back.Resolved() != res.Resolved() {
+				t.Errorf("Resolved() changed: got %v want %v", back.Resolved(), res.Resolved())
+			}
+			again, err := EncodeResult(back)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(blob, again) {
+				t.Errorf("marshal → unmarshal → marshal is not byte-stable:\n first %s\nsecond %s", blob, again)
+			}
+		})
+	}
+}
+
+// TestResultJSONRejectsCorruption exercises the decode-side validation: a
+// tampered document must fail, never yield a half-usable Result.
+func TestResultJSONRejectsCorruption(t *testing.T) {
+	res, err := New().Synthesize(context.Background(), Fig1())
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	blob, err := EncodeResult(res)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := DecodeResult(blob[:len(blob)/2]); err == nil {
+			t.Fatal("truncated document decoded")
+		}
+	})
+	t.Run("wrong version", func(t *testing.T) {
+		bad := bytes.Replace(blob, []byte(`"format":1`), []byte(`"format":99`), 1)
+		if _, err := DecodeResult(bad); err == nil || !strings.Contains(err.Error(), "format") {
+			t.Fatalf("wrong-version document decoded: %v", err)
+		}
+	})
+	t.Run("hash mismatch", func(t *testing.T) {
+		var raw map[string]json.RawMessage
+		if err := json.Unmarshal(blob, &raw); err != nil {
+			t.Fatal(err)
+		}
+		raw["spec_hash"] = json.RawMessage(`"` + strings.Repeat("ab", 32) + `"`)
+		bad, _ := json.Marshal(raw)
+		if _, err := DecodeResult(bad); err == nil || !strings.Contains(err.Error(), "hash mismatch") {
+			t.Fatalf("hash-tampered document decoded: %v", err)
+		}
+	})
+	t.Run("no implementation", func(t *testing.T) {
+		var raw map[string]json.RawMessage
+		if err := json.Unmarshal(blob, &raw); err != nil {
+			t.Fatal(err)
+		}
+		delete(raw, "impl")
+		bad, _ := json.Marshal(raw)
+		if _, err := DecodeResult(bad); err == nil {
+			t.Fatal("implementation-less document decoded")
+		}
+	})
+	t.Run("mangled cover", func(t *testing.T) {
+		bad := bytes.Replace(blob, []byte(`"cubes":["`), []byte(`"cubes":["x`), 1)
+		if _, err := DecodeResult(bad); err == nil {
+			t.Fatal("cover-mangled document decoded")
+		}
+	})
+}
+
+// TestDiagnosticJSONRoundTrip proves structured errors survive the wire with
+// their classification intact: a decoded diagnostic still matches the
+// unified sentinels through errors.Is.
+func TestDiagnosticJSONRoundTrip(t *testing.T) {
+	d := &Diagnostic{
+		Op:     "synthesize",
+		Spec:   "csc-example",
+		Kind:   KindCSC,
+		Signal: "out1",
+		Trace:  []string{"state 0101", "state 0101'"},
+		Attempts: []Attempt{
+			{Backend: "unfolding", Outcome: "CSC conflict", Elapsed: 12 * time.Millisecond},
+		},
+		Err: errors.New("boom"),
+	}
+	blob, err := json.Marshal(d)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	back := new(Diagnostic)
+	if err := json.Unmarshal(blob, back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !errors.Is(back, ErrCSC) {
+		t.Error("decoded diagnostic no longer matches ErrCSC")
+	}
+	if back.Signal != d.Signal || back.Op != d.Op || len(back.Attempts) != 1 {
+		t.Errorf("structure lost: %+v", back)
+	}
+	if !strings.Contains(back.Error(), "boom") {
+		t.Errorf("underlying message lost: %q", back.Error())
+	}
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if !bytes.Equal(blob, again) {
+		t.Errorf("diagnostic marshal is not byte-stable:\n first %s\nsecond %s", blob, again)
+	}
+}
+
+// TestContenderJSONRoundTrip covers the portfolio breakdown, whose error
+// field needs explicit wire handling.
+func TestContenderJSONRoundTrip(t *testing.T) {
+	cs := []Contender{
+		{Engine: "unfolding", Winner: true, Started: true, Elapsed: time.Millisecond},
+		{Engine: "explicit", Started: true, Elapsed: 2 * time.Millisecond, Err: errors.New("canceled")},
+		{Engine: "symbolic"},
+	}
+	blob, err := json.Marshal(cs)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back []Contender
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back[1].Err == nil || back[1].Err.Error() != "canceled" {
+		t.Errorf("contender error lost: %+v", back[1])
+	}
+	again, _ := json.Marshal(back)
+	if !bytes.Equal(blob, again) {
+		t.Errorf("contender marshal is not byte-stable")
+	}
+}

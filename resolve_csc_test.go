@@ -161,7 +161,7 @@ func TestResolveCSCCacheKey(t *testing.T) {
 	if st.Entries != 2 {
 		t.Errorf("cache entries = %d, want 2 (one per resolver bound)", st.Entries)
 	}
-	if !strings.Contains(st.String(), "cache: 2/") {
+	if !strings.Contains(st.String(), "lru: 2/") {
 		t.Errorf("cache stats render %q", st.String())
 	}
 }

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"punt"
+	"punt/gates"
+)
+
+// Request is the JSON body of POST /v1/synthesize.  Every field mirrors a
+// functional option of the punt facade (or a flag of the punt CLI, which is
+// the same vocabulary): the zero value of each field selects the same
+// default the library would.
+type Request struct {
+	// Spec is the STG specification as .g text — the same format LoadFile
+	// reads and Spec.Text renders.
+	Spec string `json:"spec"`
+	// Engine selects the synthesis engine by name: "unfolding" (default),
+	// "explicit", "symbolic" or "portfolio".
+	Engine string `json:"engine,omitempty"`
+	// Backend selects a registered backend by name, overriding Engine —
+	// the WithBackend option.
+	Backend string `json:"backend,omitempty"`
+	// Arch selects the implementation architecture: "complex-gate"
+	// (default), "standard-c" or "rs-latch".
+	Arch string `json:"arch,omitempty"`
+	// Exact derives exact covers by slice enumeration instead of the
+	// default approximation.
+	Exact bool `json:"exact,omitempty"`
+	// MaxEvents, MaxStates and MaxNodes bound the engines, as the options
+	// of the same names do (0 = the engine defaults).
+	MaxEvents int `json:"max_events,omitempty"`
+	MaxStates int `json:"max_states,omitempty"`
+	MaxNodes  int `json:"max_nodes,omitempty"`
+	// ResolveCSC repairs Complete State Coding conflicts by internal-signal
+	// insertion; MaxCSCSignals bounds the insertions (0 = the default).
+	ResolveCSC    bool `json:"resolve_csc,omitempty"`
+	MaxCSCSignals int  `json:"max_csc_signals,omitempty"`
+	// DeadlineMS and MemBudget install the per-attempt resource watchdog
+	// (WithDeadline / WithMemoryBudget); exhaustion is reported with
+	// exit_code 4 like the CLI's status 4.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	MemBudget  int64 `json:"mem_budget,omitempty"`
+	// Fallback enables the CLI's built-in degradation ladder: approximate
+	// covers, then the unfolding engine with a reduced segment bound.
+	Fallback bool `json:"fallback,omitempty"`
+	// Verify additionally checks the implementation with the closed-loop
+	// verifier; a failure is reported with exit_code 3.
+	Verify bool `json:"verify,omitempty"`
+	// Stream switches the response to newline-delimited JSON: one
+	// {"progress": …} line per WithProgress event as synthesis runs,
+	// terminated by a single {"result": …} or {"error": …} line.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// usageError marks a request whose configuration vocabulary is wrong (an
+// unknown engine, architecture or backend name) — the HTTP analogue of the
+// CLI's usage exit status 2, distinct from a specification that parses but
+// cannot be synthesised.
+type usageError struct{ err error }
+
+func (e *usageError) Error() string { return e.err.Error() }
+func (e *usageError) Unwrap() error { return e.err }
+
+// options translates the request into the facade's functional options,
+// mirroring the CLI flag handling exactly (including the built-in fallback
+// ladder).  Unknown names are usage errors.
+func (req *Request) options() ([]punt.Option, error) {
+	engine, err := punt.ParseEngine(orDefault(req.Engine, "unfolding"))
+	if err != nil {
+		return nil, &usageError{err}
+	}
+	arch, err := gates.ParseArchitecture(orDefault(req.Arch, "complex-gate"))
+	if err != nil {
+		return nil, &usageError{err}
+	}
+	opts := []punt.Option{
+		punt.WithEngine(engine),
+		punt.WithArch(arch),
+		punt.WithMaxEvents(req.MaxEvents),
+		punt.WithMaxStates(req.MaxStates),
+		punt.WithMaxNodes(req.MaxNodes),
+	}
+	if req.Backend != "" {
+		// Validate eagerly so a typo is a 400, not a failed synthesis.
+		if !slices.Contains(punt.Backends(), req.Backend) {
+			return nil, &usageError{fmt.Errorf("unknown backend %q (have %v)", req.Backend, punt.Backends())}
+		}
+		opts = append(opts, punt.WithBackend(req.Backend))
+	}
+	if req.Exact {
+		opts = append(opts, punt.WithMode(punt.Exact))
+	}
+	if req.ResolveCSC {
+		opts = append(opts, punt.WithResolveCSC(req.MaxCSCSignals))
+	}
+	if req.DeadlineMS > 0 {
+		opts = append(opts, punt.WithDeadline(time.Duration(req.DeadlineMS)*time.Millisecond))
+	}
+	if req.MemBudget > 0 {
+		opts = append(opts, punt.WithMemoryBudget(req.MemBudget))
+	}
+	if req.Fallback {
+		opts = append(opts, punt.WithFallback(
+			punt.Fallback("approximate", punt.WithMode(punt.Approximate)),
+			punt.Fallback("unfolding-small", punt.WithEngine(punt.Unfolding), punt.WithMaxEvents(10000)),
+		))
+	}
+	return opts, nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

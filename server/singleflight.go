@@ -1,0 +1,89 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"punt"
+)
+
+// flight is one in-progress synthesis shared by every request that asked
+// for the same specification under the same configuration.  The first
+// request becomes the leader and runs the synthesis; the rest join as
+// waiters and receive the leader's outcome.  The synthesis runs under its
+// own context, detached from any single request's, so a disconnecting
+// client — the leader included — does not abort work other waiters still
+// want; only when the last waiter leaves is the synthesis cancelled.
+type flight struct {
+	done   chan struct{} // closed when res/err are published
+	res    *punt.Result
+	err    error
+	cancel context.CancelFunc
+	// guarded by the owning group's mutex:
+	waiters  int
+	finished bool
+}
+
+// flightGroup deduplicates concurrent identical synthesis requests: N
+// requests for one key cause exactly one synthesis.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup { return &flightGroup{m: make(map[string]*flight)} }
+
+// join registers interest in key.  The first caller becomes the leader and
+// receives a fresh synthesis context — detached from reqCtx's cancellation
+// but bounded by maxRun — to run the work under; later callers receive
+// leader=false and wait on the flight's done channel.  Every caller must
+// pair join with leave.
+func (g *flightGroup) join(reqCtx context.Context, key string, maxRun time.Duration) (f *flight, synthCtx context.Context, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		f.waiters++
+		return f, nil, false
+	}
+	// The synthesis outlives the leader's request on purpose (waiters may
+	// still want it) but never the server's per-request ceiling.  The
+	// fault-injection schedule and similar values survive WithoutCancel.
+	synthCtx, cancel := context.WithTimeout(context.WithoutCancel(reqCtx), maxRun)
+	f = &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	g.m[key] = f
+	return f, synthCtx, true
+}
+
+// leave withdraws one waiter.  When the last waiter leaves an unfinished
+// flight the synthesis is cancelled — nobody wants the result any more —
+// and the key is released so a later request starts fresh.
+func (g *flightGroup) leave(key string, f *flight) {
+	g.mu.Lock()
+	f.waiters--
+	abandoned := f.waiters == 0 && !f.finished
+	if abandoned {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+	if abandoned {
+		f.cancel()
+	}
+}
+
+// complete publishes the outcome to every waiter and retires the key.  The
+// result cache (inside Synthesize) has already been fed by this point, so
+// requests arriving after complete hit the cache instead of a flight.
+func (g *flightGroup) complete(key string, f *flight, res *punt.Result, err error) {
+	g.mu.Lock()
+	f.res, f.err = res, err
+	f.finished = true
+	// The key may already belong to a fresh flight when this one was
+	// abandoned (last waiter left) and a new request arrived since.
+	if g.m[key] == f {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+	f.cancel()
+	close(f.done)
+}

@@ -33,19 +33,19 @@ type Progress struct {
 	// Engine names the backend delivering the notification; in portfolio
 	// mode it identifies the contender, so interleaved notifications stay
 	// attributable.
-	Engine string
+	Engine string `json:"engine,omitempty"`
 	// Stage depends on the engine: the unfolding flow reports "unfold" while
 	// the segment is under construction, the baselines report "build" once
 	// the state space exists; every engine then reports "covers" when the
 	// covers of a signal are about to be derived.
-	Stage string
+	Stage string `json:"stage"`
 	// Signal names the signal being processed during the "covers" stage.
-	Signal string
+	Signal string `json:"signal,omitempty"`
 	// Events is the number of segment events built so far (final size during
 	// "covers"; unfolding engine only).
-	Events int
+	Events int `json:"events,omitempty"`
 	// States is the size of the state space (state-graph engines only).
-	States int
+	States int `json:"states,omitempty"`
 }
 
 // config collects the functional options of a Synthesizer.
@@ -241,51 +241,51 @@ type Stats struct {
 	// Engine is the builtin engine identity of the backend that produced the
 	// result (the winning contender in portfolio mode); custom backends leave
 	// it at Unfolding and are identified by Backend instead.
-	Engine Engine
+	Engine Engine `json:"engine"`
 	// Backend names the backend that produced the result; in portfolio mode
 	// it names the winning contender.
-	Backend string
+	Backend string `json:"backend,omitempty"`
 
 	// UnfTime is the segment (or state-space) construction time ("UnfTim").
-	UnfTime time.Duration
+	UnfTime time.Duration `json:"unf_time_ns"`
 	// SynTime is the cover derivation time ("SynTim").
-	SynTime time.Duration
+	SynTime time.Duration `json:"syn_time_ns"`
 	// EspTime is the two-level minimisation time ("EspTim").
-	EspTime time.Duration
+	EspTime time.Duration `json:"esp_time_ns"`
 	// Total is the complete wall-clock synthesis time.  ("TotTim").
-	Total time.Duration
+	Total time.Duration `json:"total_ns"`
 
 	// Segment size (unfolding engine).
-	Events     int
-	Conditions int
-	Cutoffs    int
+	Events     int `json:"events,omitempty"`
+	Conditions int `json:"conditions,omitempty"`
+	Cutoffs    int `json:"cutoffs,omitempty"`
 	// States is the number of reachable states (state-graph engines).
-	States int
+	States int `json:"states,omitempty"`
 
 	// Refinement counters (unfolding engine, approximate mode).
-	TermsRefined   int
-	SignalsRefined int
+	TermsRefined   int `json:"terms_refined,omitempty"`
+	SignalsRefined int `json:"signals_refined,omitempty"`
 
 	// Contenders is the per-contender breakdown of a portfolio run (empty
 	// outside portfolio mode).
-	Contenders []Contender
+	Contenders []Contender `json:"contenders,omitempty"`
 	// Attempts is the per-attempt breakdown of the Synthesize call: the
 	// primary configuration plus every WithFallback step that ran, each
 	// with its outcome and duration.  A single-attempt run has one entry;
 	// len(Attempts) > 1 means the result was produced by the degradation
 	// ladder (see Result.Degradation).
-	Attempts []Attempt
+	Attempts []Attempt `json:"attempts,omitempty"`
 	// Cached reports that the result was served from the WithCache cache
 	// instead of a synthesis run; the timing fields then describe the
 	// original (cold) run that populated the cache.
-	Cached bool
+	Cached bool `json:"cached,omitempty"`
 
 	// CSCSignalsInserted and CSCIterations record the WithResolveCSC repair
 	// that produced the result: how many internal state signals were inserted
 	// and in how many resolution rounds (both zero when the specification
 	// satisfied CSC as given).
-	CSCSignalsInserted int
-	CSCIterations      int
+	CSCSignalsInserted int `json:"csc_signals_inserted,omitempty"`
+	CSCIterations      int `json:"csc_iterations,omitempty"`
 }
 
 // String summarises the stats in the engine's natural vocabulary, covering
@@ -470,14 +470,9 @@ func (s *Synthesizer) Synthesize(ctx context.Context, spec *Spec) (*Result, erro
 	var key string
 	useCache := s.cfg.cache != nil
 	if useCache {
-		key = s.cacheKey(spec)
-		// A faulted cache degrades to a miss instead of failing the request,
-		// and so does a hit that fails validation (a corrupted entry): the
-		// cache is an accelerator, never a point of failure.
-		if faultinject.Check(ctx, faultinject.OpCacheGet) == nil {
-			if res, ok := s.cfg.cache.Get(key); ok && usableCacheHit(res) {
-				return cachedResult(res, spec), nil
-			}
+		key = s.CacheKey(spec)
+		if res, ok := s.Cached(ctx, spec); ok {
+			return res, nil
 		}
 	}
 
@@ -532,9 +527,41 @@ func (s *Synthesizer) Synthesize(ctx context.Context, spec *Spec) (*Result, erro
 	// context, whose work may be truncated.
 	if useCache && !res.Degraded() && ctx.Err() == nil &&
 		faultinject.Check(ctx, faultinject.OpCachePut) == nil {
-		s.cfg.cache.Put(key, res)
+		cachePut(ctx, s.cfg.cache, key, res)
 	}
 	return res, nil
+}
+
+// CacheKey returns the content-addressed cache key Synthesize would use for
+// spec under this Synthesizer's configuration: the specification hash crossed
+// with every configuration field that can change the result.  It is the key
+// the puntd daemon reports and the one external cache tooling should use.
+func (s *Synthesizer) CacheKey(spec *Spec) string { return s.cacheKey(spec) }
+
+// Cached reports whether a usable result for spec is already present in the
+// configured cache, returning it adapted to the caller (Stats.Cached set)
+// without running any synthesis.  It returns false when no cache is
+// configured.  The puntd server uses this to answer warm hits before
+// admission control, so repeat requests are never queued behind cold work.
+//
+// Like Synthesize's own cache path, a faulted cache lookup degrades to a
+// miss, and so does a hit that fails validation: the cache is an
+// accelerator, never a point of failure.
+func (s *Synthesizer) Cached(ctx context.Context, spec *Spec) (*Result, bool) {
+	if s.cfg.cache == nil {
+		return nil, false
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if faultinject.Check(ctx, faultinject.OpCacheGet) != nil {
+		return nil, false
+	}
+	res, ok := cacheGet(ctx, s.cfg.cache, s.cacheKey(spec))
+	if !ok || !usableCacheHit(res) {
+		return nil, false
+	}
+	return cachedResult(res, spec), true
 }
 
 // usableCacheHit validates a cache hit before it is served: a corrupted or

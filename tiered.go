@@ -1,0 +1,218 @@
+package punt
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+
+	"punt/internal/diskstore"
+)
+
+// The persistent cache tiers.  NewDiskCache backs the result cache with a
+// content-addressed on-disk store, so warm hits survive process restarts and
+// can be shared by N replicas pointing at one directory; NewTiered stacks
+// the in-memory LRU in front of it, giving the access pattern of a serving
+// daemon: L1 answers repeat traffic at memory speed, L2 answers after
+// restarts and for keys first synthesized by another replica, and every L2
+// hit is promoted into L1 on the way out.
+
+// ContextCache is an optional extension of Cache for implementations that
+// want the per-request context — cancellation and the fault-injection
+// schedule travel through it.  The Synthesize cache path (and the puntd
+// server) prefer these methods when a cache provides them; the plain
+// Get/Put methods remain the interface every cache must implement.
+type ContextCache interface {
+	Cache
+	GetContext(ctx context.Context, key string) (*Result, bool)
+	PutContext(ctx context.Context, key string, res *Result)
+}
+
+// cacheGet consults the cache through its context-aware method when it has
+// one.
+func cacheGet(ctx context.Context, c Cache, key string) (*Result, bool) {
+	if cc, ok := c.(ContextCache); ok {
+		return cc.GetContext(ctx, key)
+	}
+	return c.Get(key)
+}
+
+// cachePut mirrors cacheGet for stores.
+func cachePut(ctx context.Context, c Cache, key string, res *Result) {
+	if cc, ok := c.(ContextCache); ok {
+		cc.PutContext(ctx, key, res)
+		return
+	}
+	c.Put(key, res)
+}
+
+// DiskCache is a Cache backed by a content-addressed on-disk store
+// (punt/internal/diskstore): every entry is one checksummed file under the
+// store directory, written atomically, keyed by the same spec-hash ×
+// configuration key as the in-memory cache, holding the exported JSON
+// serialization of the Result (EncodeResult).  Entries that fail the
+// envelope checksum, the format-version check, the result decode or the
+// spec-hash verification are counted as corrupt, deleted and reported as
+// misses — a damaged store degrades to a cold one, it never serves damaged
+// results and never fails a request.
+//
+// A DiskCache is safe for concurrent use by multiple goroutines and, thanks
+// to the store's atomic renames, by multiple processes sharing the
+// directory: the N-replica deployment behind a load balancer shares one
+// store, and each replica serves the others' warm hits.
+type DiskCache struct {
+	store   *diskstore.Store
+	corrupt atomic.Int64 // decode/hash failures; envelope damage is counted by the store
+}
+
+// NewDiskCache opens (creating if needed) a persistent result cache rooted
+// at dir.
+func NewDiskCache(dir string) (*DiskCache, error) {
+	store, err := diskstore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &DiskCache{store: store}, nil
+}
+
+// Dir returns the cache's store directory.
+func (c *DiskCache) Dir() string { return c.store.Dir() }
+
+// Get implements Cache.
+func (c *DiskCache) Get(key string) (*Result, bool) {
+	return c.GetContext(context.Background(), key)
+}
+
+// Put implements Cache.
+func (c *DiskCache) Put(key string, res *Result) {
+	c.PutContext(context.Background(), key, res)
+}
+
+// GetContext reads, decodes and validates the entry stored under key.
+func (c *DiskCache) GetContext(ctx context.Context, key string) (*Result, bool) {
+	blob, ok := c.store.Get(ctx, key)
+	if !ok {
+		return nil, false
+	}
+	res, err := DecodeResult(blob)
+	if err != nil || !keyMatchesSpec(key, res) {
+		// The envelope was intact but the payload is not a servable result
+		// for this key: same treatment as checksum damage — count, drop,
+		// miss.
+		c.corrupt.Add(1)
+		c.store.Delete(key)
+		return nil, false
+	}
+	return res, true
+}
+
+// PutContext serializes res and stores it under key.  Serialization or
+// write failures are swallowed (the store counts them): persistence is an
+// accelerator, never a point of failure.
+func (c *DiskCache) PutContext(ctx context.Context, key string, res *Result) {
+	blob, err := EncodeResult(res)
+	if err != nil {
+		return
+	}
+	c.store.Put(ctx, key, blob)
+}
+
+// keyMatchesSpec cross-checks a decoded entry against its cache key: the
+// key's leading component is the content hash of the specification that was
+// synthesized (see Synthesizer.CacheKey), which must match the hash of the
+// specification the entry carries.  A mismatch means the entry was written
+// under the wrong name (or the store was tampered with) — never serve it.
+// Resolver-repaired results legitimately carry the repaired specification,
+// whose hash differs from the conflicted input's; their integrity is already
+// covered by the decoder's own hash verification.
+func keyMatchesSpec(key string, res *Result) bool {
+	hash, _, ok := strings.Cut(key, "|")
+	if !ok {
+		return true // foreign key scheme: nothing to cross-check
+	}
+	if res.Resolution != nil {
+		return true
+	}
+	return res.Spec.Hash() == hash
+}
+
+// Stats snapshots the disk tier's counters.
+func (c *DiskCache) Stats() CacheStats {
+	st := c.store.Stats()
+	return CacheStats{
+		Tier:    "disk",
+		Hits:    st.Hits,
+		Misses:  st.Misses,
+		Corrupt: st.Corrupt + c.corrupt.Load(),
+		Entries: int(st.Entries),
+	}
+}
+
+// Tiered is a two-level Cache: a fast bounded front (typically the sharded
+// in-memory LRU) over a large persistent back (typically a DiskCache).  Get
+// consults L1 first and falls back to L2, promoting L2 hits into L1; Put
+// writes through to both.  Corrupt L2 entries never reach L1: the disk tier
+// validates entries before returning them, so only proven-good results are
+// promoted.
+type Tiered struct {
+	l1, l2 Cache
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewTiered stacks l1 in front of l2.  Both must be non-nil; either may
+// itself be context-aware.
+func NewTiered(l1, l2 Cache) *Tiered {
+	if l1 == nil || l2 == nil {
+		panic("punt: NewTiered with a nil tier")
+	}
+	return &Tiered{l1: l1, l2: l2}
+}
+
+// Get implements Cache.
+func (t *Tiered) Get(key string) (*Result, bool) {
+	return t.GetContext(context.Background(), key)
+}
+
+// Put implements Cache.
+func (t *Tiered) Put(key string, res *Result) {
+	t.PutContext(context.Background(), key, res)
+}
+
+// GetContext consults the tiers in order, promoting a back-tier hit into
+// the front tier.
+func (t *Tiered) GetContext(ctx context.Context, key string) (*Result, bool) {
+	if res, ok := cacheGet(ctx, t.l1, key); ok {
+		t.hits.Add(1)
+		return res, true
+	}
+	res, ok := cacheGet(ctx, t.l2, key)
+	if !ok {
+		t.misses.Add(1)
+		return nil, false
+	}
+	cachePut(ctx, t.l1, key, res)
+	t.hits.Add(1)
+	return res, true
+}
+
+// PutContext writes through to both tiers.
+func (t *Tiered) PutContext(ctx context.Context, key string, res *Result) {
+	cachePut(ctx, t.l1, key, res)
+	cachePut(ctx, t.l2, key, res)
+}
+
+// Stats snapshots the combined view plus the per-tier breakdown (fastest
+// first) for tiers that report stats.
+func (t *Tiered) Stats() CacheStats {
+	st := CacheStats{Tier: "tiered", Hits: t.hits.Load(), Misses: t.misses.Load()}
+	for _, tier := range []Cache{t.l1, t.l2} {
+		if sp, ok := tier.(interface{ Stats() CacheStats }); ok {
+			ts := sp.Stats()
+			st.Entries += ts.Entries
+			st.Corrupt += ts.Corrupt
+			st.Evictions += ts.Evictions
+			st.Tiers = append(st.Tiers, ts)
+		}
+	}
+	return st
+}

@@ -1,0 +1,288 @@
+package punt_test
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"punt"
+)
+
+// writeStoreEntry plants an entry file with a valid diskstore envelope
+// (correct magic, version, checksum, length) around an arbitrary body —
+// the shape of an entry whose payload was tampered with before the store
+// wrote it, which only result-level validation can catch.
+func writeStoreEntry(t *testing.T, dir, key string, body []byte) {
+	t.Helper()
+	sum := sha256.Sum256([]byte(key))
+	h := hex.EncodeToString(sum[:])
+	path := filepath.Join(dir, h[:2], h)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	bodySum := sha256.Sum256(body)
+	header := fmt.Sprintf("puntstore 1 %s %d\n", hex.EncodeToString(bodySum[:]), len(body))
+	if err := os.WriteFile(path, append([]byte(header), body...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// storeFiles lists the entry files under a disk cache directory.
+func storeFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.Type().IsRegular() {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestDiskCacheSurvivesRestart is the restart-persistence proof the service
+// deployment relies on: synthesize against a tiered cache, tear the process
+// state down (fresh LRU, fresh DiskCache on the same directory — everything
+// a restarted daemon would rebuild), and the re-parsed specification is
+// served as a warm hit with the identical implementation.
+func TestDiskCacheSurvivesRestart(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	disk, err := punt.NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := punt.New(punt.WithCache(punt.NewTiered(punt.NewLRU(0), disk)))
+	cold, err := s.Synthesize(ctx, punt.Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.Cached {
+		t.Fatal("first synthesis reported as cached")
+	}
+	if len(storeFiles(t, dir)) == 0 {
+		t.Fatal("synthesis persisted nothing to the store directory")
+	}
+
+	// "Restart": new cache tiers over the same directory, new Synthesizer,
+	// re-parsed spec.
+	disk2, err := punt.NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := punt.Parse(punt.Fig1().Text())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := punt.New(punt.WithCache(punt.NewTiered(punt.NewLRU(0), disk2))).
+		Synthesize(ctx, spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Stats.Cached {
+		t.Fatal("result did not survive the restart as a warm hit")
+	}
+	if got, want := warm.Eqn(), cold.Eqn(); got != want {
+		t.Errorf("restarted warm hit changed the implementation:\n got %q\nwant %q", got, want)
+	}
+	if got, want := warm.Spec.Hash(), cold.Spec.Hash(); got != want {
+		t.Errorf("restarted warm hit changed the spec hash: got %s want %s", got, want)
+	}
+
+	// Second request on the restarted instance is an L1 hit: the promotion
+	// path filled the memory tier.
+	tiered := punt.NewTiered(punt.NewLRU(0), disk2)
+	sy := punt.New(punt.WithCache(tiered))
+	if _, err := sy.Synthesize(ctx, spec2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sy.Synthesize(ctx, spec2); err != nil {
+		t.Fatal(err)
+	}
+	st := tiered.Stats()
+	if len(st.Tiers) != 2 {
+		t.Fatalf("tiered stats carry %d tiers, want 2: %+v", len(st.Tiers), st)
+	}
+	l1, l2 := st.Tiers[0], st.Tiers[1]
+	if l1.Tier != "lru" || l2.Tier != "disk" {
+		t.Fatalf("tier order wrong: %q then %q", l1.Tier, l2.Tier)
+	}
+	if l2.Hits == 0 {
+		t.Errorf("disk tier recorded no hits: %+v", l2)
+	}
+	if l1.Hits == 0 {
+		t.Errorf("promotion did not warm the memory tier: %+v", l1)
+	}
+}
+
+// TestCorruptDiskEntryNeverPoisonsL1 is the corruption regression: damage
+// every byte pattern we can between two reads and prove (a) the damaged
+// entry counts as a corrupt miss, (b) synthesis recovers, and (c) the
+// in-memory tier never receives the damaged bytes.
+func TestCorruptDiskEntryNeverPoisonsL1(t *testing.T) {
+	for name, damage := range map[string]func([]byte) []byte{
+		// Both flavors are caught at the store envelope (checksum/length);
+		// payload-level tamper behind a valid envelope is covered separately
+		// by TestDiskCacheRejectsPayloadTamper.
+		"checksum":   func(b []byte) []byte { b[len(b)-2] ^= 0xff; return b },
+		"truncation": func(b []byte) []byte { return b[:len(b)*3/4] },
+	} {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			dir := t.TempDir()
+			disk, err := punt.NewDiskCache(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lru := punt.NewLRU(0)
+			tiered := punt.NewTiered(lru, disk)
+			s := punt.New(punt.WithCache(tiered))
+			cold, err := s.Synthesize(ctx, punt.Fig1())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			files := storeFiles(t, dir)
+			if len(files) != 1 {
+				t.Fatalf("expected one store file, found %v", files)
+			}
+			raw, err := os.ReadFile(files[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(files[0], damage(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// Fresh memory tier over the damaged disk tier: the damaged entry
+			// must read as a miss, synthesis must recover, and the recovered
+			// (not the damaged) result must be what lands in L1.
+			freshLRU := punt.NewLRU(0)
+			fresh := punt.NewTiered(freshLRU, disk)
+			s2 := punt.New(punt.WithCache(fresh))
+			rec, err := s2.Synthesize(ctx, punt.Fig1())
+			if err != nil {
+				t.Fatalf("synthesis did not recover from disk corruption: %v", err)
+			}
+			if rec.Stats.Cached {
+				t.Fatal("damaged entry was served as a warm hit")
+			}
+			if got, want := rec.Eqn(), cold.Eqn(); got != want {
+				t.Errorf("recovered result differs:\n got %q\nwant %q", got, want)
+			}
+			if c := disk.Stats().Corrupt; c != 1 {
+				t.Errorf("disk tier corrupt counter = %d, want 1", c)
+			}
+			if st := freshLRU.Stats(); st.Entries != 1 {
+				t.Errorf("L1 entries = %d, want exactly the recovered result", st.Entries)
+			}
+			// And the re-warmed slot serves clean bytes again.
+			warm, err := s2.Synthesize(ctx, punt.Fig1())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !warm.Stats.Cached || warm.Eqn() != cold.Eqn() {
+				t.Errorf("slot did not re-warm cleanly: cached=%v", warm.Stats.Cached)
+			}
+		})
+	}
+}
+
+// TestDiskCacheRejectsPayloadTamper covers the decoder-level corruption
+// flavor: a store entry whose envelope is intact (valid header + checksum)
+// but whose JSON payload is not a servable result.  The store alone cannot
+// catch this — the DiskCache's decode validation must.
+func TestDiskCacheRejectsPayloadTamper(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	disk, err := punt.NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := punt.New(punt.WithCache(disk))
+	if _, err := s.Synthesize(ctx, punt.Fig1()); err != nil {
+		t.Fatal(err)
+	}
+	files := storeFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("expected one store file, found %v", files)
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper inside the JSON body, then rewrite the entry through a fresh
+	// store Put so the envelope checksum matches the tampered payload.
+	nl := bytes.IndexByte(raw, '\n')
+	body := bytes.Replace(raw[nl+1:], []byte(`"format":1`), []byte(`"format":99`), 1)
+	if bytes.Equal(body, raw[nl+1:]) {
+		t.Fatal("tamper did not apply; wire format changed?")
+	}
+	key := s.CacheKey(punt.Fig1())
+	writeStoreEntry(t, dir, key, body)
+
+	if res, ok := disk.Get(key); ok {
+		t.Fatalf("tampered payload served as a hit: %v", res)
+	}
+	if c := disk.Stats().Corrupt; c == 0 {
+		t.Error("payload tamper not counted as corruption")
+	}
+	if remaining := storeFiles(t, dir); len(remaining) != 0 {
+		t.Errorf("tampered entry not dropped: %v", remaining)
+	}
+}
+
+// TestPlainCacheInterface exercises the context-free Cache methods — the
+// path a third-party Cache consumer that knows nothing about ContextCache
+// goes through.
+func TestPlainCacheInterface(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := punt.NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disk.Dir() != dir {
+		t.Fatalf("Dir() = %q, want %q", disk.Dir(), dir)
+	}
+
+	s := punt.New(punt.WithCache(punt.NewLRU(0)))
+	res, err := s.Synthesize(context.Background(), punt.Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := s.CacheKey(punt.Fig1())
+
+	var tiered punt.Cache = punt.NewTiered(punt.NewLRU(0), disk)
+	if _, ok := tiered.Get(key); ok {
+		t.Fatal("empty tiers reported a hit")
+	}
+	tiered.Put(key, res)
+	got, ok := tiered.Get(key)
+	if !ok || got.Eqn() != res.Eqn() {
+		t.Fatalf("tiered Get after Put = %v, %t", got, ok)
+	}
+	if fromDisk, ok := punt.Cache(disk).Get(key); !ok || fromDisk.Eqn() != res.Eqn() {
+		t.Fatal("Put did not write through to the disk tier")
+	}
+}
+
+func TestNewTieredRejectsNilTier(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTiered(nil, nil) did not panic")
+		}
+	}()
+	punt.NewTiered(nil, punt.NewLRU(0))
+}
