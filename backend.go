@@ -84,6 +84,11 @@ type BackendConfig struct {
 	MaxStates int
 	// MaxNodes bounds the symbolic engine's BDD size (0 = unlimited).
 	MaxNodes int
+	// Workers bounds intra-run parallelism for engines that support it (the
+	// unfolding flow shards its possible-extension computation); <= 1 selects
+	// the sequential path.  Parallel runs are deterministic: the output is
+	// byte-identical to the sequential build.
+	Workers int
 	// Progress receives coarse notifications; may be nil.  It runs on the
 	// synthesizing goroutine and must be cheap.
 	Progress func(Progress)
@@ -227,7 +232,7 @@ type unfoldingBackend struct{}
 func (unfoldingBackend) Name() string { return "unfolding" }
 
 func (unfoldingBackend) Synthesize(ctx context.Context, spec *Spec, cfg BackendConfig) (*Result, error) {
-	copts := core.Options{Mode: cfg.Mode, Arch: cfg.Arch, MaxEvents: cfg.MaxEvents}
+	copts := core.Options{Mode: cfg.Mode, Arch: cfg.Arch, MaxEvents: cfg.MaxEvents, Workers: cfg.Workers}
 	if p := cfg.Progress; p != nil {
 		copts.Progress = func(stage, signal string, events int) {
 			p(Progress{Stage: stage, Signal: signal, Events: events})
@@ -240,6 +245,8 @@ func (unfoldingBackend) Synthesize(ctx context.Context, spec *Spec, cfg BackendC
 	res := &Result{Spec: spec, Impl: im}
 	res.Stats = Stats{
 		Engine:         Unfolding,
+		Workers:        cfg.Workers,
+		PEParallel:     cfg.Workers > 1,
 		UnfTime:        st.UnfTime,
 		SynTime:        st.SynTime,
 		EspTime:        st.EspTime,

@@ -8,11 +8,14 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"punt"
 	"punt/internal/benchgen"
 	"punt/internal/experiments"
+	"punt/internal/resolve"
+	"punt/internal/stategraph"
 )
 
 // Re-exported experiment types; see punt/internal/experiments for the field
@@ -31,6 +34,10 @@ type (
 	// CachePoint is one cache-effectiveness measurement (cold synthesis vs
 	// warm cache hit).
 	CachePoint = experiments.CachePoint
+	// ParallelPoint is one sequential-vs-parallel unfold measurement.
+	ParallelPoint = experiments.ParallelPoint
+	// ResolveRetryPoint is one full-rebuild-vs-incremental CSC-retry sweep.
+	ResolveRetryPoint = experiments.ResolveRetryPoint
 	// Report is the JSON perf-trajectory document emitted by benchtab -json.
 	Report = experiments.Report
 )
@@ -58,9 +65,17 @@ func FormatFacade(points []FacadePoint) string { return experiments.FormatFacade
 // FormatCache renders the cache-effectiveness measurements as a table.
 func FormatCache(points []CachePoint) string { return experiments.FormatCache(points) }
 
+// FormatParallel renders the parallel-unfolding measurements as a table.
+func FormatParallel(points []ParallelPoint) string { return experiments.FormatParallel(points) }
+
+// FormatResolveRetry renders the CSC-retry sweep as a table.
+func FormatResolveRetry(points []ResolveRetryPoint) string {
+	return experiments.FormatResolveRetry(points)
+}
+
 // NewReport assembles the JSON perf-trajectory report.
-func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, cache, disk []CachePoint, now time.Time) Report {
-	return experiments.NewReport(rows, points, facade, cache, disk, now)
+func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, cache, disk []CachePoint, parallel []ParallelPoint, retry []ResolveRetryPoint, now time.Time) Report {
+	return experiments.NewReport(rows, points, facade, cache, disk, parallel, retry, now)
 }
 
 // WriteJSON writes the report, indented, to w.
@@ -175,6 +190,105 @@ func RunCache(ctx context.Context, runs int) ([]CachePoint, error) {
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// RunParallel measures the sharded possible-extension pool: each workload is
+// unfolded runs times (minimum 1) with WithWorkers(1) and with
+// WithWorkers(workers) (0 = GOMAXPROCS), averaging the unfold-only times and
+// checking on every parallel run that the segment dumps byte-identically to
+// the sequential one — the determinism guarantee this trajectory exists to
+// police.  On a single-CPU host the speedup hovers near (or below) 1; the
+// Identical verdict is the invariant.
+func RunParallel(ctx context.Context, workers, runs int) ([]ParallelPoint, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	specs := []struct {
+		name string
+		spec *punt.Spec
+	}{
+		{name: "pipeline-22", spec: punt.MullerPipelineWithSignals(22)},
+		{name: "pipeline-50", spec: punt.MullerPipelineWithSignals(50)},
+		{name: "counterflow", spec: punt.CounterflowPipeline()},
+	}
+	out := make([]ParallelPoint, 0, len(specs))
+	for _, ws := range specs {
+		p := ParallelPoint{Spec: ws.name, Workers: workers, Runs: runs, Identical: true}
+		var seq, par time.Duration
+		for i := 0; i < runs; i++ {
+			t0 := time.Now()
+			segSeq, err := punt.Unfold(ctx, ws.spec, punt.WithWorkers(1))
+			seq += time.Since(t0)
+			if err != nil {
+				return nil, fmt.Errorf("bench: sequential unfold of %s: %w", ws.name, err)
+			}
+			t1 := time.Now()
+			segPar, err := punt.Unfold(ctx, ws.spec, punt.WithWorkers(workers))
+			par += time.Since(t1)
+			if err != nil {
+				return nil, fmt.Errorf("bench: parallel unfold of %s: %w", ws.name, err)
+			}
+			if segSeq.Dump() != segPar.Dump() {
+				p.Identical = false
+			}
+			p.Events = segPar.Stats().Events
+		}
+		p.Sequential = seq / time.Duration(runs)
+		p.Parallel = par / time.Duration(runs)
+		if p.Parallel > 0 {
+			p.Speedup = float64(p.Sequential) / float64(p.Parallel)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RunResolveRetry sweeps random STGs for CSC-conflicted specifications (up to
+// the requested count) and resolves each twice: once forcing a full
+// state-graph rebuild per candidate and once with incremental extension —
+// the retry loop this PR optimises.  The two modes must produce the same
+// resolution; their total times and the incremental run's reuse counters are
+// the trajectory point.
+func RunResolveRetry(ctx context.Context, conflicts int) ([]ResolveRetryPoint, error) {
+	if conflicts < 1 {
+		conflicts = 1
+	}
+	p := ResolveRetryPoint{}
+	for seed := int64(0); p.Seeds < conflicts && seed < 20000; seed++ {
+		g := benchgen.RandomSTG(seed, 4+int(seed)%9)
+		sg, err := stategraph.Build(ctx, g, stategraph.Options{MaxStates: 200000})
+		if err != nil || len(sg.CheckCSC()) == 0 {
+			continue
+		}
+		t0 := time.Now()
+		_, _, errFull := resolve.Resolve(ctx, g, resolve.Options{MaxStates: 200000, FullRebuild: true})
+		full := time.Since(t0)
+		t1 := time.Now()
+		_, rep, errInc := resolve.Resolve(ctx, g, resolve.Options{MaxStates: 200000})
+		incr := time.Since(t1)
+		if (errFull == nil) != (errInc == nil) {
+			return nil, fmt.Errorf("bench: seed %d: full-rebuild err %v vs incremental err %v", seed, errFull, errInc)
+		}
+		if errInc != nil {
+			continue // both modes reject this seed identically; not a data point
+		}
+		p.Seeds++
+		p.FullRebuild += full
+		p.Incremental += incr
+		p.IncrementalBuilds += rep.IncrementalBuilds
+		p.FullRebuilds += rep.FullRebuilds
+		p.StatesReused += rep.StatesReused
+	}
+	if p.Seeds == 0 {
+		return nil, fmt.Errorf("bench: no CSC-conflicted seeds found")
+	}
+	if p.Incremental > 0 {
+		p.Speedup = float64(p.FullRebuild) / float64(p.Incremental)
+	}
+	return []ResolveRetryPoint{p}, nil
 }
 
 // RunDiskCache measures the persistent result store the way a puntd restart

@@ -1,0 +1,94 @@
+package punt
+
+import (
+	"context"
+	"testing"
+)
+
+// determinismSpecs is the satellite-d corpus: all Table 1 specs plus the
+// pipeline-class and counterflow generators.
+func determinismSpecs(t *testing.T) map[string]*Spec {
+	t.Helper()
+	specs := map[string]*Spec{
+		"pipeline-12": MullerPipelineWithSignals(12),
+		"pipeline-22": MullerPipelineWithSignals(22),
+		"counterflow": CounterflowPipeline(),
+	}
+	for _, it := range Table1() {
+		specs["table1-"+it.Name] = it.Spec
+	}
+	return specs
+}
+
+// TestWorkersDeterministic asserts the PR's headline guarantee end to end:
+// WithWorkers(1) and WithWorkers(8) produce byte-identical segments and
+// byte-identical synthesized output for every spec class, so the worker
+// count is a pure throughput knob.
+func TestWorkersDeterministic(t *testing.T) {
+	ctx := context.Background()
+	seq := New(WithWorkers(1))
+	par := New(WithWorkers(8))
+	for name, spec := range determinismSpecs(t) {
+		segSeq, err := Unfold(ctx, spec, WithWorkers(1))
+		if err != nil {
+			t.Fatalf("%s: sequential unfold: %v", name, err)
+		}
+		segPar, err := Unfold(ctx, spec, WithWorkers(8))
+		if err != nil {
+			t.Fatalf("%s: parallel unfold: %v", name, err)
+		}
+		if segSeq.Dump() != segPar.Dump() {
+			t.Errorf("%s: segment dump differs between WithWorkers(1) and WithWorkers(8)", name)
+		}
+
+		rs, err := seq.Synthesize(ctx, spec)
+		if err != nil {
+			t.Fatalf("%s: sequential synthesis: %v", name, err)
+		}
+		rp, err := par.Synthesize(ctx, spec)
+		if err != nil {
+			t.Fatalf("%s: parallel synthesis: %v", name, err)
+		}
+		if rs.Eqn() != rp.Eqn() {
+			t.Errorf("%s: Eqn output differs between worker counts", name)
+		}
+		if rs.Verilog() != rp.Verilog() {
+			t.Errorf("%s: Verilog output differs between worker counts", name)
+		}
+		if rp.Stats.Workers != 8 || !rp.Stats.PEParallel {
+			t.Errorf("%s: parallel run must report Workers=8/PEParallel, got %d/%t",
+				name, rp.Stats.Workers, rp.Stats.PEParallel)
+		}
+	}
+}
+
+// TestCacheKeyExcludesWorkers pins the cache-key contract the determinism
+// guarantee makes sound: since output is byte-identical across worker
+// counts, the content-addressed key must not vary with WithWorkers — a
+// result synthesized at one width is served verbatim at any other.
+func TestCacheKeyExcludesWorkers(t *testing.T) {
+	spec := Fig1()
+	k1 := New(WithWorkers(1)).CacheKey(spec)
+	k8 := New(WithWorkers(8)).CacheKey(spec)
+	if k1 != k8 {
+		t.Fatalf("cache key varies with the worker count:\n%s\nvs\n%s", k1, k8)
+	}
+
+	// And the shared cache actually round-trips across worker counts.
+	cache := NewLRU(8)
+	ctx := context.Background()
+	cold, err := New(WithCache(cache), WithWorkers(8)).Synthesize(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := New(WithCache(cache), WithWorkers(1)).Synthesize(ctx, Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Stats.Cached {
+		t.Fatal("WithWorkers(1) run was not served from the WithWorkers(8) cache entry")
+	}
+	if warm.Eqn() != cold.Eqn() {
+		t.Fatal("cached result differs from the cold run")
+	}
+}

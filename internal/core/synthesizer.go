@@ -70,6 +70,9 @@ type Options struct {
 	Arch gatelib.Architecture
 	// MaxEvents bounds the size of the unfolding segment (0 = default).
 	MaxEvents int
+	// Workers bounds the parallelism of the segment construction (see
+	// unfolding.Options.Workers); <= 1 selects the sequential path.
+	Workers int
 	// SkipSemiModularityCheck disables the structural semi-modularity check
 	// (useful for benchmarking the synthesis core in isolation).
 	SkipSemiModularityCheck bool
@@ -132,7 +135,7 @@ func (s *Synthesizer) Synthesize(ctx context.Context, g *stg.STG) (*gatelib.Impl
 	stats := &Stats{}
 	totalStart := time.Now()
 
-	uopts := unfolding.Options{MaxEvents: s.Options.MaxEvents}
+	uopts := unfolding.Options{MaxEvents: s.Options.MaxEvents, Workers: s.Options.Workers}
 	if p := s.Options.Progress; p != nil {
 		uopts.Progress = func(events int) { p("unfold", "", events) }
 	}
@@ -267,7 +270,7 @@ func (s *Synthesizer) buildGate(g *stg.STG, sig int, on, off, erPlus, erMinus *b
 // as the synthesizer; used by callers that only need the segment or its
 // verification.
 func Unfold(ctx context.Context, g *stg.STG, opts Options) (*unfolding.Unfolding, error) {
-	uopts := unfolding.Options{MaxEvents: opts.MaxEvents}
+	uopts := unfolding.Options{MaxEvents: opts.MaxEvents, Workers: opts.Workers}
 	if p := opts.Progress; p != nil {
 		uopts.Progress = func(events int) { p("unfold", "", events) }
 	}

@@ -70,6 +70,29 @@ type JSONCachePoint struct {
 	Literals    int     `json:"literals"`
 }
 
+// JSONParallelPoint is the JSON shape of one parallel-unfolding measurement.
+type JSONParallelPoint struct {
+	Spec       string  `json:"spec"`
+	Workers    int     `json:"workers"`
+	Runs       int     `json:"runs"`
+	SeqSeconds float64 `json:"seq_seconds"`
+	ParSeconds float64 `json:"par_seconds"`
+	Speedup    float64 `json:"speedup"`
+	Identical  bool    `json:"identical"`
+	Events     int     `json:"events"`
+}
+
+// JSONResolveRetryPoint is the JSON shape of one CSC-retry sweep.
+type JSONResolveRetryPoint struct {
+	Seeds             int     `json:"seeds"`
+	FullSeconds       float64 `json:"full_seconds"`
+	IncrSeconds       float64 `json:"incr_seconds"`
+	Speedup           float64 `json:"speedup"`
+	IncrementalBuilds int     `json:"incremental_builds"`
+	FullRebuilds      int     `json:"full_rebuilds"`
+	StatesReused      int     `json:"states_reused"`
+}
+
 // Report is the top-level JSON document emitted by benchtab -json.
 type Report struct {
 	GeneratedAt string             `json:"generated_at"`
@@ -81,11 +104,39 @@ type Report struct {
 	// by the on-disk tier through fresh in-memory tiers, i.e. the cost of a
 	// warm request after a daemon restart.
 	DiskCache []JSONCachePoint `json:"disk_cache,omitempty"`
+	// Parallel holds the sharded-possible-extension measurements (sequential
+	// vs WithWorkers unfold, with the byte-identity verdict); ResolveRetry the
+	// full-rebuild-vs-incremental CSC-resolution sweep.
+	Parallel     []JSONParallelPoint     `json:"parallel,omitempty"`
+	ResolveRetry []JSONResolveRetryPoint `json:"resolve_retry,omitempty"`
 }
 
 // NewReport converts measured rows and points into the JSON report shape.
-func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, cache, disk []CachePoint, now time.Time) Report {
+func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, cache, disk []CachePoint, parallel []ParallelPoint, retry []ResolveRetryPoint, now time.Time) Report {
 	r := Report{GeneratedAt: now.UTC().Format(time.RFC3339)}
+	for _, p := range parallel {
+		r.Parallel = append(r.Parallel, JSONParallelPoint{
+			Spec:       p.Spec,
+			Workers:    p.Workers,
+			Runs:       p.Runs,
+			SeqSeconds: p.Sequential.Seconds(),
+			ParSeconds: p.Parallel.Seconds(),
+			Speedup:    p.Speedup,
+			Identical:  p.Identical,
+			Events:     p.Events,
+		})
+	}
+	for _, p := range retry {
+		r.ResolveRetry = append(r.ResolveRetry, JSONResolveRetryPoint{
+			Seeds:             p.Seeds,
+			FullSeconds:       p.FullRebuild.Seconds(),
+			IncrSeconds:       p.Incremental.Seconds(),
+			Speedup:           p.Speedup,
+			IncrementalBuilds: p.IncrementalBuilds,
+			FullRebuilds:      p.FullRebuilds,
+			StatesReused:      p.StatesReused,
+		})
+	}
 	for _, p := range facade {
 		r.Facade = append(r.Facade, JSONFacadePoint{
 			Spec:         p.Spec,

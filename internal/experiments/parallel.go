@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ParallelPoint is one unfold-only parallelism measurement: the same
+// specification unfolded sequentially and with a sharded possible-extension
+// pool, plus the byte-identity check that makes the worker count a pure
+// throughput knob.  The measurement itself lives in punt/bench, which can
+// import the facade.
+type ParallelPoint struct {
+	Spec string
+	// Workers is the pool width of the parallel run (GOMAXPROCS by default).
+	Workers int
+	// Runs is how many repetitions each average covers.
+	Runs int
+	// Sequential and Parallel are the average unfold-only times.
+	Sequential time.Duration
+	Parallel   time.Duration
+	// Speedup is Sequential/Parallel.
+	Speedup float64
+	// Identical reports whether the two segments dumped byte-identically —
+	// the determinism guarantee, checked on every run.
+	Identical bool
+	Events    int
+}
+
+// ResolveRetryPoint aggregates one CSC-resolution retry sweep: the same
+// conflicted specifications resolved once with full state-graph rebuilds per
+// candidate and once with incremental extension.  The measurement itself
+// lives in punt/bench.
+type ResolveRetryPoint struct {
+	// Seeds is how many conflicted random specifications the sweep resolved.
+	Seeds int
+	// FullRebuild and Incremental are the total resolution times of the two
+	// validation modes over the whole sweep.
+	FullRebuild time.Duration
+	Incremental time.Duration
+	// Speedup is FullRebuild/Incremental.
+	Speedup float64
+	// IncrementalBuilds and FullRebuilds count candidate validations by kind
+	// in the incremental run; StatesReused is the total parent states copied
+	// instead of re-explored.
+	IncrementalBuilds int
+	FullRebuilds      int
+	StatesReused      int
+}
+
+// FormatParallel renders the parallel-unfolding measurements as a table.
+func FormatParallel(points []ParallelPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %3s %5s | %10s %10s %8s | %9s %7s\n",
+		"Spec", "W", "Runs", "Seq", "Par", "Speedup", "Identical", "Events")
+	sb.WriteString(strings.Repeat("-", 78) + "\n")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-14s %3d %5d | %10v %10v %7.2fx | %9t %7d\n",
+			p.Spec, p.Workers, p.Runs, p.Sequential.Round(time.Microsecond),
+			p.Parallel.Round(time.Microsecond), p.Speedup, p.Identical, p.Events)
+	}
+	return sb.String()
+}
+
+// FormatResolveRetry renders the retry-sweep measurement as a table.
+func FormatResolveRetry(points []ResolveRetryPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%5s | %10s %10s %8s | %6s %6s %8s\n",
+		"Seeds", "Full", "Incr", "Speedup", "IncB", "FullB", "Reused")
+	sb.WriteString(strings.Repeat("-", 66) + "\n")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%5d | %10v %10v %7.2fx | %6d %6d %8d\n",
+			p.Seeds, p.FullRebuild.Round(time.Millisecond), p.Incremental.Round(time.Millisecond),
+			p.Speedup, p.IncrementalBuilds, p.FullRebuilds, p.StatesReused)
+	}
+	return sb.String()
+}

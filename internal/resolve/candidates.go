@@ -23,6 +23,96 @@ type candidate struct {
 	initHigh bool
 }
 
+// colorer computes, for transition pairs over one state graph, the value
+// assignment a serially inserted toggle signal would take: rise edges force
+// 0→1, fall edges force 1→0, every other edge forces equality.  The
+// incidence structures are built once and reused across pairs.
+type colorer struct {
+	sg           *stategraph.Graph
+	edgesByTrans [][]int
+	inc          [][]half
+	value        []int8
+	stack        []int
+}
+
+// half is one undirected incidence entry of the equality propagation.
+type half struct {
+	other int // neighbouring state
+	trans petri.TransitionID
+}
+
+func newColorer(sg *stategraph.Graph) *colorer {
+	m := sg.STG.Net().NumTransitions()
+	c := &colorer{
+		sg:           sg,
+		edgesByTrans: make([][]int, m),
+		inc:          make([][]half, len(sg.States)),
+		value:        make([]int8, len(sg.States)),
+	}
+	for e := range sg.Edges {
+		t := sg.Edges[e].Transition
+		c.edgesByTrans[t] = append(c.edgesByTrans[t], e)
+	}
+	for _, e := range sg.Edges {
+		c.inc[e.From] = append(c.inc[e.From], half{other: e.To, trans: e.Transition})
+		c.inc[e.To] = append(c.inc[e.To], half{other: e.From, trans: e.Transition})
+	}
+	return c
+}
+
+// color computes the assignment induced by (rise, fall) into c.value and
+// reports whether the constraints are satisfiable.
+func (c *colorer) color(rise, fall petri.TransitionID) bool {
+	sg := c.sg
+	for i := range c.value {
+		c.value[i] = -1
+	}
+	c.stack = c.stack[:0]
+	assign := func(s int, v int8) bool {
+		if c.value[s] == -1 {
+			c.value[s] = v
+			c.stack = append(c.stack, s)
+			return true
+		}
+		return c.value[s] == v
+	}
+	for _, e := range c.edgesByTrans[rise] {
+		if !assign(sg.Edges[e].From, 0) || !assign(sg.Edges[e].To, 1) {
+			return false
+		}
+	}
+	for _, e := range c.edgesByTrans[fall] {
+		if !assign(sg.Edges[e].From, 1) || !assign(sg.Edges[e].To, 0) {
+			return false
+		}
+	}
+	for len(c.stack) > 0 {
+		s := c.stack[len(c.stack)-1]
+		c.stack = c.stack[:len(c.stack)-1]
+		for _, h := range c.inc[s] {
+			if h.trans == rise || h.trans == fall {
+				continue // toggle edges were anchored above
+			}
+			if !assign(h.other, c.value[s]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// colorAssignment computes the per-state toggle value induced by the pair
+// (rise, fall) on its own — the form the incremental revalidation needs.  The
+// returned slice is freshly allocated; ok is false when the pair admits no
+// consistent assignment.
+func colorAssignment(sg *stategraph.Graph, rise, fall petri.TransitionID) (value []int8, ok bool) {
+	c := newColorer(sg)
+	if !c.color(rise, fall) {
+		return nil, false
+	}
+	return append([]int8(nil), c.value...), true
+}
+
 // findCandidates enumerates every ordered transition pair (rise, fall) whose
 // serial insertion admits a consistent value assignment of the new signal
 // over the state graph, and ranks the feasible ones: most conflict pairs
@@ -31,25 +121,7 @@ type candidate struct {
 func findCandidates(sg *stategraph.Graph, conflicts []stategraph.CSCConflict) []candidate {
 	g := sg.STG
 	m := g.Net().NumTransitions()
-
-	// Edges grouped by transition, so a pair's anchors are found without
-	// rescanning the whole edge list.
-	edgesByTrans := make([][]int, m)
-	for e := range sg.Edges {
-		t := sg.Edges[e].Transition
-		edgesByTrans[t] = append(edgesByTrans[t], e)
-	}
-	// Undirected incidence: for the equality propagation every non-toggle
-	// edge forces its endpoints to the same value.
-	type half struct {
-		other int // neighbouring state
-		trans petri.TransitionID
-	}
-	inc := make([][]half, len(sg.States))
-	for _, e := range sg.Edges {
-		inc[e.From] = append(inc[e.From], half{other: e.To, trans: e.Transition})
-		inc[e.To] = append(inc[e.To], half{other: e.From, trans: e.Transition})
-	}
+	c := newColorer(sg)
 
 	penalty := func(t petri.TransitionID) int {
 		l := g.Label(t)
@@ -63,65 +135,21 @@ func findCandidates(sg *stategraph.Graph, conflicts []stategraph.CSCConflict) []
 		}
 	}
 
-	value := make([]int8, len(sg.States))
-	var stack []int
-
-	// color computes the value assignment induced by the pair (rise, fall):
-	// rise edges force 0→1, fall edges force 1→0, every other edge forces
-	// equality.  It reports whether the constraints are satisfiable.
-	color := func(rise, fall petri.TransitionID) bool {
-		for i := range value {
-			value[i] = -1
-		}
-		stack = stack[:0]
-		assign := func(s int, v int8) bool {
-			if value[s] == -1 {
-				value[s] = v
-				stack = append(stack, s)
-				return true
-			}
-			return value[s] == v
-		}
-		for _, e := range edgesByTrans[rise] {
-			if !assign(sg.Edges[e].From, 0) || !assign(sg.Edges[e].To, 1) {
-				return false
-			}
-		}
-		for _, e := range edgesByTrans[fall] {
-			if !assign(sg.Edges[e].From, 1) || !assign(sg.Edges[e].To, 0) {
-				return false
-			}
-		}
-		for len(stack) > 0 {
-			s := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			for _, h := range inc[s] {
-				if h.trans == rise || h.trans == fall {
-					continue // toggle edges were anchored above
-				}
-				if !assign(h.other, value[s]) {
-					return false
-				}
-			}
-		}
-		return true
-	}
-
 	var out []candidate
 	for rise := petri.TransitionID(0); int(rise) < m; rise++ {
-		if len(edgesByTrans[rise]) == 0 {
+		if len(c.edgesByTrans[rise]) == 0 {
 			continue // never fires: the new signal would never rise
 		}
 		for fall := petri.TransitionID(0); int(fall) < m; fall++ {
-			if rise == fall || len(edgesByTrans[fall]) == 0 {
+			if rise == fall || len(c.edgesByTrans[fall]) == 0 {
 				continue
 			}
-			if !color(rise, fall) {
+			if !c.color(rise, fall) {
 				continue
 			}
 			sep := 0
-			for _, c := range conflicts {
-				if value[c.StateA] != value[c.StateB] {
+			for _, cf := range conflicts {
+				if c.value[cf.StateA] != c.value[cf.StateB] {
 					sep++
 				}
 			}
@@ -133,7 +161,7 @@ func findCandidates(sg *stategraph.Graph, conflicts []stategraph.CSCConflict) []
 				fall:      fall,
 				separated: sep,
 				penalty:   penalty(rise) + penalty(fall),
-				initHigh:  value[0] == 1,
+				initHigh:  c.value[0] == 1,
 			})
 		}
 	}

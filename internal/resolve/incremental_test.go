@@ -1,0 +1,153 @@
+package resolve
+
+import (
+	"context"
+	"testing"
+
+	"punt/internal/benchgen"
+	"punt/internal/stategraph"
+	"punt/internal/stg"
+)
+
+// conflictedSeeds returns up to want RandomSTG seeds whose gadget produced a
+// real CSC conflict, paired with their state graphs.
+func conflictedSeeds(t *testing.T, want int) []int64 {
+	t.Helper()
+	ctx := context.Background()
+	var seeds []int64
+	for seed := int64(0); len(seeds) < want && seed < 20000; seed++ {
+		g := benchgen.RandomSTG(seed, 4+int(seed)%9)
+		sg, err := stategraph.Build(ctx, g, stategraph.Options{MaxStates: 200000})
+		if err != nil {
+			continue
+		}
+		if len(sg.CheckCSC()) == 0 {
+			continue
+		}
+		seeds = append(seeds, seed)
+	}
+	if len(seeds) < want {
+		t.Fatalf("only %d CSC-conflicted seeds found, want %d", len(seeds), want)
+	}
+	return seeds
+}
+
+// TestIncrementalCrossCheck resolves a sweep of conflicted specifications
+// with DebugCheck on: every incrementally extended state graph is compared
+// against a full rebuild inside the resolver, so a single divergence fails
+// the run.  It also asserts incrementality actually engages — a threshold
+// mistuned to always miss would silently degrade to full rebuilds.
+func TestIncrementalCrossCheck(t *testing.T) {
+	ctx := context.Background()
+	n := 30
+	if testing.Short() {
+		n = 8
+	}
+	totalIncremental := 0
+	for _, seed := range conflictedSeeds(t, n) {
+		g := benchgen.RandomSTG(seed, 4+int(seed)%9)
+		_, rep, err := Resolve(ctx, g, Options{MaxStates: 200000, DebugCheck: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		totalIncremental += rep.IncrementalBuilds
+		if rep.StatesReused == 0 && rep.IncrementalBuilds > 0 {
+			t.Fatalf("seed %d: incremental builds reported but no states reused", seed)
+		}
+	}
+	if totalIncremental == 0 {
+		t.Fatal("incremental revalidation never engaged across the sweep")
+	}
+	t.Logf("cross-checked %d incremental builds", totalIncremental)
+}
+
+// TestIncrementalMatchesFullRebuild asserts the observable contract: the
+// resolved STG (inserted signals, rise/fall anchors, remaining-conflict
+// trajectory) is identical whether candidate validation rebuilds from
+// scratch or extends the parent graph.
+func TestIncrementalMatchesFullRebuild(t *testing.T) {
+	ctx := context.Background()
+	n := 20
+	if testing.Short() {
+		n = 6
+	}
+	for _, seed := range conflictedSeeds(t, n) {
+		g := benchgen.RandomSTG(seed, 4+int(seed)%9)
+		rgInc, repInc, errInc := Resolve(ctx, g, Options{MaxStates: 200000})
+		rgFull, repFull, errFull := Resolve(ctx, g, Options{MaxStates: 200000, FullRebuild: true})
+		if (errInc == nil) != (errFull == nil) {
+			t.Fatalf("seed %d: incremental err %v vs full-rebuild err %v", seed, errInc, errFull)
+		}
+		if errInc != nil {
+			continue
+		}
+		if repFull.IncrementalBuilds != 0 || repFull.StatesReused != 0 {
+			t.Fatalf("seed %d: FullRebuild mode still reports incremental builds", seed)
+		}
+		if got, want := stg.Format(rgInc), stg.Format(rgFull); got != want {
+			t.Fatalf("seed %d: incremental and full-rebuild resolutions diverge:\n%s\nvs\n%s", seed, got, want)
+		}
+		if len(repInc.Inserted) != len(repFull.Inserted) {
+			t.Fatalf("seed %d: inserted %d signals incrementally, %d with full rebuilds",
+				seed, len(repInc.Inserted), len(repFull.Inserted))
+		}
+		for i := range repInc.Inserted {
+			if repInc.Inserted[i] != repFull.Inserted[i] {
+				t.Fatalf("seed %d: insertion %d differs: %s vs %s",
+					seed, i, repInc.Inserted[i], repFull.Inserted[i])
+			}
+		}
+	}
+}
+
+// TestParallelValidationDeterministic asserts the Workers fan-out picks the
+// same winner as the sequential rank scan, seed by seed.
+func TestParallelValidationDeterministic(t *testing.T) {
+	ctx := context.Background()
+	n := 15
+	if testing.Short() {
+		n = 5
+	}
+	for _, seed := range conflictedSeeds(t, n) {
+		g := benchgen.RandomSTG(seed, 4+int(seed)%9)
+		rgSeq, repSeq, errSeq := Resolve(ctx, g, Options{MaxStates: 200000})
+		rgPar, repPar, errPar := Resolve(ctx, g, Options{MaxStates: 200000, Workers: 8})
+		if (errSeq == nil) != (errPar == nil) {
+			t.Fatalf("seed %d: sequential err %v vs parallel err %v", seed, errSeq, errPar)
+		}
+		if errSeq != nil {
+			continue
+		}
+		if got, want := stg.Format(rgPar), stg.Format(rgSeq); got != want {
+			t.Fatalf("seed %d: parallel validation resolved a different STG", seed)
+		}
+		if len(repPar.Inserted) != len(repSeq.Inserted) {
+			t.Fatalf("seed %d: parallel inserted %d signals, sequential %d",
+				seed, len(repPar.Inserted), len(repSeq.Inserted))
+		}
+	}
+}
+
+// TestCandidatesFailedCounted asserts the failure-accounting satellite: a
+// resolution run that tries candidates must report how many were tried, and
+// the failed count can no longer vanish silently (it is bounded by tried).
+func TestCandidatesFailedCounted(t *testing.T) {
+	ctx := context.Background()
+	for _, seed := range conflictedSeeds(t, 10) {
+		g := benchgen.RandomSTG(seed, 4+int(seed)%9)
+		_, rep, err := Resolve(ctx, g, Options{MaxStates: 200000})
+		if err != nil {
+			continue
+		}
+		if rep.CandidatesTried == 0 {
+			t.Fatalf("seed %d: resolution succeeded without trying any candidate", seed)
+		}
+		if rep.CandidatesFailed > rep.CandidatesTried {
+			t.Fatalf("seed %d: failed %d > tried %d", seed, rep.CandidatesFailed, rep.CandidatesTried)
+		}
+		if rep.IncrementalBuilds+rep.FullRebuilds+rep.CandidatesFailed != rep.CandidatesTried {
+			t.Fatalf("seed %d: builds %d+%d plus failures %d do not account for %d tried",
+				seed, rep.IncrementalBuilds, rep.FullRebuilds, rep.CandidatesFailed, rep.CandidatesTried)
+		}
+	}
+}

@@ -28,8 +28,11 @@ package resolve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"punt/internal/bitvec"
 	"punt/internal/petri"
@@ -62,6 +65,18 @@ type Options struct {
 	// Prefix names the inserted signals Prefix0, Prefix1, …
 	// (empty = DefaultPrefix).
 	Prefix string
+	// Workers bounds how many candidate validations run concurrently; each
+	// validation (rewrite plus state-graph construction) is independent, and
+	// the winner is picked deterministically by rank, so the resolved STG is
+	// identical to the sequential one.  Values <= 1 validate sequentially.
+	Workers int
+	// FullRebuild disables incremental revalidation: every candidate's state
+	// graph is rebuilt from scratch (the pre-incremental behaviour, kept for
+	// benchmarking and as an escape hatch).
+	FullRebuild bool
+	// DebugCheck cross-validates every incremental state graph against a full
+	// rebuild; meant for tests, it defeats the point of incrementality.
+	DebugCheck bool
 }
 
 // Insertion records one inserted signal.
@@ -98,6 +113,20 @@ type Report struct {
 	Iterations int
 	// Inserted lists the inserted signals in order.
 	Inserted []Insertion
+	// CandidatesTried counts candidate validations across all iterations;
+	// CandidatesFailed counts the ones whose state-graph construction failed
+	// (the rewrite broke the net) — previously swallowed silently, they are
+	// what explains an exhausted search.
+	CandidatesTried  int
+	CandidatesFailed int
+	// StatesReused / StatesExpanded count parent states patched into candidate
+	// graphs without re-exploration versus delta states actually explored by
+	// incremental revalidation; IncrementalBuilds / FullRebuilds count how
+	// many validations took each path.
+	StatesReused      int
+	StatesExpanded    int
+	IncrementalBuilds int
+	FullRebuilds      int
 }
 
 // Signals returns the names of the inserted signals in order.
@@ -189,53 +218,94 @@ func Resolve(ctx context.Context, g *stg.STG, opts Options) (*stg.STG, *Report, 
 		rep.Iterations++
 		name := freshSignalName(cur, prefix)
 		cands := findCandidates(sg, conflicts)
+		if len(cands) > maxCandidates {
+			cands = cands[:maxCandidates]
+		}
 
-		// Validate the ranked candidates by rebuilding the state graph of the
-		// rewritten STG; keep the best strict improvement, stopping early on a
-		// perfect repair.
-		var (
-			best          *stg.STG
-			bestSG        *stategraph.Graph
-			bestConflicts []stategraph.CSCConflict
-			bestCand      candidate
-			tried         int
-		)
-		for _, cand := range cands {
-			if tried >= maxCandidates {
-				break
+		// Validate the ranked candidates — concurrently when Workers > 1, each
+		// validation being an independent rewrite-and-rebuild — and keep the
+		// best strict improvement.  The pick is deterministic regardless of
+		// completion order: scanning in rank order for the strictly smallest
+		// conflict count selects exactly the candidate the sequential
+		// keep-best loop would have kept.
+		vals := make([]validation, len(cands))
+		v := &validator{
+			cur: cur, sg: sg, name: name,
+			conflicts:      len(conflicts),
+			baseViolations: baseViolations,
+			baseDeadlocks:  baseDeadlocks,
+			sgOpts:         sgOpts,
+			fullRebuild:    opts.FullRebuild,
+			debugCheck:     opts.DebugCheck,
+			maxDelta:       sg.NumStates() + 64,
+		}
+		if opts.Workers > 1 && len(cands) > 1 {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			n := opts.Workers
+			if n > len(cands) {
+				n = len(cands)
 			}
-			if err := ctx.Err(); err != nil {
-				return nil, nil, err
+			for w := 0; w < n; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(cands) {
+							return
+						}
+						v.validate(ctx, &vals[i], cands[i])
+					}
+				}()
 			}
-			tried++
-			next := insertToggle(cur, name, cand.rise, cand.fall, cand.initHigh)
-			nsg, err := stategraph.Build(ctx, next, sgOpts)
-			if err != nil {
-				if ctx.Err() != nil {
-					return nil, nil, ctx.Err()
+			wg.Wait()
+		} else {
+			for i := range cands {
+				if err := ctx.Err(); err != nil {
+					return nil, nil, err
 				}
-				continue // the rewrite broke the net; try the next candidate
-			}
-			ncs := nsg.CheckCSC()
-			if len(ncs) >= len(conflicts) {
-				continue
-			}
-			if len(nsg.CheckOutputPersistency()) > baseViolations {
-				continue
-			}
-			if len(nsg.Deadlocks()) > baseDeadlocks {
-				continue
-			}
-			if best == nil || len(ncs) < len(bestConflicts) {
-				best, bestSG, bestConflicts, bestCand = next, nsg, ncs, cand
-			}
-			if len(ncs) == 0 {
-				break
+				v.validate(ctx, &vals[i], cands[i])
+				if vals[i].ok && len(vals[i].ncs) == 0 {
+					break // a perfect repair cannot be beaten by a lower rank
+				}
 			}
 		}
-		if best == nil {
+
+		best := -1
+		for i := range vals {
+			if !vals[i].tried {
+				continue
+			}
+			if vals[i].err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, nil, cerr
+				}
+				return nil, nil, vals[i].err
+			}
+			rep.CandidatesTried++
+			if vals[i].failed {
+				rep.CandidatesFailed++
+				continue
+			}
+			if vals[i].incremental {
+				rep.IncrementalBuilds++
+				rep.StatesReused += vals[i].reused
+				rep.StatesExpanded += vals[i].expanded
+			} else {
+				rep.FullRebuilds++
+			}
+			if !vals[i].ok {
+				continue
+			}
+			if best < 0 || len(vals[i].ncs) < len(vals[best].ncs) {
+				best = i
+			}
+		}
+		if best < 0 {
 			return nil, nil, &UnresolvedError{Inserted: len(rep.Inserted), Remaining: len(conflicts), MaxSignals: maxSignals}
 		}
+		bestCand, bestConflicts := cands[best], vals[best].ncs
 		rep.Inserted = append(rep.Inserted, Insertion{
 			Signal:    name,
 			Rise:      cur.TransitionString(bestCand.rise),
@@ -243,10 +313,124 @@ func Resolve(ctx context.Context, g *stg.STG, opts Options) (*stg.STG, *Report, 
 			Separated: bestCand.separated,
 			Remaining: len(bestConflicts),
 		})
-		cur, sg, conflicts = best, bestSG, bestConflicts
+		cur, sg, conflicts = vals[best].next, vals[best].nsg, bestConflicts
 		rep.StatesAfter = sg.NumStates()
 	}
 	return cur, rep, nil
+}
+
+// validation is the outcome of validating one candidate.
+type validation struct {
+	tried bool
+	next  *stg.STG
+	nsg   *stategraph.Graph
+	ncs   []stategraph.CSCConflict
+	// ok marks a strict improvement that passed the persistency and deadlock
+	// gates; failed marks a rewrite whose state-graph construction errored
+	// (counted, no longer silent); err is a hard failure that aborts Resolve
+	// (context cancellation, internal cross-check mismatch).
+	ok, failed bool
+	err        error
+	// incremental reports the graph was built by ExtendToggle, reusing reused
+	// parent states and exploring expanded delta states.
+	incremental      bool
+	reused, expanded int
+}
+
+// validator carries the per-iteration context shared by all candidate
+// validations; its fields are read-only during the fan-out, so concurrent
+// validate calls on distinct validation slots are safe.
+type validator struct {
+	cur            *stg.STG
+	sg             *stategraph.Graph
+	name           string
+	conflicts      int
+	baseViolations int
+	baseDeadlocks  int
+	sgOpts         stategraph.Options
+	fullRebuild    bool
+	debugCheck     bool
+	maxDelta       int
+}
+
+// validate rewrites the STG for one candidate and builds the resulting state
+// graph, incrementally when the toggle's delta region stays below the
+// threshold.  ErrExtendMiss falls back to a full rebuild; every other
+// incremental error is a genuine property of the rewrite (inconsistency,
+// state limit) that a full build would report the same way, because the
+// incremental graph is isomorphic to the fully rebuilt one.
+func (v *validator) validate(ctx context.Context, out *validation, cand candidate) {
+	out.tried = true
+	if err := ctx.Err(); err != nil {
+		out.err = err
+		return
+	}
+	next, xPlus, xMinus := insertToggle(v.cur, v.name, cand.rise, cand.fall, cand.initHigh)
+	out.next = next
+
+	var nsg *stategraph.Graph
+	var err error
+	if !v.fullRebuild {
+		if value, ok := colorAssignment(v.sg, cand.rise, cand.fall); ok {
+			var est stategraph.ExtendStats
+			nsg, est, err = stategraph.ExtendToggle(ctx, v.sg, next, cand.rise, cand.fall, xPlus, xMinus, value, v.maxDelta, v.sgOpts)
+			if err == nil {
+				out.incremental = true
+				out.reused, out.expanded = est.Reused, est.Expanded
+				if v.debugCheck {
+					if derr := crossCheck(ctx, nsg, next, v.sgOpts); derr != nil {
+						out.err = derr
+						return
+					}
+				}
+			} else if errors.Is(err, stategraph.ErrExtendMiss) {
+				nsg, err = nil, nil // assumptions broke: rebuild in full
+			}
+		}
+	}
+	if nsg == nil && err == nil {
+		nsg, err = stategraph.Build(ctx, next, v.sgOpts)
+	}
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			out.err = cerr
+			return
+		}
+		out.failed = true // the rewrite broke the net; the caller counts this
+		return
+	}
+	out.nsg = nsg
+	out.ncs = nsg.CheckCSC()
+	out.ok = len(out.ncs) < v.conflicts &&
+		len(nsg.CheckOutputPersistency()) <= v.baseViolations &&
+		len(nsg.Deadlocks()) <= v.baseDeadlocks
+}
+
+// crossCheck verifies an incrementally built state graph against a full
+// rebuild (Options.DebugCheck): the two must agree on every count the
+// resolver's decisions depend on.  The graphs are isomorphic rather than
+// identical — the incremental one keeps the parent's state numbering — so
+// the comparison is over sizes and check outcomes, which are
+// numbering-invariant.
+func crossCheck(ctx context.Context, inc *stategraph.Graph, g *stg.STG, sgOpts stategraph.Options) error {
+	full, err := stategraph.Build(ctx, g, sgOpts)
+	if err != nil {
+		return fmt.Errorf("resolve: internal error: incremental build succeeded where full rebuild failed: %w", err)
+	}
+	if inc.NumStates() != full.NumStates() || inc.NumEdges() != full.NumEdges() {
+		return fmt.Errorf("resolve: internal error: incremental state graph has %d states / %d edges, full rebuild %d / %d",
+			inc.NumStates(), inc.NumEdges(), full.NumStates(), full.NumEdges())
+	}
+	if a, b := len(inc.CheckCSC()), len(full.CheckCSC()); a != b {
+		return fmt.Errorf("resolve: internal error: incremental graph reports %d CSC conflicts, full rebuild %d", a, b)
+	}
+	if a, b := len(inc.CheckOutputPersistency()), len(full.CheckOutputPersistency()); a != b {
+		return fmt.Errorf("resolve: internal error: incremental graph reports %d persistency violations, full rebuild %d", a, b)
+	}
+	if a, b := len(inc.Deadlocks()), len(full.Deadlocks()); a != b {
+		return fmt.Errorf("resolve: internal error: incremental graph reports %d deadlocks, full rebuild %d", a, b)
+	}
+	return nil
 }
 
 // freshSignalName returns prefixN for the smallest N not already declared.
@@ -263,12 +447,14 @@ func freshSignalName(g *stg.STG, prefix string) string {
 // series after transition rise and falls in series after transition fall:
 // each insertion point's postset is redirected through the new signal
 // transition, whose single fresh input place makes it persistent by
-// construction.  initHigh is the signal's initial binary value.
-func insertToggle(g *stg.STG, name string, rise, fall petri.TransitionID, initHigh bool) *stg.STG {
-	ng := g.Clone()
+// construction.  initHigh is the signal's initial binary value.  The returned
+// transition IDs of the inserted x+ and x- anchor the incremental
+// revalidation.
+func insertToggle(g *stg.STG, name string, rise, fall petri.TransitionID, initHigh bool) (ng *stg.STG, xPlus, xMinus petri.TransitionID) {
+	ng = g.Clone()
 	sig := ng.AddSignal(name, stg.Internal)
 
-	insert := func(after petri.TransitionID, dir stg.Direction) {
+	insert := func(after petri.TransitionID, dir stg.Direction) petri.TransitionID {
 		x := ng.AddTransition(sig, dir)
 		net := ng.Net()
 		post := append([]petri.PlaceID(nil), net.Post(after)...)
@@ -277,9 +463,10 @@ func insertToggle(g *stg.STG, name string, rise, fall petri.TransitionID, initHi
 			net.AddArcTP(x, p)
 		}
 		ng.AddArcTT(after, x)
+		return x
 	}
-	insert(rise, stg.Plus)
-	insert(fall, stg.Minus)
+	xPlus = insert(rise, stg.Plus)
+	xMinus = insert(fall, stg.Minus)
 
 	// Extend the initial binary state with the new signal's value.
 	old := g.InitialState()
@@ -289,5 +476,5 @@ func insertToggle(g *stg.STG, name string, rise, fall petri.TransitionID, initHi
 	}
 	ext[len(ext)-1] = initHigh
 	ng.SetInitialState(bitvec.FromBools(ext))
-	return ng
+	return ng, xPlus, xMinus
 }

@@ -1,0 +1,248 @@
+// Incremental state-graph construction for the CSC resolver's retry loop.
+//
+// A single-signal serial insertion perturbs only a local region of the state
+// graph (cf. Devillers, "Articulations and Products of Transition Systems"):
+// every original transition keeps its preset, so a state of the rewritten STG
+// in which neither fresh place is marked — a "stable" state — enables exactly
+// the transitions its parent-graph counterpart enabled, and the new signal's
+// value over the stable states is forced by the resolver's parity coloring.
+// ExtendToggle therefore copies the parent graph verbatim (codes widened by
+// the toggle bit) and explores only the "pending" regions: the states holding
+// a token on one of the fresh private places between an insertion anchor and
+// its toggle transition.
+package stategraph
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"punt/internal/bitvec"
+	"punt/internal/faultinject"
+	"punt/internal/petri"
+	"punt/internal/stg"
+)
+
+// ErrExtendMiss reports that the incremental construction hit a state outside
+// its reuse assumptions (or a delta region past its threshold); callers fall
+// back to a full Build.  It never indicates a property of the STG — real
+// specification defects (inconsistency, unboundedness, state limits) surface
+// as their usual errors.
+var ErrExtendMiss = errors.New("stategraph: incremental extension assumption miss")
+
+// ExtendStats reports what the incremental construction reused vs explored.
+type ExtendStats struct {
+	// Reused is the number of parent states copied without re-expansion.
+	Reused int
+	// Expanded is the number of delta states explored by the pending BFS.
+	Expanded int
+}
+
+// ExtendToggle builds the state graph of ng — the parent graph's STG rewritten
+// by serially inserting one toggle signal, with xPlus after rise and xMinus
+// after fall — by patching parent instead of re-exploring it.  value is the
+// per-parent-state parity assignment of the new signal (0 or 1, as computed by
+// the resolver's coloring); it fixes the toggle bit of every stable state.
+// maxDelta bounds the pending exploration: past it ExtendToggle returns
+// ErrExtendMiss and the caller rebuilds in full.
+//
+// The result is isomorphic to Build(ctx, ng, opts) — same states, codes,
+// edges and check outcomes, with the parent's state numbering preserved on
+// the stable prefix — so downstream analyses cannot tell the two apart.
+func ExtendToggle(ctx context.Context, parent *Graph, ng *stg.STG, rise, fall, xPlus, xMinus petri.TransitionID, value []int8, maxDelta int, opts Options) (*Graph, ExtendStats, error) {
+	st := ExtendStats{Reused: len(parent.States)}
+	if len(value) != len(parent.States) {
+		return nil, st, fmt.Errorf("stategraph: %w: value assignment covers %d of %d states", ErrExtendMiss, len(value), len(parent.States))
+	}
+	net := ng.Net()
+	bound := opts.Bound
+	if bound <= 0 {
+		bound = 1
+	}
+	// The fresh private places feeding the toggle transitions: a marking is
+	// "pending" exactly when one of them holds a token.
+	preRise, preFall := net.Pre(xPlus), net.Pre(xMinus)
+	if len(preRise) != 1 || len(preFall) != 1 {
+		return nil, st, fmt.Errorf("stategraph: %w: toggle preset is not a single fresh place", ErrExtendMiss)
+	}
+	pRise, pFall := preRise[0], preFall[0]
+	stable := func(m petri.Marking) bool { return m.Tokens(pRise) == 0 && m.Tokens(pFall) == 0 }
+
+	sg := &Graph{
+		STG:    ng,
+		States: make([]State, 0, len(parent.States)+maxDelta/2),
+		Succ:   make([][]int, 0, len(parent.States)+maxDelta/2),
+		index:  make(map[uint64][]int, len(parent.States)),
+	}
+	// 1. Copy the stable states: the parent's states with the toggle bit
+	// appended, under the parent's numbering.
+	for i, s := range parent.States {
+		if value[i] != 0 && value[i] != 1 {
+			return nil, st, fmt.Errorf("stategraph: %w: state %d has no assigned toggle value", ErrExtendMiss, i)
+		}
+		ns := State{Marking: s.Marking, Code: extendCode(s.Code, value[i] == 1)}
+		sg.States = append(sg.States, ns)
+		sg.Succ = append(sg.Succ, nil)
+		sg.insert(stateHash(ns), i)
+	}
+	if opts.MaxStates > 0 && len(sg.States) >= opts.MaxStates {
+		return nil, st, ErrStateLimit
+	}
+
+	// 2. Copy the parent's edges.  Non-toggle-anchor edges transfer verbatim:
+	// the target's enabling and code are unchanged up to the (coloring-forced)
+	// toggle bit.  Edges labelled with an anchor now route into a pending
+	// state instead — the anchor's postset was redirected through the fresh
+	// place — which seeds the delta BFS.
+	var queue []int
+	for u := range parent.States {
+		for _, ei := range parent.Succ[u] {
+			pe := parent.Edges[ei]
+			if pe.Transition != rise && pe.Transition != fall {
+				if value[pe.To] != value[u] {
+					return nil, st, fmt.Errorf("stategraph: %w: coloring toggles across a non-anchor edge", ErrExtendMiss)
+				}
+				sg.addEdge(u, pe.Transition, pe.To)
+				continue
+			}
+			m := net.Fire(sg.States[u].Marking, pe.Transition)
+			// Firing the anchor still performs its own signal change — only
+			// the toggle bit waits for xPlus/xMinus — so the pending code is
+			// the parent target's code with the source's toggle value.
+			ps := State{Marking: m, Code: extendCode(parent.States[pe.To].Code, value[u] == 1)}
+			h := stateHash(ps)
+			idx := sg.lookup(h, ps)
+			if idx < 0 {
+				idx = len(sg.States)
+				if opts.MaxStates > 0 && idx >= opts.MaxStates {
+					return nil, st, ErrStateLimit
+				}
+				sg.States = append(sg.States, ps)
+				sg.Succ = append(sg.Succ, nil)
+				sg.insert(h, idx)
+				queue = append(queue, idx)
+			}
+			sg.addEdge(u, pe.Transition, idx)
+		}
+	}
+
+	// 3. Explore the pending regions only.  A successor that is stable must
+	// already exist in the copied prefix — the x-erasure projection maps it
+	// onto a parent-reachable state — so a miss there aborts incrementality
+	// rather than risking a divergent graph.  Consistency is re-checked for
+	// the delta exactly as Build would: the code discipline of the toggle
+	// signal itself is what validation is for.
+	markingCode := map[uint64][]markingEntry{}
+	for qi := 0; qi < len(queue); qi++ {
+		if qi%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, st, err
+			}
+			if err := faultinject.Check(ctx, faultinject.OpStategraphExpand); err != nil {
+				return nil, st, err
+			}
+		}
+		st.Expanded++
+		if st.Expanded > maxDelta {
+			return nil, st, fmt.Errorf("stategraph: %w: delta exceeds %d states", ErrExtendMiss, maxDelta)
+		}
+		cur := queue[qi]
+		s := sg.States[cur]
+		for _, t := range net.EnabledTransitions(s.Marking) {
+			label := ng.Label(t)
+			nextCode := s.Code.Clone()
+			if !label.IsDummy {
+				val := s.Code.Get(label.Signal)
+				if label.Dir == stg.Plus && val || label.Dir == stg.Minus && !val {
+					return nil, st, &InconsistencyError{
+						Transition: ng.TransitionString(t),
+						Detail: fmt.Sprintf("signal %q is already %d in state %s",
+							ng.Signal(label.Signal).Name, b2i(val), s.Code),
+					}
+				}
+				nextCode.Set(label.Signal, label.Dir == stg.Plus)
+			}
+			m := net.Fire(s.Marking, t)
+			for _, p := range m.Places() {
+				if m.Tokens(p) > bound {
+					return nil, st, fmt.Errorf("stategraph: %w firing %s", petri.ErrUnbounded, ng.TransitionString(t))
+				}
+			}
+			next := State{Marking: m, Code: nextCode}
+			mh := m.Hash()
+			h := stateHashFrom(mh, nextCode)
+			idx := sg.lookup(h, next)
+			if idx < 0 {
+				if stable(m) {
+					// The projection argument says this cannot happen for a
+					// well-formed serial insertion; treat it as an assumption
+					// break and let the full rebuild decide.
+					return nil, st, fmt.Errorf("stategraph: %w: pending BFS reached an unknown stable state", ErrExtendMiss)
+				}
+				if err := checkMarkingCode(markingCode, mh, m, nextCode, ng, t); err != nil {
+					return nil, st, err
+				}
+				idx = len(sg.States)
+				if opts.MaxStates > 0 && idx >= opts.MaxStates {
+					return nil, st, ErrStateLimit
+				}
+				sg.States = append(sg.States, next)
+				sg.Succ = append(sg.Succ, nil)
+				sg.insert(h, idx)
+				queue = append(queue, idx)
+			}
+			sg.addEdge(cur, t, idx)
+		}
+	}
+	return sg, st, nil
+}
+
+// markingEntry mirrors Build's same-marking-two-codes consistency table.
+type markingEntry struct {
+	marking petri.Marking
+	code    bitvec.Vec
+}
+
+func checkMarkingCode(tbl map[uint64][]markingEntry, mh uint64, m petri.Marking, code bitvec.Vec, g *stg.STG, t petri.TransitionID) error {
+	for _, entry := range tbl[mh] {
+		if !entry.marking.Equal(m) {
+			continue
+		}
+		if !entry.code.Equal(code) {
+			return &InconsistencyError{
+				Transition: g.TransitionString(t),
+				Detail:     "the same marking is reachable with two different binary codes",
+			}
+		}
+		return nil
+	}
+	tbl[mh] = append(tbl[mh], markingEntry{marking: m, code: code})
+	return nil
+}
+
+func (sg *Graph) addEdge(from int, t petri.TransitionID, to int) {
+	e := len(sg.Edges)
+	sg.Edges = append(sg.Edges, Edge{From: from, To: to, Transition: t})
+	sg.Succ[from] = append(sg.Succ[from], e)
+}
+
+// extendCode widens code by one trailing bit.
+func extendCode(code bitvec.Vec, x bool) bitvec.Vec {
+	v := bitvec.New(code.Len() + 1)
+	for i := 0; i < code.Len(); i++ {
+		if code.Get(i) {
+			v.Set(i, true)
+		}
+	}
+	if x {
+		v.Set(code.Len(), true)
+	}
+	return v
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -70,13 +70,20 @@ type Options struct {
 	// MaxEvents aborts construction with ErrEventLimit when the number of
 	// non-root events exceeds this value (0 means 1,000,000).
 	MaxEvents int
+	// Workers bounds the parallelism of the per-event work: the co-relation
+	// update, the final-state derivation and the possible-extension searches
+	// are sharded across Workers goroutines (the coordinator included) and
+	// merged deterministically, so the segment is byte-identical to the
+	// sequential build.  Values <= 1 select the sequential path.
+	Workers int
 	// DebugCheck cross-validates the incremental cut/code/marking engine
 	// against a full replay of every local configuration (the original
 	// construction).  It is quadratic and meant for tests only.
 	DebugCheck bool
 	// Progress, when non-nil, is called periodically with the number of
-	// events instantiated so far.  It must be cheap; it runs inside the
-	// possible-extension loop.
+	// events instantiated so far.  It must be cheap; it is only ever called
+	// from the goroutine running Build (even with Workers > 1), so successive
+	// event counts are monotonic.
 	Progress func(events int)
 }
 
@@ -164,10 +171,13 @@ type builder struct {
 	consumedSets []*idSet
 
 	// Scratch storage reused across instantiate/chooseCoset calls.
-	common      idSet    // intersection of the preset co-sets
-	diff        idSet    // parentLocal \ dominant.Local in parentCodeOf
-	candScratch []*idSet // per-recursion-depth candidate sets for chooseCoset
-	coScratch   []*idSet // per-recursion-depth accumulated co-sets
+	common idSet         // intersection of the preset co-sets
+	diff   idSet         // parentLocal \ dominant.Local in parentCodeOf
+	search searchScratch // per-recursion-depth scratch for chooseCoset
+
+	// pool is the worker pool driving the parallel per-event fan-out; nil
+	// when Options.Workers <= 1 (the sequential path).
+	pool *pePool
 }
 
 // Build constructs the STG-unfolding segment of the STG.  The construction
@@ -191,6 +201,10 @@ func Build(ctx context.Context, g *stg.STG, opts Options) (*Unfolding, error) {
 		placeConds: map[petri.PlaceID]*idSet{},
 	}
 	b.u = &Unfolding{STG: g, byTransition: map[petri.TransitionID][]*Event{}}
+	if opts.Workers > 1 {
+		b.pool = newPEPool(b, opts.Workers, faultinject.From(ctx))
+		defer b.pool.close()
+	}
 
 	if err := b.createRoot(); err != nil {
 		return nil, err
@@ -415,26 +429,44 @@ func (b *builder) buildCutSets(pe *possibleExtension, e *Event) (cut, consumed *
 	return cut, consumed
 }
 
-// instantiate turns a possible extension into an event of the segment.
+// instantiate turns a possible extension into an event of the segment: the
+// shared head (consistency checks, event and postset creation, the co-set
+// intersection) followed by the sequential or the pool-sharded tail.  Both
+// tails produce byte-identical segments: the parallel one merges its results
+// in the exact order the sequential code would have produced them.
 func (b *builder) instantiate(pe *possibleExtension) error {
+	e, err := b.newEventFor(pe)
+	if err != nil {
+		return err
+	}
+	if b.pool != nil {
+		return b.finishParallel(pe, e)
+	}
+	return b.finishSequential(pe, e)
+}
+
+// newEventFor validates the extension against the consistent-state-assignment
+// criterion, appends the event and its postset conditions to the segment, and
+// leaves the intersection of the preset co-sets in b.common.
+func (b *builder) newEventFor(pe *possibleExtension) (*Event, error) {
 	label := b.g.Label(pe.transition)
 	parentCode := b.parentCodeOf(pe)
 	if b.opts.DebugCheck {
 		if replay := b.codeOfConfig(pe.parentLocal); !replay.Equal(parentCode) {
-			return fmt.Errorf("unfolding: internal error: incremental parent code %s != replay %s at %s",
+			return nil, fmt.Errorf("unfolding: internal error: incremental parent code %s != replay %s at %s",
 				parentCode, replay, b.g.TransitionString(pe.transition))
 		}
 	}
 	if !label.IsDummy {
 		val := parentCode.Get(label.Signal)
 		if label.Dir == stg.Plus && val {
-			return &InconsistencyError{
+			return nil, &InconsistencyError{
 				Transition: b.g.TransitionString(pe.transition),
 				Detail:     fmt.Sprintf("signal %q is already 1", b.g.Signal(label.Signal).Name),
 			}
 		}
 		if label.Dir == stg.Minus && !val {
-			return &InconsistencyError{
+			return nil, &InconsistencyError{
 				Transition: b.g.TransitionString(pe.transition),
 				Detail:     fmt.Sprintf("signal %q is already 0", b.g.Signal(label.Signal).Name),
 			}
@@ -463,11 +495,8 @@ func (b *builder) instantiate(pe *possibleExtension) error {
 		c.Consumers = append(c.Consumers, e)
 	}
 
-	// Create the postset conditions and update the concurrency relation:
-	// co(c) for c in e• is the intersection of the co-sets of the preset
-	// conditions, plus the siblings in e•.  A condition of the parent cut
-	// that stays concurrent with a same-place postset condition would mean
-	// the place can hold two tokens at once: the net is not safe.
+	// Create the postset conditions and leave the intersection of the preset
+	// co-sets in b.common for the tails.
 	common := &b.common
 	common.copyFrom(b.u.co[pe.preset[0].ID])
 	for _, c := range pe.preset[1:] {
@@ -477,26 +506,39 @@ func (b *builder) instantiate(pe *possibleExtension) error {
 		c := b.newCondition(p, e)
 		e.Postset = append(e.Postset, c)
 	}
-	var unsafePlace petri.PlaceID
-	unsafe := false
+	return e, nil
+}
+
+// finishSequential completes instantiation on the calling goroutine.
+func (b *builder) finishSequential(pe *possibleExtension, e *Event) error {
+	// Update the concurrency relation: co(c) for c in e• is the intersection
+	// of the co-sets of the preset conditions, plus the siblings in e•, so
+	// the forward rows are a word-level copy of b.common.  A condition of the
+	// parent cut that stays concurrent with a same-place postset condition
+	// would mean the place can hold two tokens at once: the net is not safe.
+	common := &b.common
 	for _, c := range e.Postset {
 		co := b.u.co[c.ID]
-		common.forEach(func(otherID int) {
-			other := b.u.Conditions[otherID]
-			if other.Place == c.Place {
-				unsafe = true
-				unsafePlace = c.Place
-				return
-			}
-			co.add(otherID)
-			b.u.co[otherID].add(c.ID)
-		})
+		co.copyFrom(common)
 		for _, sib := range e.Postset {
 			if sib != c {
 				co.add(sib.ID)
 			}
 		}
 	}
+	var unsafePlace petri.PlaceID
+	unsafe := false
+	common.forEach(func(otherID int) {
+		other := b.u.Conditions[otherID]
+		row := b.u.co[otherID]
+		for _, c := range e.Postset {
+			if other.Place == c.Place {
+				unsafe = true
+				unsafePlace = c.Place
+			}
+			row.add(c.ID)
+		}
+	})
 	if unsafe {
 		return &UnsafeError{
 			Place:      b.net.PlaceName(unsafePlace),
@@ -508,11 +550,19 @@ func (b *builder) instantiate(pe *possibleExtension) error {
 	// Final state of the local configuration, derived incrementally from the
 	// preset producers.
 	cutSet, consumedSet := b.buildCutSets(pe, e)
+	cut := make([]*Condition, 0, cutSet.count())
+	cutSet.forEach(func(id int) { cut = append(cut, b.u.Conditions[id]) })
+	return b.commitState(e, cutSet, consumedSet, cut, markingOfCut(cut))
+}
+
+// commitState records the event's final state (cut, marking, cut-off status)
+// and, unless the event is a cut-off, searches its postset for new possible
+// extensions.  Shared by the sequential and the parallel tails.
+func (b *builder) commitState(e *Event, cutSet, consumedSet *idSet, cut []*Condition, marking petri.Marking) error {
 	b.cutSets = append(b.cutSets, cutSet)
 	b.consumedSets = append(b.consumedSets, consumedSet)
-	e.Cut = make([]*Condition, 0, cutSet.count())
-	cutSet.forEach(func(id int) { e.Cut = append(e.Cut, b.u.Conditions[id]) })
-	e.Marking = markingOfCut(e.Cut)
+	e.Cut = cut
+	e.Marking = marking
 	if b.opts.DebugCheck {
 		replay := b.cutOfConfig(e.Local)
 		if !SameCut(e.Cut, replay) {
@@ -533,6 +583,9 @@ func (b *builder) instantiate(pe *possibleExtension) error {
 	for _, c := range e.Postset {
 		b.markLive(c)
 	}
+	if b.pool != nil {
+		return b.pool.searchExtensions(e)
+	}
 	for _, c := range e.Postset {
 		b.findExtensionsWith(c)
 	}
@@ -543,36 +596,57 @@ func (b *builder) instantiate(pe *possibleExtension) error {
 // the (freshly created) condition c.
 func (b *builder) findExtensionsWith(c *Condition) {
 	for _, t := range b.net.PlacePost(c.Place) {
-		pre := b.net.Pre(t)
-		if len(pre) == 1 {
-			b.addPE(t, c, nil)
-			continue
-		}
-		// Candidate conditions for every other preset place, restricted to
-		// conditions concurrent with c and not produced by cut-off events.
-		others := make([]petri.PlaceID, 0, len(pre)-1)
-		for _, p := range pre {
-			if p != c.Place {
-				others = append(others, p)
-			}
-		}
-		if len(others) == 0 {
-			b.addPE(t, c, nil)
-			continue
-		}
-		chosen := make([]*Condition, 0, len(others))
-		b.chooseCoset(t, c, others, chosen, b.u.co[c.ID])
+		b.searchTransition(t, c, &b.search, b.emitPE)
 	}
 }
 
-// scratchSets returns the candidate and co-accumulator scratch sets for the
-// given recursion depth, growing the pools on demand.
-func (b *builder) scratchSets(depth int) (cands, coAcc *idSet) {
-	for len(b.candScratch) <= depth {
-		b.candScratch = append(b.candScratch, newIDSet())
-		b.coScratch = append(b.coScratch, newIDSet())
+// emitPE is the sequential emit hook: discovered extensions go straight into
+// the dedup table and the heap.
+func (b *builder) emitPE(t petri.TransitionID, c *Condition, chosen []*Condition) {
+	b.addPE(t, c, chosen)
+}
+
+// searchTransition enumerates the possible extensions of transition t whose
+// preset contains c, invoking emit for each co-set found (chosen excludes c).
+// It only reads builder state, so concurrent calls with distinct scratch are
+// safe while the segment is quiescent.
+func (b *builder) searchTransition(t petri.TransitionID, c *Condition, sc *searchScratch, emit func(t petri.TransitionID, c *Condition, chosen []*Condition)) {
+	pre := b.net.Pre(t)
+	if len(pre) == 1 {
+		emit(t, c, nil)
+		return
 	}
-	return b.candScratch[depth], b.coScratch[depth]
+	// Candidate conditions for every other preset place, restricted to
+	// conditions concurrent with c and not produced by cut-off events.
+	others := make([]petri.PlaceID, 0, len(pre)-1)
+	for _, p := range pre {
+		if p != c.Place {
+			others = append(others, p)
+		}
+	}
+	if len(others) == 0 {
+		emit(t, c, nil)
+		return
+	}
+	chosen := make([]*Condition, 0, len(others))
+	b.chooseCoset(t, c, others, chosen, b.u.co[c.ID], sc, emit)
+}
+
+// searchScratch is the per-recursion-depth scratch of one chooseCoset caller;
+// every goroutine searching concurrently owns its own instance.
+type searchScratch struct {
+	cand []*idSet // candidate sets, one per recursion depth
+	co   []*idSet // accumulated co-sets, one per recursion depth
+}
+
+// at returns the candidate and co-accumulator scratch sets for the given
+// recursion depth, growing the pools on demand.
+func (sc *searchScratch) at(depth int) (cands, coAcc *idSet) {
+	for len(sc.cand) <= depth {
+		sc.cand = append(sc.cand, newIDSet())
+		sc.co = append(sc.co, newIDSet())
+	}
+	return sc.cand[depth], sc.co[depth]
 }
 
 // chooseCoset recursively selects one condition per remaining preset place so
@@ -580,19 +654,19 @@ func (b *builder) scratchSets(depth int) (cands, coAcc *idSet) {
 // coAcc is the intersection of the co-sets of c and every chosen condition;
 // the candidates for the next place are coAcc ∩ placeConds[place], computed a
 // word at a time instead of filtering the place's conditions one by one.
-func (b *builder) chooseCoset(t petri.TransitionID, c *Condition, remaining []petri.PlaceID, chosen []*Condition, coAcc *idSet) {
+func (b *builder) chooseCoset(t petri.TransitionID, c *Condition, remaining []petri.PlaceID, chosen []*Condition, coAcc *idSet, sc *searchScratch, emit func(t petri.TransitionID, c *Condition, chosen []*Condition)) {
 	place := remaining[0]
-	cands, nextCo := b.scratchSets(len(chosen))
+	cands, nextCo := sc.at(len(chosen))
 	cands.intersectInto(coAcc, b.placeConds[place])
 	if len(remaining) == 1 {
 		cands.forEach(func(id int) {
-			b.addPE(t, c, append(chosen, b.u.Conditions[id]))
+			emit(t, c, append(chosen, b.u.Conditions[id]))
 		})
 		return
 	}
 	cands.forEach(func(id int) {
 		nextCo.intersectInto(coAcc, b.u.co[id])
-		b.chooseCoset(t, c, remaining[1:], append(chosen, b.u.Conditions[id]), nextCo)
+		b.chooseCoset(t, c, remaining[1:], append(chosen, b.u.Conditions[id]), nextCo, sc, emit)
 	})
 }
 
@@ -610,11 +684,22 @@ func peHash(t petri.TransitionID, preset []*Condition) uint64 {
 	return h
 }
 
+// addPE builds the sorted preset of a freshly discovered co-set and hands it
+// to pushPE.
 func (b *builder) addPE(t petri.TransitionID, c *Condition, chosen []*Condition) {
 	preset := make([]*Condition, 0, len(chosen)+1)
 	preset = append(preset, c)
 	preset = append(preset, chosen...)
 	sort.Slice(preset, func(i, j int) bool { return preset[i].ID < preset[j].ID })
+	b.pushPE(t, preset)
+}
+
+// pushPE deduplicates a possible extension (preset already sorted by condition
+// ID) and pushes it onto the queue.  Only the goroutine running Build may call
+// it: the parallel path funnels worker-discovered candidates through here in
+// the exact order the sequential search would have produced them, so the seq
+// tie-break — and therefore the whole segment — is byte-identical.
+func (b *builder) pushPE(t petri.TransitionID, preset []*Condition) {
 	h := peHash(t, preset)
 	for _, fp := range b.seenPE[h] {
 		if fp.matches(t, preset) {

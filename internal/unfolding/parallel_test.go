@@ -1,0 +1,118 @@
+package unfolding
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"punt/internal/benchgen"
+	"punt/internal/faultinject"
+	"punt/internal/stg"
+)
+
+// parallelSpecs is the determinism corpus: the full Table 1 suite plus the
+// pipeline-class and synthetic specs whose co-relation is wide enough to
+// actually exercise the sharded paths.
+func parallelSpecs() map[string]*stg.STG {
+	specs := map[string]*stg.STG{
+		"pipeline-12":  benchgen.MullerPipelineWithSignals(12),
+		"pipeline-22":  benchgen.MullerPipelineWithSignals(22),
+		"counterflow":  benchgen.CounterflowPipeline(),
+		"synthetic-24": benchgen.SyntheticController("synthetic-24", 24, 7),
+		"choice-16":    benchgen.ChoiceController("choice-16", 16, 11),
+	}
+	for _, e := range benchgen.Table1Suite() {
+		specs["table1-"+e.Name] = e.Build()
+	}
+	return specs
+}
+
+// TestParallelDeterminism asserts the tentpole guarantee: the segment built
+// with a worker pool is byte-identical to the sequential one, for every
+// worker count and every spec class.
+func TestParallelDeterminism(t *testing.T) {
+	ctx := context.Background()
+	for name, g := range parallelSpecs() {
+		seq, err := Build(ctx, g, Options{})
+		if err != nil {
+			t.Fatalf("%s: sequential build: %v", name, err)
+		}
+		want := seq.Dump()
+		for _, workers := range []int{2, 3, 8} {
+			par, err := Build(ctx, g, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s: workers=%d build: %v", name, workers, err)
+			}
+			if got := par.Dump(); got != want {
+				t.Errorf("%s: workers=%d segment differs from sequential (%d vs %d events)",
+					name, workers, par.NumEvents(), seq.NumEvents())
+			}
+		}
+	}
+}
+
+// TestParallelDebugCheck runs the parallel build with the incremental-engine
+// cross-validation on: the replay oracle must agree with the pool-sharded
+// state derivation too.
+func TestParallelDebugCheck(t *testing.T) {
+	g := benchgen.MullerPipelineWithSignals(12)
+	if _, err := Build(context.Background(), g, Options{Workers: 4, DebugCheck: true}); err != nil {
+		t.Fatalf("parallel DebugCheck build: %v", err)
+	}
+}
+
+// TestParallelProgressSerialized is the -race regression test for the
+// Progress satellite: with a worker pool active, callbacks must stay on the
+// Build goroutine (the race detector catches any worker-side call into the
+// closure) and the reported event counts must be monotonic.
+func TestParallelProgressSerialized(t *testing.T) {
+	g := benchgen.MullerPipelineWithSignals(22)
+	var counts []int
+	_, err := Build(context.Background(), g, Options{
+		Workers:  8,
+		Progress: func(events int) { counts = append(counts, events) },
+	})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if len(counts) == 0 {
+		t.Fatal("Progress was never called")
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] {
+			t.Fatalf("Progress counts not monotonic: %d after %d", counts[i], counts[i-1])
+		}
+	}
+}
+
+// TestParallelShardCancel injects a cancel fault mid-shard: the round must
+// drain without deadlocking, Build must return the injected error, and the
+// pool's lanes must exit (LeakCheck).
+func TestParallelShardCancel(t *testing.T) {
+	defer faultinject.LeakCheck(t)()
+	inj := faultinject.New(faultinject.Rule{Op: faultinject.OpUnfoldShard, AfterN: 5, Act: faultinject.ActCancel})
+	ctx := faultinject.With(context.Background(), inj)
+	_, err := Build(ctx, benchgen.MullerPipelineWithSignals(12), Options{Workers: 4})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("want injected cancel error, got %v", err)
+	}
+}
+
+// TestParallelShardPanic injects a panic mid-shard on a worker goroutine:
+// it must resurface on the goroutine running Build after the round is
+// quiescent, and no lane may be left wedged.
+func TestParallelShardPanic(t *testing.T) {
+	defer faultinject.LeakCheck(t)()
+	inj := faultinject.New(faultinject.Rule{Op: faultinject.OpUnfoldShard, AfterN: 7, Act: faultinject.ActPanic})
+	ctx := faultinject.With(context.Background(), inj)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("want the injected panic to resurface on the Build goroutine")
+		}
+		if _, ok := r.(faultinject.InjectedPanic); !ok {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	_, _ = Build(ctx, benchgen.MullerPipelineWithSignals(12), Options{Workers: 4})
+}

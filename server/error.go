@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 
 	"punt"
 )
@@ -28,6 +29,15 @@ type ErrorBody struct {
 // errOverloaded is the admission-control rejection: every synthesis slot is
 // busy and the wait queue is full.
 var errOverloaded = errors.New("server overloaded: all synthesis slots busy and the queue is full")
+
+// overloadedError is errOverloaded with a load-derived retry hint attached:
+// RetryAfter estimates, from the queue depth and the median observed synthesis
+// time, how long until a slot plausibly frees up.  errors.Is(err,
+// errOverloaded) still holds, so classification is unchanged.
+type overloadedError struct{ RetryAfter int }
+
+func (e *overloadedError) Error() string { return errOverloaded.Error() }
+func (e *overloadedError) Unwrap() error { return errOverloaded }
 
 // parseError marks a specification that failed to parse — a malformed .g
 // body, reported like the CLI's load failure (exit 1) but with a 400 status
@@ -68,7 +78,11 @@ func classify(err error) (status, exitCode int) {
 func errorBody(err error) ErrorBody {
 	_, exit := classify(err)
 	body := ErrorBody{Error: err.Error(), ExitCode: exit}
-	if errors.Is(err, errOverloaded) {
+	var oe *overloadedError
+	switch {
+	case errors.As(err, &oe):
+		body.RetryAfter = oe.RetryAfter
+	case errors.Is(err, errOverloaded):
 		body.RetryAfter = 1
 	}
 	var d *punt.Diagnostic
@@ -85,7 +99,7 @@ func writeError(w http.ResponseWriter, err error) {
 	body := errorBody(err)
 	w.Header().Set("Content-Type", "application/json")
 	if body.RetryAfter > 0 {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(body.RetryAfter))
 	}
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(body)

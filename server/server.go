@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -92,6 +93,13 @@ type Server struct {
 	queued  atomic.Int64
 	flights *flightGroup
 	wg      sync.WaitGroup
+
+	// durMu guards a ring of recent synthesis wall-clock times; its median
+	// feeds the Retry-After estimate of overload rejections.
+	durMu   sync.Mutex
+	durRing [durRingSize]time.Duration
+	durLen  int
+	durNext int
 
 	requests  atomic.Int64
 	warmHits  atomic.Int64
@@ -276,9 +284,54 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// durRingSize is how many recent synthesis durations feed the Retry-After
+// median.  Small on purpose: overload hints should track the current load
+// mix, not the server's lifetime average.
+const durRingSize = 32
+
+// observeSynthesis records one synthesis wall-clock time (success or failure
+// — either way it occupied a slot for that long).
+func (s *Server) observeSynthesis(d time.Duration) {
+	s.durMu.Lock()
+	defer s.durMu.Unlock()
+	s.durRing[s.durNext] = d
+	s.durNext = (s.durNext + 1) % durRingSize
+	if s.durLen < durRingSize {
+		s.durLen++
+	}
+}
+
+// retryAfterSeconds derives the overload retry hint: the median observed
+// synthesis time, scaled by how many syntheses stand between the rejected
+// request and a free slot (everything queued, everything in flight, and
+// itself), divided across the slot pool.  Clamped to [1s, 60s]; with no
+// observations yet it falls back to 1.
+func (s *Server) retryAfterSeconds() int {
+	s.durMu.Lock()
+	n := s.durLen
+	buf := make([]time.Duration, n)
+	copy(buf, s.durRing[:n])
+	s.durMu.Unlock()
+	if n == 0 {
+		return 1
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	median := buf[n/2]
+	ahead := int(s.queued.Load()) + len(s.sem) + 1
+	est := time.Duration(float64(median) * float64(ahead) / float64(s.cfg.MaxConcurrent))
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
 // runAdmitted runs fn under admission control: a bounded slot pool with a
-// bounded wait queue.  Requests beyond both bounds fail with errOverloaded
-// (a 429 on the wire).
+// bounded wait queue.  Requests beyond both bounds fail with an overload
+// rejection (a 429 on the wire) whose Retry-After reflects the current load.
 func (s *Server) runAdmitted(ctx context.Context, fn func(context.Context) (*punt.Result, error)) (*punt.Result, error) {
 	select {
 	case s.sem <- struct{}{}:
@@ -287,7 +340,7 @@ func (s *Server) runAdmitted(ctx context.Context, fn func(context.Context) (*pun
 		if n := s.queued.Add(1); n > int64(s.cfg.MaxQueue) {
 			s.queued.Add(-1)
 			s.rejected.Add(1)
-			return nil, errOverloaded
+			return nil, &overloadedError{RetryAfter: s.retryAfterSeconds()}
 		}
 		select {
 		case s.sem <- struct{}{}:
@@ -305,6 +358,8 @@ func (s *Server) runAdmitted(ctx context.Context, fn func(context.Context) (*pun
 // error counters.
 func (s *Server) synthesize(ctx context.Context, synth *punt.Synthesizer, spec *punt.Spec, req Request) (*punt.Result, error) {
 	s.syntheses.Add(1)
+	start := time.Now()
+	defer func() { s.observeSynthesis(time.Since(start)) }()
 	res, err := synth.Synthesize(ctx, spec)
 	if err != nil {
 		s.errs.Add(1)

@@ -694,3 +694,94 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Error("cache stats String lost the tier name")
 	}
 }
+
+// TestRetryAfterScalesWithLoad pins the derived overload hint: Retry-After
+// is the median observed synthesis time scaled by the work standing between
+// the rejected request and a free slot, so a deeper queue means a longer
+// back-off — not a hard-coded "1".
+func TestRetryAfterScalesWithLoad(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 2, MaxQueue: -1})
+
+	if got := srv.retryAfterSeconds(); got != 1 {
+		t.Fatalf("with no observations retryAfterSeconds = %d, want the 1s fallback", got)
+	}
+
+	for i := 0; i < 5; i++ {
+		srv.observeSynthesis(4 * time.Second)
+	}
+	idle := srv.retryAfterSeconds() // ahead=1, slots=2 → ceil(4s·1/2) = 2
+	if idle != 2 {
+		t.Fatalf("idle retryAfterSeconds = %d, want 2", idle)
+	}
+
+	// Saturate the slots and stack a queue: the same median must now yield a
+	// proportionally longer hint.  ahead = 3 queued + 2 in flight + 1 self.
+	srv.sem <- struct{}{}
+	srv.sem <- struct{}{}
+	srv.queued.Add(3)
+	loaded := srv.retryAfterSeconds() // ceil(4s·6/2) = 12
+	if loaded != 12 {
+		t.Fatalf("loaded retryAfterSeconds = %d, want 12", loaded)
+	}
+	if loaded <= idle {
+		t.Fatalf("hint does not scale with load: idle %d, loaded %d", idle, loaded)
+	}
+
+	// Pathological synthesis times clamp at the 60s ceiling.
+	for i := 0; i < durRingSize; i++ {
+		srv.observeSynthesis(10 * time.Minute)
+	}
+	if got := srv.retryAfterSeconds(); got != 60 {
+		t.Fatalf("clamped retryAfterSeconds = %d, want 60", got)
+	}
+}
+
+// TestRetryAfterHeaderMatchesBody drives a real rejection end to end after
+// seeding the duration ring, asserting the header carries the derived value
+// (not "1") and agrees with the JSON body.
+func TestRetryAfterHeaderMatchesBody(t *testing.T) {
+	defer faultinject.LeakCheck(t)()
+	srv := New(Config{MaxConcurrent: 1, MaxQueue: -1})
+	for i := 0; i < 5; i++ {
+		srv.observeSynthesis(7 * time.Second)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	release := slow.arm()
+	defer release()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, data := post(t, ts.Client(), ts.URL, Request{Spec: punt.Fig1().Text(), Backend: slow.Name()})
+		wantResult(t, resp, data)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for slow.count.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, data := post(t, ts.Client(), ts.URL, Request{Spec: punt.Handshake().Text(), Backend: slow.Name()})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, data)
+	}
+	var body ErrorBody
+	if err := json.Unmarshal(data, &body); err != nil {
+		t.Fatalf("429 body is not JSON: %v\n%s", err, data)
+	}
+	// median 7s, ahead = 0 queued + 1 in flight + 1 self, slots 1 → 14s.
+	if body.RetryAfter != 14 {
+		t.Errorf("derived RetryAfter = %d, want 14", body.RetryAfter)
+	}
+	if got := resp.Header.Get("Retry-After"); got != fmt.Sprintf("%d", body.RetryAfter) {
+		t.Errorf("Retry-After header %q disagrees with body %d", got, body.RetryAfter)
+	}
+
+	release()
+	wg.Wait()
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -197,8 +197,14 @@ func WithCache(cache Cache) Option { return func(c *config) { c.cache = cache } 
 // Progress.Engine attributing each notification to its backend.
 func WithProgress(fn func(Progress)) Option { return func(c *config) { c.progress = fn } }
 
-// WithWorkers bounds the parallelism of Batch and of the portfolio scheduler
-// (0 = GOMAXPROCS for Batch, all contenders at once for the portfolio).
+// WithWorkers bounds parallelism at every level it exists: how many Batch
+// specifications synthesize at once (0 = GOMAXPROCS), how many portfolio
+// contenders run concurrently (0 = all at once), how many goroutines the
+// unfolding engine shards its possible-extension computation across, and how
+// many candidate validations the CSC resolver runs in parallel (<= 1 keeps
+// both engine loops sequential).  Intra-engine parallelism is deterministic:
+// a WithWorkers(n > 1) run produces output byte-identical to the sequential
+// one, and the result-cache key deliberately excludes the worker count.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
 // Contender records the outcome of one portfolio contender.
@@ -286,6 +292,26 @@ type Stats struct {
 	// satisfied CSC as given).
 	CSCSignalsInserted int `json:"csc_signals_inserted,omitempty"`
 	CSCIterations      int `json:"csc_iterations,omitempty"`
+	// CSCCandidatesFailed counts resolver candidates whose validation
+	// state-graph rebuild failed (the rewrite broke the net); a high count
+	// explains an exhausted search.
+	CSCCandidatesFailed int `json:"csc_candidates_failed,omitempty"`
+	// CSCStatesReused / CSCStatesExpanded record the resolver's incremental
+	// revalidation: parent states patched into each candidate graph without
+	// re-exploration versus delta states actually explored.
+	CSCStatesReused   int `json:"csc_states_reused,omitempty"`
+	CSCStatesExpanded int `json:"csc_states_expanded,omitempty"`
+	// CSCFullRebuilds counts candidate validations that fell back to a full
+	// state-graph rebuild.
+	CSCFullRebuilds int `json:"csc_full_rebuilds,omitempty"`
+
+	// Workers is the WithWorkers parallelism the producing run was configured
+	// with; PEParallel reports that the unfolding engine's possible-extension
+	// loop actually ran sharded across the worker pool.  The output is
+	// byte-identical either way (and the cache key excludes the worker
+	// count), so cached results may report the original run's values.
+	Workers    int  `json:"workers,omitempty"`
+	PEParallel bool `json:"pe_parallel,omitempty"`
 }
 
 // String summarises the stats in the engine's natural vocabulary, covering
@@ -329,6 +355,16 @@ func (s *Stats) String() string {
 	}
 	if s.CSCSignalsInserted > 0 {
 		fmt.Fprintf(&sb, " csc-inserted=%d csc-iterations=%d", s.CSCSignalsInserted, s.CSCIterations)
+	}
+	if s.CSCCandidatesFailed > 0 {
+		fmt.Fprintf(&sb, " csc-candidates-failed=%d", s.CSCCandidatesFailed)
+	}
+	if s.CSCStatesReused > 0 || s.CSCFullRebuilds > 0 {
+		fmt.Fprintf(&sb, " csc-states-reused=%d csc-states-expanded=%d csc-full-rebuilds=%d",
+			s.CSCStatesReused, s.CSCStatesExpanded, s.CSCFullRebuilds)
+	}
+	if s.Workers > 1 {
+		fmt.Fprintf(&sb, " workers=%d pe-parallel=%t", s.Workers, s.PEParallel)
 	}
 	if s.Cached {
 		sb.WriteString(" cached=true")
@@ -407,6 +443,7 @@ func (s *Synthesizer) backendConfig() BackendConfig {
 		MaxEvents: s.cfg.maxEvents,
 		MaxStates: s.cfg.maxStates,
 		MaxNodes:  s.cfg.maxNodes,
+		Workers:   s.cfg.workers,
 		Progress:  s.cfg.progress,
 	}
 }
@@ -665,6 +702,7 @@ func (s *Synthesizer) resolveAndRetry(ctx context.Context, single Backend, conte
 	rg, rrep, err := resolve.Resolve(ctx, spec.g, resolve.Options{
 		MaxSignals: s.cfg.resolveCSC,
 		MaxStates:  s.cfg.maxStates,
+		Workers:    s.cfg.workers,
 	})
 	if err != nil {
 		return nil, diagnose("resolve", spec.Name(), err)
@@ -685,6 +723,10 @@ func (s *Synthesizer) resolveAndRetry(ctx context.Context, single Backend, conte
 	}
 	res.Stats.CSCSignalsInserted = len(rrep.Inserted)
 	res.Stats.CSCIterations = rrep.Iterations
+	res.Stats.CSCCandidatesFailed = rrep.CandidatesFailed
+	res.Stats.CSCStatesReused = rrep.StatesReused
+	res.Stats.CSCStatesExpanded = rrep.StatesExpanded
+	res.Stats.CSCFullRebuilds = rrep.FullRebuilds
 	traces := make([]string, len(rrep.Inserted))
 	for i, in := range rrep.Inserted {
 		traces[i] = in.String()
