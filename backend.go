@@ -64,7 +64,7 @@ func ParseEngine(name string) (Engine, error) {
 	case "portfolio":
 		return Portfolio, nil
 	default:
-		return Unfolding, fmt.Errorf("punt: unknown engine %q (want unfolding, explicit, symbolic or portfolio)", name)
+		return Unfolding, fmt.Errorf("%w %q (want unfolding, explicit, symbolic or portfolio)", ErrUnknownEngine, name)
 	}
 }
 

@@ -111,6 +111,7 @@ func (s *Synthesizer) Batch(ctx context.Context, items []BatchItem) ([]BatchResu
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//puntlint:ignore gohygiene worker panics are recovered by runItem's own last-line defer; the loop here is panic-free bookkeeping
 		go func() {
 			defer wg.Done()
 			for idx := range work {

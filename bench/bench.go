@@ -6,6 +6,7 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -270,7 +271,10 @@ func RunResolveRetry(ctx context.Context, conflicts int) ([]ResolveRetryPoint, e
 		_, rep, errInc := resolve.Resolve(ctx, g, resolve.Options{MaxStates: 200000})
 		incr := time.Since(t1)
 		if (errFull == nil) != (errInc == nil) {
-			return nil, fmt.Errorf("bench: seed %d: full-rebuild err %v vs incremental err %v", seed, errFull, errInc)
+			// Exactly one mode failed; errors.Join drops the nil side, so the
+			// wrapped cause is the divergent error itself.
+			return nil, fmt.Errorf("bench: seed %d: full-rebuild (err=%t) and incremental (err=%t) retry disagree: %w",
+				seed, errFull != nil, errInc != nil, errors.Join(errFull, errInc))
 		}
 		if errInc != nil {
 			continue // both modes reject this seed identically; not a data point

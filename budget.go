@@ -196,6 +196,7 @@ func startWatchdog(ctx context.Context, deadline time.Duration, memBudget int64,
 		}
 	}
 
+	//puntlint:ignore gohygiene the watchdog is central governance machinery joined by release(); swallowing its panics would silently disable budget enforcement
 	go w.run(actx, deadline, memBudget)
 	release := func() {
 		close(w.stop)

@@ -222,10 +222,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "%s\n", rep)
 			}
 		}
+		out := res.Eqn()
 		if *verilog {
-			fmt.Fprint(stdout, res.Verilog())
-		} else {
-			fmt.Fprint(stdout, res.Eqn())
+			out = res.Verilog()
+		}
+		// The netlist on stdout is the product of the run: a failing write
+		// (closed pipe, full disk) must fail the command, not truncate the
+		// circuit silently under exit 0.
+		if _, err := io.WriteString(stdout, out); err != nil {
+			fmt.Fprintln(stderr, "punt: writing output:", err)
+			return 1
 		}
 	}
 	return 0

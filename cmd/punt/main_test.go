@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -295,5 +296,23 @@ func TestFallbackFlagDegrades(t *testing.T) {
 func TestBadDeadlineIsUsageError(t *testing.T) {
 	if code, _, _ := runCmd(t, []string{"-deadline", "soon", "../../testdata/fig1.g"}, ""); code != 2 {
 		t.Fatalf("exit = %d, want the usage status 2", code)
+	}
+}
+
+// brokenWriter fails every write, simulating a closed pipe or a full disk.
+type brokenWriter struct{}
+
+func (brokenWriter) Write([]byte) (int, error) { return 0, errors.New("broken pipe") }
+
+// A failing stdout must fail the run: the artifact on stdout is the
+// command's product, and truncating it under exit 0 corrupts pipelines.
+func TestOutputWriteFailureExitsNonZero(t *testing.T) {
+	var errb bytes.Buffer
+	code := run([]string{"../../testdata/fig1.g"}, strings.NewReader(""), brokenWriter{}, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 on a failing stdout", code)
+	}
+	if !strings.Contains(errb.String(), "writing output") {
+		t.Errorf("stderr should report the output failure: %s", errb.String())
 	}
 }

@@ -1,0 +1,131 @@
+// Command puntlint runs the project's invariant analyzers (punt/internal/lint)
+// over the given package patterns — the multichecker for the invariants the
+// test suite can only probe dynamically: deterministic map handling in the
+// byte-identical-output packages, context discipline, the *Diagnostic error
+// boundary, goroutine panic hygiene, and cache-key purity.
+//
+// Usage:
+//
+//	puntlint [-fix] [-list] [packages ...]
+//
+// With no patterns ./... is checked.  Findings print as
+// file:line:col: message [analyzer]; the exit status is 1 when there are
+// findings, 2 on a usage or load failure, 0 when clean.  -fix applies the
+// mechanical suggested fixes (currently the %v→%w error-wrapping rewrites)
+// to the files in place.  A justified exception is recorded in the source
+// with `//puntlint:ignore <analyzer> <reason>` on or above the offending
+// line; an unexplained or stale directive is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"punt/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("puntlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fix := fs.Bool("fix", false, "apply mechanical suggested fixes to the source in place")
+	list := fs.Bool("list", false, "print the analyzer suite and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%s:\n%s\n\n", a.Name, indent(a.Doc))
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	prog, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "puntlint:", err)
+		return 2
+	}
+	diags, err := lint.Run(prog, lint.All())
+	if err != nil {
+		fmt.Fprintln(stderr, "puntlint:", err)
+		return 2
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	if *fix {
+		applied, err := applyFixes(prog, diags)
+		if err != nil {
+			fmt.Fprintln(stderr, "puntlint:", err)
+			return 2
+		}
+		if applied > 0 {
+			fmt.Fprintf(stderr, "puntlint: applied %d fix(es); re-run to see what remains\n", applied)
+		}
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, lint.RenderDiagnostic(prog.Fset, d))
+	}
+	return 1
+}
+
+// applyFixes rewrites the source files touched by suggested fixes, applying
+// edits back-to-front per file so earlier offsets stay valid.
+func applyFixes(prog *lint.Program, diags []lint.Diagnostic) (int, error) {
+	type edit struct {
+		start, end int
+		text       string
+	}
+	perFile := make(map[string][]edit)
+	applied := 0
+	for _, d := range diags {
+		for _, f := range d.Fixes {
+			applied++
+			for _, e := range f.Edits {
+				pos := prog.Fset.Position(e.Pos)
+				end := prog.Fset.Position(e.End)
+				perFile[pos.Filename] = append(perFile[pos.Filename],
+					edit{start: pos.Offset, end: end.Offset, text: e.New})
+			}
+		}
+	}
+	for file, edits := range perFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return applied, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for _, e := range edits {
+			if e.start < 0 || e.end > len(src) || e.start > e.end {
+				return applied, fmt.Errorf("fix out of range in %s", file)
+			}
+			src = append(src[:e.start], append([]byte(e.text), src[e.end:]...)...)
+		}
+		if err := os.WriteFile(file, src, 0o644); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}
+
+func indent(s string) string {
+	out := "    "
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			out += "    "
+		}
+	}
+	return out
+}

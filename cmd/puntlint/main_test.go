@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"punt/internal/lint"
+)
+
+func TestListPrintsEveryAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(out.String(), a.Name+":") {
+			t.Errorf("-list output missing analyzer %s:\n%s", a.Name, out.String())
+		}
+	}
+}
+
+func TestBadPatternExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"./no/such/package"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2 for an unloadable pattern; stderr: %s", code, errb.String())
+	}
+}
+
+// TestFixtureViolationsExitOne drives the full driver over a fixture package
+// that is known dirty: findings must print in file:line:col form and the
+// exit status must be 1.
+func TestFixtureViolationsExitOne(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"../../internal/lint/testdata/src/gohygiene"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[gohygiene]") {
+		t.Errorf("findings should carry the analyzer tag:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "fixture.go:") {
+		t.Errorf("findings should point into the fixture:\n%s", out.String())
+	}
+}

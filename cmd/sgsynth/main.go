@@ -79,10 +79,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *stats {
 		fmt.Fprintf(stderr, "%s\n", &res.Stats)
 	}
+	out := res.Eqn()
 	if *verilog {
-		fmt.Fprint(stdout, res.Verilog())
-	} else {
-		fmt.Fprint(stdout, res.Eqn())
+		out = res.Verilog()
+	}
+	// The netlist on stdout is the product of the run: a failing write must
+	// fail the command, not truncate the circuit silently under exit 0.
+	if _, err := io.WriteString(stdout, out); err != nil {
+		fmt.Fprintln(stderr, "sgsynth: writing output:", err)
+		return 1
 	}
 	return 0
 }

@@ -51,27 +51,31 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	ctx := context.Background()
-	fmt.Fprint(stdout, spec.Describe())
-	fmt.Fprintf(stdout, "marked graph: %v, free choice: %v\n", spec.IsMarkedGraph(), spec.IsFreeChoice())
+	// The report on stdout is the product of the run: latch the first write
+	// failure so a closed pipe or full disk fails the command instead of
+	// truncating the analysis silently under exit 0.
+	out := &errWriter{w: stdout}
+	fmt.Fprint(out, spec.Describe())
+	fmt.Fprintf(out, "marked graph: %v, free choice: %v\n", spec.IsMarkedGraph(), spec.IsFreeChoice())
 
 	seg, err := punt.Unfold(ctx, spec)
 	if err != nil {
-		fmt.Fprintf(stdout, "unfolding: failed: %v\n", err)
+		fmt.Fprintf(out, "unfolding: failed: %v\n", err)
 	} else {
-		fmt.Fprintf(stdout, "unfolding segment: %s\n", seg.Stats())
+		fmt.Fprintf(out, "unfolding segment: %s\n", seg.Stats())
 		if v := seg.SemiModularityViolations(); len(v) > 0 {
-			fmt.Fprintf(stdout, "unfolding semi-modularity: %d potential violations (first: %s)\n", len(v), v[0])
+			fmt.Fprintf(out, "unfolding semi-modularity: %d potential violations (first: %s)\n", len(v), v[0])
 		} else {
-			fmt.Fprintln(stdout, "unfolding semi-modularity: ok")
+			fmt.Fprintln(out, "unfolding semi-modularity: ok")
 		}
 	}
 
 	sg, err := punt.BuildStateGraph(ctx, spec, punt.WithMaxStates(*maxStates))
 	if err != nil {
-		fmt.Fprintf(stdout, "state graph: failed: %v\n", err)
-		return 0
+		fmt.Fprintf(out, "state graph: failed: %v\n", err)
+		return finish(out, stderr)
 	}
-	fmt.Fprint(stdout, sg.Report())
+	fmt.Fprint(out, sg.Report())
 
 	// Per-conflict detail from the structured API: the conflicting state
 	// pair with its shared code, the output signals that disagree, and a
@@ -79,13 +83,40 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	conflicts := sg.CSCConflicts()
 	for i, c := range conflicts {
 		if i >= *maxConflicts {
-			fmt.Fprintf(stdout, "  … %d more conflicts (raise -max-conflicts)\n", len(conflicts)-i)
+			fmt.Fprintf(out, "  … %d more conflicts (raise -max-conflicts)\n", len(conflicts)-i)
 			break
 		}
-		fmt.Fprintf(stdout, "  conflict %d: code %s: state %d {%s} vs state %d {%s}, differing on %s\n",
+		fmt.Fprintf(out, "  conflict %d: code %s: state %d {%s} vs state %d {%s}, differing on %s\n",
 			i+1, c.Code, c.StateA, c.SignalsA, c.StateB, c.SignalsB, strings.Join(c.DiffSignals, ","))
-		fmt.Fprintf(stdout, "    witness to state %d: %s\n", c.StateA, renderTrace(c.TraceA))
-		fmt.Fprintf(stdout, "    witness to state %d: %s\n", c.StateB, renderTrace(c.TraceB))
+		fmt.Fprintf(out, "    witness to state %d: %s\n", c.StateA, renderTrace(c.TraceA))
+		fmt.Fprintf(out, "    witness to state %d: %s\n", c.StateB, renderTrace(c.TraceB))
+	}
+	return finish(out, stderr)
+}
+
+// An errWriter latches the first write error; later writes become no-ops so
+// one failure is reported once, at the end of the run.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	if err != nil {
+		ew.err = err
+	}
+	return n, err
+}
+
+// finish converts a latched output failure into the exit code.
+func finish(out *errWriter, stderr io.Writer) int {
+	if out.err != nil {
+		fmt.Fprintln(stderr, "stginfo: writing output:", out.err)
+		return 1
 	}
 	return 0
 }

@@ -48,6 +48,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "unfdump:", err)
 		return 1
 	}
-	fmt.Fprint(stdout, seg.Dump())
+	// The dump on stdout is the product of the run: a failing write must fail
+	// the command, not truncate the segment silently under exit 0.
+	if _, err := io.WriteString(stdout, seg.Dump()); err != nil {
+		fmt.Fprintln(stderr, "unfdump: writing output:", err)
+		return 1
+	}
 	return 0
 }

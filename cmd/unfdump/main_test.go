@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDumpSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"../../testdata/fig1.g"}, strings.NewReader(""), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.Len() == 0 {
+		t.Fatal("dump produced no output")
+	}
+}
+
+func TestUsageExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2 with no arguments", code)
+	}
+}
+
+// brokenWriter fails every write, simulating a closed pipe or a full disk.
+type brokenWriter struct{}
+
+func (brokenWriter) Write([]byte) (int, error) { return 0, errors.New("broken pipe") }
+
+func TestOutputWriteFailureExitsNonZero(t *testing.T) {
+	var errb bytes.Buffer
+	code := run([]string{"../../testdata/fig1.g"}, strings.NewReader(""), brokenWriter{}, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 on a failing stdout", code)
+	}
+	if !strings.Contains(errb.String(), "writing output") {
+		t.Errorf("stderr should report the output failure: %s", errb.String())
+	}
+}

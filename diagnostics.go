@@ -41,6 +41,14 @@ var (
 	// ErrVerification: the implementation failed the closed-loop verification
 	// (Verify); matched by conformance, hazard and liveness violations alike.
 	ErrVerification = errors.New("punt: implementation fails verification")
+	// ErrFormat: a serialized Result document (wire or disk) is malformed —
+	// wrong format version, missing implementation, or a spec-hash mismatch.
+	// The cache layers treat it as a miss; remote clients see a decode
+	// failure they can match with errors.Is.
+	ErrFormat = errors.New("punt: malformed result document")
+	// ErrUnknownEngine: an engine name did not parse (ParseEngine); the CLIs
+	// render it as a usage error.
+	ErrUnknownEngine = errors.New("punt: unknown engine")
 )
 
 // DiagKind classifies a Diagnostic.

@@ -119,5 +119,15 @@
 // verbatim at any other).  Progress callbacks stay serialized on the
 // coordinating goroutine under any n.
 //
+// The repository's cross-cutting invariants — byte-identical deterministic
+// output, context discipline on every blocking path, the *Diagnostic error
+// taxonomy at the facade boundary, goroutine panic hygiene and cache-key
+// purity — are not conventions but checked properties: punt/internal/lint
+// implements a project-specific static-analysis suite (five analyzers in the
+// shape of golang.org/x/tools/go/analysis, built on the standard library
+// alone) and cmd/puntlint is the multichecker CI gates on.  Justified
+// exceptions are recorded in the source as //puntlint:ignore directives with
+// a mandatory reason; stale or unexplained directives fail the gate.
+//
 // See README.md for the layout, a quickstart and the CLI overview.
 package punt

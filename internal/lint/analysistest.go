@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// RunFixture is the analysistest analogue: it loads the fixture package at
+// testdata/src/<pkg> (relative to dir), runs one analyzer over it bypassing
+// the analyzer's package Filter, and matches the findings against the
+// fixture's expectations, written as trailing comments:
+//
+//	code() // want `regexp`
+//
+// Every expectation must be matched by a finding on its line and every
+// finding must be claimed by an expectation; lines without a want comment
+// are the analyzer's negative cases.
+func RunFixture(t *testing.T, dir, pkg string, a *Analyzer) {
+	t.Helper()
+	prog, err := Load(dir, "./testdata/src/"+pkg)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkg, err)
+	}
+	if len(prog.Packages) != 1 {
+		t.Fatalf("fixture %s loaded %d module packages, want 1", pkg, len(prog.Packages))
+	}
+	target := prog.Packages[0]
+
+	var diags []Diagnostic
+	pass := &Pass{Analyzer: a, Prog: prog, Pkg: target, Fset: prog.Fset, diags: &diags}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s on fixture %s: %v", a.Name, pkg, err)
+	}
+
+	wants := fixtureWants(t, prog, target)
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		w := matchWant(wants, pos.Filename, pos.Line, d.Message)
+		if w == nil {
+			t.Errorf("%s: unexpected finding: %s", pos, d.Message)
+			continue
+		}
+		w.matched = true
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no %s finding matched `%s`", w.file, w.line, a.Name, w.re)
+		}
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+// fixtureWants parses the `// want ...` expectations of the fixture.
+func fixtureWants(t *testing.T, prog *Program, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want ") {
+						t.Fatalf("%s: malformed want comment %q (use // want `regexp`)",
+							prog.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want pattern: %v", prog.Fset.Position(c.Pos()), err)
+				}
+				pos := prog.Fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+func matchWant(wants []*want, file string, line int, msg string) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+// RenderDiagnostic formats one finding the way the driver prints it.
+func RenderDiagnostic(fset *token.FileSet, d Diagnostic) string {
+	pos := fset.Position(d.Pos)
+	out := fmt.Sprintf("%s:%d:%d: %s [%s]", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+	for _, fix := range d.Fixes {
+		out += "\n\tfix: " + fix.Message
+	}
+	return out
+}

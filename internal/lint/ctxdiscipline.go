@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CtxDiscipline guards the cancellation invariant established in PR 2:
+// every engine and facade path is cancellable through the caller's context.
+// A fresh context.Background()/TODO() in library code detaches work from
+// that chain, and a blocking channel operation in a context-carrying
+// function with no ctx.Done() arm is a cancellation leak — under a tripped
+// deadline or a disconnecting client the goroutine hangs forever.
+var CtxDiscipline = &Analyzer{
+	Name: "ctxdiscipline",
+	Doc: "flags context.Background()/context.TODO() outside main packages and tests (the\n" +
+		"`if ctx == nil { ctx = context.Background() }` entry-point default is allowed), and\n" +
+		"blocking channel operations in context-carrying functions without a ctx.Done() arm",
+	Filter: func(pkg *Package) bool { return !pkg.IsMain },
+	Run:    runCtxDiscipline,
+}
+
+func runCtxDiscipline(pass *Pass) error {
+	for _, f := range pass.Pkg.Syntax {
+		checkFreshContexts(pass, f)
+		checkBlockingOps(pass, f)
+	}
+	return nil
+}
+
+// checkFreshContexts flags context.Background/TODO calls, permitting the
+// nil-guard default `if ctx == nil { ctx = context.Background() }` that the
+// facade's entry points use to tolerate lazy callers: a defaulted nil is the
+// caller's explicit choice, a fresh context deep in a call chain is not.
+func checkFreshContexts(pass *Pass, f *ast.File) {
+	walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		isBackground := pass.isCallTo(call, "context", "Background")
+		isTODO := pass.isCallTo(call, "context", "TODO")
+		if !isBackground && !isTODO {
+			return true
+		}
+		if isTODO {
+			pass.Reportf(call.Pos(), "context.TODO in library code: thread the caller's context instead")
+			return true
+		}
+		if isNilGuardDefault(pass, call, stack) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"context.Background in library code detaches this work from the caller's cancellation; "+
+				"thread the caller's context (or default only under `if ctx == nil` at the entry point)")
+		return true
+	})
+}
+
+// isNilGuardDefault recognizes `if x == nil { x = context.Background() }`
+// (and `x := context.Background()` inside such a guard) for the variable
+// compared against nil.
+func isNilGuardDefault(pass *Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	// Immediate parent must be an assignment to a single identifier...
+	if len(stack) < 2 {
+		return false
+	}
+	assign, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	// ...directly inside an if whose condition is `lhs == nil`.
+	for i := len(stack) - 2; i >= 0; i-- {
+		ifStmt, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.EQL {
+			return false
+		}
+		condID, ok := ast.Unparen(cond.X).(*ast.Ident)
+		nilID, nilOK := ast.Unparen(cond.Y).(*ast.Ident)
+		if !ok || !nilOK || nilID.Name != "nil" {
+			return false
+		}
+		return pass.ObjectOf(condID) != nil && pass.ObjectOf(condID) == pass.ObjectOf(lhs)
+	}
+	return false
+}
+
+// checkBlockingOps flags channel sends and receives in functions that
+// declare a context.Context parameter when the operation has no escape
+// hatch: not inside a select with a ctx.Done() (or default) arm.  Only
+// functions that themselves take a ctx are held to this — they advertise
+// cancellability; nested goroutine literals with their own protocols are
+// audited by gohygiene instead.
+func checkBlockingOps(pass *Pass, f *ast.File) {
+	walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+		var op ast.Node
+		switch stmt := n.(type) {
+		case *ast.SendStmt:
+			op = stmt
+		case *ast.UnaryExpr:
+			if stmt.Op != token.ARROW {
+				return true
+			}
+			op = stmt
+		default:
+			return true
+		}
+		owner := enclosingFunc(stack)
+		var ftype *ast.FuncType
+		switch fn := owner.(type) {
+		case *ast.FuncDecl:
+			ftype = fn.Type
+		case *ast.FuncLit:
+			ftype = fn.Type
+		default:
+			return true
+		}
+		if pass.ctxParam(ftype) == nil {
+			return true
+		}
+		if guarded(stack) {
+			return true
+		}
+		what := "receive"
+		if _, ok := op.(*ast.SendStmt); ok {
+			what = "send"
+		}
+		pass.Reportf(op.Pos(),
+			"blocking channel %s in a context-carrying function without a ctx.Done() arm; "+
+				"a cancelled caller hangs here — select on the operation and ctx.Done()", what)
+		return true
+	})
+}
+
+// guarded reports whether the innermost enclosing select (within the same
+// function) carries a ctx.Done() receive or a default arm.
+func guarded(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			for _, clause := range n.Body.List {
+				comm, ok := clause.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if comm.Comm == nil {
+					return true // default: never blocks
+				}
+				if commReceivesDone(comm.Comm) {
+					return true
+				}
+			}
+			// A select without an escape arm blocks as a unit; keep looking
+			// for an outer one (nested selects are rare but legal).
+		}
+	}
+	return false
+}
+
+// commReceivesDone matches `<-x.Done()` (any receiver: the analyzer accepts
+// any Done() channel — ctx.Done(), a derived context, a done-compatible
+// shutdown channel — as the cancellation arm).
+func commReceivesDone(stmt ast.Stmt) bool {
+	var expr ast.Expr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		expr = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			expr = s.Rhs[0]
+		}
+	}
+	recv, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+	if !ok || recv.Op != token.ARROW {
+		return false
+	}
+	call, ok := ast.Unparen(recv.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Done"
+}

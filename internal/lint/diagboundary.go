@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// DiagBoundary guards the *punt.Diagnostic error taxonomy (PRs 2/5/6): the
+// facade promises structured, errors.Is-matchable failures, which dies the
+// moment an error is flattened into text with %v/%s or a bare
+// errors.New/fmt.Errorf escapes an exported entry point un-wrapped.
+var DiagBoundary = &Analyzer{
+	Name: "diagboundary",
+	Doc: "flags fmt.Errorf that formats an error with %v/%s instead of wrapping it with %w\n" +
+		"(suggested fix rewrites the verb), and exported facade/server functions returning a\n" +
+		"bare errors.New/fmt.Errorf instead of a *punt.Diagnostic or a %w-wrapped sentinel",
+	Run: runDiagBoundary,
+}
+
+func runDiagBoundary(pass *Pass) error {
+	for _, f := range pass.Pkg.Syntax {
+		checkErrorfWrapping(pass, f)
+		if isFacadePackage(pass.Pkg) {
+			checkBareBoundaryErrors(pass, f)
+		}
+	}
+	return nil
+}
+
+// isFacadePackage reports whether pkg is part of the public boundary: the
+// module root (the punt facade), the server package, or a cmd binary.  Lint
+// fixtures count as facade so the boundary check is exercisable under
+// analysistest.
+func isFacadePackage(pkg *Package) bool {
+	return !strings.Contains(pkg.PkgPath, "/") || // module root ("punt")
+		pathHasSuffix(pkg.PkgPath, "server") ||
+		strings.Contains(pkg.PkgPath, "/cmd/") ||
+		strings.Contains(pkg.PkgPath, "lint/testdata/")
+}
+
+// checkErrorfWrapping flags fmt.Errorf calls that pass an error value to a
+// %v/%s/%d verb: the chain breaks (errors.Is/As stop seeing the cause) and
+// the fix — flipping the verb to %w — is mechanical, so it ships as a
+// suggested fix.
+func checkErrorfWrapping(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !pass.isCallTo(call, "fmt", "Errorf") || len(call.Args) < 2 {
+			return true
+		}
+		lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		verbs := formatVerbs(format)
+		if len(verbs) != len(call.Args)-1 {
+			return true // indexed/starred/mismatched format: out of scope
+		}
+		for i, v := range verbs {
+			arg := call.Args[i+1]
+			if v.letter == 'w' || !isErrorType(pass.TypeOf(arg)) {
+				continue
+			}
+			if v.letter != 'v' && v.letter != 's' {
+				continue // %q, %T, %p of an error are deliberate formatting
+			}
+			d := Diagnostic{
+				Pos: arg.Pos(),
+				Message: fmt.Sprintf("error formatted with %%%c instead of wrapped with %%w: "+
+					"errors.Is/As lose the cause across this boundary", v.letter),
+			}
+			// The verb byte sits inside the (possibly escaped) string
+			// literal; rewrite the whole literal so the edit is exact.
+			fixed := format[:v.offset] + "%w" + format[v.offset+v.width:]
+			d.Fixes = []SuggestedFix{{
+				Message: fmt.Sprintf("replace %%%c with %%w", v.letter),
+				Edits: []TextEdit{{
+					Pos: lit.Pos(),
+					End: lit.End(),
+					New: strconv.Quote(fixed),
+				}},
+			}}
+			pass.Report(d)
+		}
+		return true
+	})
+}
+
+// A verb is one % directive of a format string.
+type verb struct {
+	offset int // byte offset of '%' in the unquoted format
+	width  int // bytes from '%' through the verb letter
+	letter byte
+}
+
+// formatVerbs extracts the argument-consuming verbs of a fmt format string,
+// in order.  Flags and numeric width/precision are skipped; `%%` consumes no
+// argument; `*` and explicit argument indexes make the mapping positional
+// and are reported as a nil slice (callers skip those formats).
+func formatVerbs(format string) []verb {
+	var verbs []verb
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		start := i
+		i++
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case '%':
+			continue
+		case '*', '[':
+			return nil
+		}
+		verbs = append(verbs, verb{offset: start, width: i - start + 1, letter: format[i]})
+	}
+	return verbs
+}
+
+// checkBareBoundaryErrors flags exported functions and methods of the
+// facade packages that return a bare errors.New(...)/fmt.Errorf(...) call
+// directly: the boundary contract is *punt.Diagnostic (or a %w-wrapped
+// sentinel), so the raw constructor must pass through the diagnose wrapper.
+func checkBareBoundaryErrors(pass *Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil || !fn.Name.IsExported() || !returnsError(pass, fn) {
+			continue
+		}
+		// Walk only this function's own return statements, not those of
+		// nested function literals (their results don't cross the boundary).
+		var check func(n ast.Node) bool
+		check = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					call, ok := ast.Unparen(res).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if pass.isCallTo(call, "errors", "New") {
+						pass.Reportf(res.Pos(),
+							"exported %s returns a bare errors.New: boundary errors must be *punt.Diagnostic "+
+								"or a %%w-wrapped sentinel (route it through the diagnose wrapper)", fn.Name.Name)
+					}
+					if pass.isCallTo(call, "fmt", "Errorf") && !errorfWraps(pass, call) {
+						pass.Reportf(res.Pos(),
+							"exported %s returns a bare fmt.Errorf with no %%w: boundary errors must be "+
+								"*punt.Diagnostic or a %%w-wrapped sentinel", fn.Name.Name)
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(fn.Body, check)
+	}
+}
+
+func returnsError(pass *Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, res := range fn.Type.Results.List {
+		if t := pass.TypeOf(res.Type); t != nil && isErrorType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// errorfWraps reports whether a fmt.Errorf call's format contains %w.
+func errorfWraps(pass *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return true // dynamic format: give it the benefit of the doubt
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return true
+	}
+	for _, v := range formatVerbs(format) {
+		if v.letter == 'w' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each analyzer runs over its fixture package, which pairs at least one true
+// positive (a `// want` line) with negative cases that must stay silent.
+func TestMapIterDetFixture(t *testing.T) { RunFixture(t, ".", "mapiterdet", MapIterDet) }
+
+func TestCtxDisciplineFixture(t *testing.T) { RunFixture(t, ".", "ctxdiscipline", CtxDiscipline) }
+
+func TestDiagBoundaryFixture(t *testing.T) { RunFixture(t, ".", "diagboundary", DiagBoundary) }
+
+func TestGoHygieneFixture(t *testing.T) { RunFixture(t, ".", "gohygiene", GoHygiene) }
+
+func TestPureKeyFixture(t *testing.T) { RunFixture(t, ".", "purekey", PureKey) }
+
+// TestDiagBoundarySuggestedFix checks the mechanical %v→%w rewrite that
+// `puntlint -fix` applies: the edit replaces the whole format literal and
+// the rewritten literal carries %w where %v stood.
+func TestDiagBoundarySuggestedFix(t *testing.T) {
+	prog, err := Load(".", "./testdata/src/diagboundary")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	var diags []Diagnostic
+	pass := &Pass{Analyzer: DiagBoundary, Prog: prog, Pkg: prog.Packages[0], Fset: prog.Fset, diags: &diags}
+	if err := DiagBoundary.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	fixes := 0
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			fixes++
+			if len(fix.Edits) != 1 {
+				t.Fatalf("fix %q has %d edits, want 1", fix.Message, len(fix.Edits))
+			}
+			edit := fix.Edits[0]
+			if !strings.Contains(edit.New, "%w") {
+				t.Errorf("fix %q rewrites to %q, which has no %%w", fix.Message, edit.New)
+			}
+			if strings.Contains(edit.New, "%v") || strings.Contains(edit.New, "%s") {
+				t.Errorf("fix %q leaves the flattening verb in %q", fix.Message, edit.New)
+			}
+			if edit.End <= edit.Pos {
+				t.Errorf("fix %q has an empty edit range", fix.Message)
+			}
+		}
+	}
+	if fixes != 2 {
+		t.Errorf("got %d suggested fixes, want 2 (one per flattened verb)", fixes)
+	}
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GoHygiene guards the goroutine discipline the chaos harness (PR 6)
+// enforces dynamically: a goroutine in library code that panics takes the
+// whole process down — recover in the *parent* does not help — so every
+// launch must either recover its own panics or be a documented part of the
+// central pool/watchdog machinery (recorded with a //puntlint:ignore and a
+// reason, which keeps the exception inventory greppable).
+var GoHygiene = &Analyzer{
+	Name: "gohygiene",
+	Doc: "flags bare `go` launches in non-main, non-test code whose function body does not\n" +
+		"defer a recover: a panicking goroutine kills the process, bypassing the central\n" +
+		"panic-recovery machinery (runBackend, the portfolio's last-line recover, LeakCheck)",
+	Filter: func(pkg *Package) bool { return !pkg.IsMain },
+	Run:    runGoHygiene,
+}
+
+func runGoHygiene(pass *Pass) error {
+	for _, f := range pass.Pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(stmt.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				pass.Reportf(stmt.Pos(),
+					"goroutine launched on a named function: a panic inside it kills the process; "+
+						"wrap it in a func literal with a deferred recover, or justify with an ignore directive")
+				return true
+			}
+			if !deferredRecover(lit) {
+				pass.Reportf(stmt.Pos(),
+					"goroutine body has no deferred recover: a panic here kills the process instead of "+
+						"failing the one request (see the portfolio contender's last-line recover for the idiom)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// deferredRecover reports whether the function literal's own body (not a
+// nested literal) defers a call that mentions recover — either the built-in
+// directly or a helper whose name says so (handlePanic, recoverToDiag, ...).
+func deferredRecover(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a nested literal's defers don't protect this one
+		case *ast.DeferStmt:
+			if mentionsIdent(n.Call, "recover") || mentionsName(n.Call, "ecover") || mentionsName(n.Call, "anic") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsName reports whether any identifier in the subtree contains frag.
+func mentionsName(n ast.Node, frag string) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok && strings.Contains(id.Name, frag) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// walkStack drives fn over every node of f in source order with the stack of
+// enclosing nodes (outermost first, n not included).  Returning false from fn
+// prunes the subtree.
+func walkStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// pkgFunc resolves a call expression to the (package path, function name) of
+// a package-level function or method it statically invokes, or "" when the
+// callee is not a named function (a func value, a conversion, a builtin).
+func (p *Pass) pkgFunc(call *ast.CallExpr) (pkgPath, name string) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", ""
+	}
+	obj, ok := p.ObjectOf(id).(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return "", ""
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// isCallTo reports whether call statically invokes pkgPath.name.
+func (p *Pass) isCallTo(call *ast.CallExpr, pkgPath, name string) bool {
+	gotPkg, gotName := p.pkgFunc(call)
+	return gotPkg == pkgPath && gotName == name
+}
+
+// ctxParam returns the object of the function's context.Context parameter,
+// or nil when the signature has none.
+func (p *Pass) ctxParam(ft *ast.FuncType) types.Object {
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		t := p.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := p.ObjectOf(name); obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isErrorType reports whether t (or *t) implements the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// enclosingFunc returns the innermost FuncDecl or FuncLit on the stack.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// mentionsIdent reports whether the subtree under n references an identifier
+// with the given name.
+func mentionsIdent(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// pathHasSuffix reports whether the import path matches one of the given
+// suffix components (e.g. "internal/unfolding" matches
+// "punt/internal/unfolding").
+func pathHasSuffix(path string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

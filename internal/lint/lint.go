@@ -1,0 +1,278 @@
+// Package lint is the project's static-analysis suite: a set of analyzers
+// that turn the reproduction's cross-cutting invariants — deterministic
+// output, context discipline, the *Diagnostic error taxonomy, goroutine
+// hygiene and cache-key purity — into checked, un-mergeable properties
+// instead of conventions.
+//
+// The package deliberately mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic, suggested fixes, analysistest-style fixture
+// runs) but is built entirely on the standard library (go/ast, go/types and a
+// `go list -json -deps` loader), because the module has no external
+// dependencies.  Should the repo ever vendor x/tools, each analyzer's Run
+// function ports over mechanically.
+//
+// The enforced invariants, one analyzer each:
+//
+//   - mapiterdet: no map iteration feeding an order-sensitive sink (slice
+//     append, writer, hash) without a subsequent deterministic sort, in the
+//     packages that must produce byte-identical artifacts.
+//   - ctxdiscipline: no context.Background/TODO outside main packages and
+//     tests (except the nil-guard default at a public entry point), and no
+//     blocking channel operation in a context-carrying function without a
+//     ctx.Done() arm.
+//   - diagboundary: errors are wrapped with %w, never flattened with %v/%s,
+//     and the public facade returns *punt.Diagnostic values, not bare
+//     errors.New/fmt.Errorf results.
+//   - gohygiene: no bare `go` launch in library code that bypasses the
+//     central panic-recovery machinery.
+//   - purekey: nothing reachable from Spec.Hash, cacheKey, EncodeResult or
+//     the diskstore envelope paths may consult time.Now or math/rand.
+//
+// A justified exception is recorded in the source with
+//
+//	//puntlint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on (or immediately above) the offending line; the reason is mandatory and
+// an ignore directive that never matches a diagnostic is itself an error, so
+// stale exceptions cannot accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is the one-paragraph description printed by `puntlint -list`.
+	Doc string
+	// Filter restricts the packages the analyzer runs on (nil = every module
+	// package).  Fixture runs bypass the filter, so analyzers keep their
+	// scoping logic here rather than hard-coding package paths in Run.
+	Filter func(pkg *Package) bool
+	// Run reports the package's findings through pass.Report*.
+	Run func(pass *Pass) error
+}
+
+// All is the project's analyzer suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MapIterDet,
+		CtxDiscipline,
+		DiagBoundary,
+		GoHygiene,
+		PureKey,
+	}
+}
+
+// ByName resolves one analyzer from All.
+func ByName(name string) (*Analyzer, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+	Fset     *token.FileSet
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+	// Fixes are mechanical rewrites that resolve the finding; `puntlint -fix`
+	// applies them.
+	Fixes []SuggestedFix
+}
+
+// A SuggestedFix is one self-contained rewrite.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// A TextEdit replaces the source range [Pos, End) with New.
+type TextEdit struct {
+	Pos, End token.Pos
+	New      string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report records a finding, stamping the analyzer name.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	*p.diags = append(*p.diags, d)
+}
+
+// TypeOf returns the static type of e in this package, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to its object (use or def), or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	if o := p.Pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// Run executes the analyzers over every module package of prog and returns
+// the surviving findings sorted by position.  Ignore directives
+// (//puntlint:ignore name reason) suppress matching findings on their own or
+// the following line; directives without a reason, and directives that
+// suppress nothing, are reported as findings themselves so the exception
+// inventory stays honest.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, a := range analyzers {
+			if a.Filter != nil && !a.Filter(pkg) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, Fset: prog.Fset, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	diags = applyIgnores(prog, diags, ran)
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := prog.Fset.Position(diags[i].Pos), prog.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// An ignoreDirective is one parsed //puntlint:ignore comment.
+type ignoreDirective struct {
+	pos       token.Pos
+	file      string
+	line      int // diagnostics on this line or the next are candidates
+	analyzers []string
+	reason    string
+	used      bool
+}
+
+const ignorePrefix = "//puntlint:ignore"
+
+func parseIgnores(prog *Program) []*ignoreDirective {
+	var dirs []*ignoreDirective
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, ignorePrefix)
+					pos := prog.Fset.Position(c.Pos())
+					d := &ignoreDirective{pos: c.Pos(), file: pos.Filename, line: pos.Line}
+					fields := strings.Fields(rest)
+					if len(fields) > 0 {
+						d.analyzers = strings.Split(fields[0], ",")
+						d.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+					}
+					dirs = append(dirs, d)
+				}
+			}
+		}
+	}
+	return dirs
+}
+
+func (d *ignoreDirective) matches(name, file string, line int) bool {
+	if d.file != file || (line != d.line && line != d.line+1) {
+		return false
+	}
+	for _, a := range d.analyzers {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// applyIgnores filters diags through the ignore directives and appends the
+// directive-discipline findings (missing reason, stale directive).  Staleness
+// is only judged for directives whose analyzers all ran: a partial run must
+// not condemn a directive it never gave the chance to match.
+func applyIgnores(prog *Program, diags []Diagnostic, ran map[string]bool) []Diagnostic {
+	dirs := parseIgnores(prog)
+	var kept []Diagnostic
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		suppressed := false
+		for _, dir := range dirs {
+			if len(dir.analyzers) > 0 && dir.reason != "" && dir.matches(d.Analyzer, pos.Filename, pos.Line) {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range dirs {
+		switch {
+		case len(dir.analyzers) == 0 || dir.reason == "":
+			kept = append(kept, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: "puntlint",
+				Message:  "ignore directive needs an analyzer name and a reason: //puntlint:ignore <analyzer> <reason>",
+			})
+		case !dir.used && allRan(dir.analyzers, ran):
+			kept = append(kept, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: "puntlint",
+				Message:  fmt.Sprintf("stale ignore directive: no %s finding on this or the next line", strings.Join(dir.analyzers, ",")),
+			})
+		}
+	}
+	return kept
+}
+
+func allRan(names []string, ran map[string]bool) bool {
+	for _, n := range names {
+		if !ran[n] {
+			return false
+		}
+	}
+	return true
+}

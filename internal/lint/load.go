@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader turns `go list -json -deps <patterns>` output into fully
+// type-checked packages using only the standard library.  `go list -deps`
+// emits every package after its dependencies, so a single forward sweep can
+// type-check the whole closure with a map-backed importer.  Packages outside
+// the module are checked with IgnoreFuncBodies — the analyzers only need
+// their exported shapes — which keeps loading fast and avoids depending on
+// the bodies of cgo-flavoured std packages (the loader forces CGO_ENABLED=0
+// for the same reason).
+
+// A Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	GoFiles []string
+	// InModule reports whether the package belongs to the module under
+	// analysis (as opposed to std or another dependency).
+	InModule bool
+	IsMain   bool
+
+	Syntax []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+
+	// TypeErrors collects the package's type-check problems; the driver
+	// refuses to trust analysis of a package that did not check cleanly.
+	TypeErrors []error
+}
+
+// A Program is one loaded package closure.
+type Program struct {
+	Fset *token.FileSet
+	// Packages holds the module's packages in dependency order — the ones
+	// analyzers run on.
+	Packages []*Package
+	// All maps every import path in the closure, std included.
+	All map[string]*Package
+
+	// graph memoizes the module call graph for analyzers that need
+	// reachability (see callGraph).
+	graph map[*types.Func][]callEdge
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	ForTest    string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns from dir and type-checks the resulting closure.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, modPath, err := golist(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	prog := &Program{Fset: token.NewFileSet(), All: make(map[string]*Package)}
+	typed := make(map[string]*types.Package)
+	typed["unsafe"] = types.Unsafe
+
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		inModule := lp.Module != nil && lp.Module.Path == modPath
+		pkg := &Package{
+			PkgPath:  lp.ImportPath,
+			Dir:      lp.Dir,
+			InModule: inModule,
+			IsMain:   lp.Name == "main",
+		}
+		for _, f := range lp.GoFiles {
+			pkg.GoFiles = append(pkg.GoFiles, filepath.Join(lp.Dir, f))
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("lint: %s has cgo files despite CGO_ENABLED=0", lp.ImportPath)
+		}
+		for _, file := range pkg.GoFiles {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				return nil, err
+			}
+			f, err := parser.ParseFile(prog.Fset, file, src, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			pkg.Syntax = append(pkg.Syntax, f)
+		}
+
+		cfg := types.Config{
+			Importer:         mapImporter(typed),
+			IgnoreFuncBodies: !inModule,
+			Error:            func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		}
+		if inModule {
+			pkg.Info = &types.Info{
+				Types:      make(map[ast.Expr]types.TypeAndValue),
+				Defs:       make(map[*ast.Ident]types.Object),
+				Uses:       make(map[*ast.Ident]types.Object),
+				Selections: make(map[*ast.SelectorExpr]*types.Selection),
+				Implicits:  make(map[ast.Node]types.Object),
+				Scopes:     make(map[ast.Node]*types.Scope),
+			}
+		}
+		tpkg, _ := cfg.Check(lp.ImportPath, prog.Fset, pkg.Syntax, pkg.Info)
+		pkg.Types = tpkg
+		typed[lp.ImportPath] = tpkg
+		prog.All[lp.ImportPath] = pkg
+		if inModule {
+			if len(pkg.TypeErrors) > 0 {
+				return nil, fmt.Errorf("lint: %s does not type-check: %w", lp.ImportPath, pkg.TypeErrors[0])
+			}
+			prog.Packages = append(prog.Packages, pkg)
+		}
+	}
+	return prog, nil
+}
+
+// golist runs `go list -e -json -deps` and returns the packages in
+// dependency order plus the module path of dir.
+func golist(dir string, patterns []string) ([]listedPackage, string, error) {
+	modPath, err := goCmd(dir, "list", "-m")
+	if err != nil {
+		return nil, "", err
+	}
+
+	args := append([]string{"list", "-e", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(out)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, "", fmt.Errorf("go list: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, "", fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return listed, strings.TrimSpace(modPath), nil
+}
+
+func goCmd(dir string, args ...string) (string, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	return string(out), nil
+}
+
+// mapImporter resolves imports from the already-type-checked closure.
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m[path]; ok && p != nil {
+		return p, nil
+	}
+	return nil, fmt.Errorf("lint: import %q not in the loaded closure", path)
+}
+
+var _ types.Importer = mapImporter(nil)

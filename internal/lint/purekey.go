@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PureKey guards cache-key and serialization purity (PRs 4/7): Spec.Hash,
+// cacheKey, EncodeResult and the diskstore envelope are content addresses —
+// two runs over the same input must produce the same bytes, across
+// processes and replicas sharing one store.  A time.Now or math/rand call
+// reachable from those paths poisons every key it touches, so the analyzer
+// walks the static call graph from the key/envelope roots and flags any
+// impure call it can reach.
+var PureKey = &Analyzer{
+	Name: "purekey",
+	Doc: "flags time.Now/time.Since and math/rand calls statically reachable from Spec.Hash,\n" +
+		"cacheKey, EncodeResult/DecodeResult or the diskstore envelope paths — impurity there\n" +
+		"breaks content addressing across runs and replicas",
+	Run: runPureKey,
+}
+
+// pureKeyRoots matches the functions whose call trees must stay pure.
+func pureKeyRoots(pass *Pass, fn *ast.FuncDecl) bool {
+	name := fn.Name.Name
+	switch {
+	case name == "cacheKey", name == "CacheKey", name == "EncodeResult", name == "DecodeResult":
+		return true
+	case name == "Hash" && fn.Recv != nil:
+		return true
+	case pathHasSuffix(pass.Pkg.PkgPath, "internal/diskstore") && fn.Name.IsExported():
+		return true
+	}
+	return false
+}
+
+func runPureKey(pass *Pass) error {
+	graph := pass.Prog.callGraph()
+	for _, f := range pass.Pkg.Syntax {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !pureKeyRoots(pass, fn) {
+				continue
+			}
+			obj, ok := pass.Pkg.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			reportImpure(pass, graph, obj)
+		}
+	}
+	return nil
+}
+
+// reportImpure BFSes the static call graph from root and reports every
+// impure call site reachable from it, with the call chain in the message.
+func reportImpure(pass *Pass, graph map[*types.Func][]callEdge, root *types.Func) {
+	type step struct {
+		fn    *types.Func
+		chain string
+	}
+	seen := map[*types.Func]bool{root: true}
+	queue := []step{{root, root.Name()}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, edge := range graph[cur.fn] {
+			if impure, what := impureCallee(edge.callee); impure {
+				pass.Reportf(edge.pos,
+					"%s reachable from %s (via %s): key/envelope paths must be pure — "+
+						"derive content addresses only from the input bytes", what, root.Name(), cur.chain)
+				continue
+			}
+			if edge.callee == nil || seen[edge.callee] {
+				continue
+			}
+			seen[edge.callee] = true
+			queue = append(queue, step{edge.callee, cur.chain + " → " + edge.callee.Name()})
+		}
+	}
+}
+
+// impureCallee classifies the functions forbidden on pure paths.
+func impureCallee(fn *types.Func) (bool, string) {
+	if fn == nil || fn.Pkg() == nil {
+		return false, ""
+	}
+	pkg := fn.Pkg().Path()
+	switch {
+	case pkg == "time" && (fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until"):
+		return true, "time." + fn.Name()
+	case pkg == "math/rand" || pkg == "math/rand/v2":
+		return true, pkg + "." + fn.Name()
+	case pkg == "crypto/rand":
+		return true, "crypto/rand." + fn.Name()
+	}
+	return false, ""
+}
+
+// A callEdge is one static call site inside a module function.
+type callEdge struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// callGraph builds (once per Program) the static call graph of the module's
+// packages: for every declared function, the named functions and methods its
+// body invokes directly.  Dynamic dispatch through interfaces and func
+// values is invisible — acceptable for the purity check, whose paths are
+// concrete by construction.
+func (prog *Program) callGraph() map[*types.Func][]callEdge {
+	if prog.graph != nil {
+		return prog.graph
+	}
+	graph := make(map[*types.Func][]callEdge)
+	for _, pkg := range prog.Packages {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Syntax {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				caller, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					var id *ast.Ident
+					switch fun := ast.Unparen(call.Fun).(type) {
+					case *ast.Ident:
+						id = fun
+					case *ast.SelectorExpr:
+						id = fun.Sel
+					default:
+						return true
+					}
+					if callee, ok := pkg.Info.Uses[id].(*types.Func); ok {
+						graph[caller] = append(graph[caller], callEdge{callee: callee, pos: call.Pos()})
+					}
+					return true
+				})
+			}
+		}
+	}
+	prog.graph = graph
+	return graph
+}

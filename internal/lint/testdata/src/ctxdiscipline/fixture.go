@@ -1,0 +1,55 @@
+// Package ctxdiscipline exercises the context-discipline analyzer: no fresh
+// contexts in library code, no unguarded blocking channel ops in
+// context-carrying functions.
+package ctxdiscipline
+
+import "context"
+
+// fresh detaches its work from every caller.
+func fresh() context.Context {
+	return context.Background() // want `context.Background in library code`
+}
+
+// todo is a placeholder that never got replaced.
+func todo() context.Context {
+	return context.TODO() // want `context.TODO in library code`
+}
+
+// entryPoint uses the allowed nil-guard default.
+func entryPoint(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// blockingSend hangs forever if the receiver is gone after cancellation.
+func blockingSend(ctx context.Context, ch chan int) {
+	ch <- 1 // want `blocking channel send in a context-carrying function`
+}
+
+// blockingRecv hangs forever if the sender is gone after cancellation.
+func blockingRecv(ctx context.Context, ch chan int) int {
+	return <-ch // want `blocking channel receive in a context-carrying function`
+}
+
+// guardedSend has the cancellation escape hatch.
+func guardedSend(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+// defaultGuard never blocks.
+func defaultGuard(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// noCtx advertises no cancellability, so it is not held to the rule.
+func noCtx(ch chan int) {
+	ch <- 1
+}

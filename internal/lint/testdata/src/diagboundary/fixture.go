@@ -1,0 +1,59 @@
+// Package diagboundary exercises the error-boundary analyzer: errors wrap
+// with %w, and exported functions never return bare error constructors.
+package diagboundary
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("diagboundary: base failure")
+
+// flatten breaks the errors.Is/As chain.
+func flatten(err error) error {
+	return fmt.Errorf("operation failed: %v", err) // want `error formatted with %v instead of wrapped with %w`
+}
+
+// flattenS breaks the chain just the same.
+func flattenS(err error) error {
+	return fmt.Errorf("operation failed: %s", err) // want `error formatted with %s instead of wrapped with %w`
+}
+
+// wrap preserves the chain.
+func wrap(err error) error {
+	return fmt.Errorf("operation failed: %w", err)
+}
+
+// quoted formatting of an error is deliberate rendering, not wrapping.
+func quoted(err error) string {
+	return fmt.Sprintf("%q", err)
+}
+
+// Exported returns a bare constructor across the public boundary.
+func Exported() error {
+	return errors.New("bare failure") // want `exported Exported returns a bare errors.New`
+}
+
+// ExportedF returns an unwrapped fmt.Errorf across the public boundary.
+func ExportedF(n int) error {
+	return fmt.Errorf("bad value %d", n) // want `exported ExportedF returns a bare fmt.Errorf with no %w`
+}
+
+// ExportedWrapped routes through a matchable sentinel.
+func ExportedWrapped(n int) error {
+	return fmt.Errorf("%w: value %d", errBase, n)
+}
+
+// helper is unexported: raw constructors inside the package are fine.
+func helper() error {
+	return errors.New("internal detail")
+}
+
+// ExportedCallback's nested literal returns never cross the boundary.
+func ExportedCallback(run func() error) error {
+	cb := func() error { return errors.New("inner detail") }
+	if err := cb(); err != nil {
+		return fmt.Errorf("%w: callback failed", errBase)
+	}
+	return run()
+}

@@ -1,0 +1,49 @@
+// Package gohygiene exercises the goroutine-hygiene analyzer: library
+// goroutines must recover their own panics.
+package gohygiene
+
+// namedLaunch cannot recover anything: a panic in f kills the process.
+func namedLaunch(f func()) {
+	go f() // want `goroutine launched on a named function`
+}
+
+// bareLiteral has no recovery either.
+func bareLiteral(work func()) {
+	go func() { // want `goroutine body has no deferred recover`
+		work()
+	}()
+}
+
+// recovered follows the portfolio-contender idiom.
+func recovered(work func()) {
+	go func() {
+		defer func() {
+			_ = recover()
+		}()
+		work()
+	}()
+}
+
+// recoverHelper delegates to a helper whose name says what it does.
+func recoverHelper(work func()) {
+	go func() {
+		defer recoverToLog()
+		work()
+	}()
+}
+
+func recoverToLog() {
+	_ = recover()
+}
+
+// nestedDeferDoesNotCount: the inner literal's recover protects only the
+// inner call, not the goroutine body itself.
+func nestedDeferDoesNotCount(work func()) {
+	go func() { // want `goroutine body has no deferred recover`
+		inner := func() {
+			defer func() { _ = recover() }()
+			work()
+		}
+		inner()
+	}()
+}

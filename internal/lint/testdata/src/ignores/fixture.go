@@ -1,0 +1,29 @@
+// Package ignores exercises the //puntlint:ignore directive discipline:
+// suppression with a reason, staleness detection, and the mandatory reason.
+package ignores
+
+import "context"
+
+// suppressed carries a justified exception.
+func suppressed() context.Context {
+	//puntlint:ignore ctxdiscipline fixture exercises the suppression path
+	return context.Background()
+}
+
+// unsuppressed is the finding that must survive.
+func unsuppressed() context.Context {
+	return context.Background()
+}
+
+// clean has a directive that matches nothing: the directive itself is stale.
+func clean() int {
+	//puntlint:ignore ctxdiscipline this directive suppresses nothing
+	return 0
+}
+
+// missingReason's directive names no justification, so it neither
+// suppresses nor passes.
+func missingReason() context.Context {
+	//puntlint:ignore ctxdiscipline
+	return context.Background()
+}

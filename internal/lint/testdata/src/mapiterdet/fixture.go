@@ -1,0 +1,75 @@
+// Package mapiterdet exercises the map-iteration determinism analyzer:
+// map ranges feeding order-sensitive sinks must be followed by a sort.
+package mapiterdet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// collect bakes randomized map order into the returned slice.
+func collect(m map[string]int) []string {
+	var names []string
+	for name := range m { // want `map iteration feeds an order-sensitive sink \(append to a slice declared outside the loop\)`
+		names = append(names, name)
+	}
+	return names
+}
+
+// collectSorted is the canonical repair: collect, then sort.
+func collectSorted(m map[string]int) []string {
+	var names []string
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// dump writes entries in randomized order.
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `order-sensitive sink \(call to Fprintf\)`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// sendAll delivers entries on a channel in randomized order.
+func sendAll(m map[string]int, ch chan int) {
+	for _, v := range m { // want `order-sensitive sink \(channel send\)`
+		ch <- v
+	}
+}
+
+// overSlice ranges a slice, which iterates in index order.
+func overSlice(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// localScratch appends only to a loop-local slice; the aggregate it feeds
+// (an integer sum) is order-free.
+func localScratch(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		buf := make([]int, 0, 1)
+		buf = append(buf, v)
+		total += buf[0]
+	}
+	return total
+}
+
+// keysFirst sorts the key set before iterating — but the analyzer keys on
+// the sink, and here the body only reads.
+func keysFirst(m map[string]int) int {
+	max := 0
+	for _, v := range m {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

@@ -1,0 +1,47 @@
+// Package purekey exercises the cache-key purity analyzer: nothing reachable
+// from a Hash method or a cacheKey function may consult the clock or a
+// random source.
+package purekey
+
+import (
+	"fmt"
+	"time"
+)
+
+// Spec's Hash is a pure-key root with a pure call tree.
+type Spec struct {
+	text string
+}
+
+func (s *Spec) Hash() string {
+	return canonical(s.text)
+}
+
+func canonical(text string) string {
+	return fmt.Sprintf("%x", len(text))
+}
+
+// stamped's Hash reaches the clock two calls down.
+type stamped struct{ text string }
+
+func (s *stamped) Hash() string {
+	return stamp(s.text)
+}
+
+func stamp(text string) string {
+	return fmt.Sprintf("%s@%d", text, time.Now().UnixNano()) // want `time.Now reachable from Hash`
+}
+
+// cacheKey mixes a clock-derived salt into a content address.
+func cacheKey(spec *Spec) string {
+	return spec.Hash() + salt()
+}
+
+func salt() string {
+	return fmt.Sprint(time.Now().Unix()) // want `time.Now reachable from cacheKey`
+}
+
+// latency is not a key root: timing instrumentation is fine here.
+func latency(start time.Time) time.Duration {
+	return time.Since(start)
+}

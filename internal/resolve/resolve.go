@@ -242,6 +242,8 @@ func Resolve(ctx context.Context, g *stg.STG, opts Options) (*stg.STG, *Report, 
 		if opts.Workers > 1 && len(cands) > 1 {
 			var next atomic.Int64
 			var wg sync.WaitGroup
+			var panicMu sync.Mutex
+			var panicked any
 			n := opts.Workers
 			if n > len(cands) {
 				n = len(cands)
@@ -250,6 +252,20 @@ func Resolve(ctx context.Context, g *stg.STG, opts Options) (*stg.STG, *Report, 
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
+					// A panic on a bare goroutine bypasses every recover up the
+					// stack and kills the process.  Capture the first one and
+					// re-raise it on the coordinating goroutine below, where the
+					// facade's central dispatch turns it into a KindPanic
+					// diagnostic that fails only this synthesis.
+					defer func() {
+						if p := recover(); p != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = p
+							}
+							panicMu.Unlock()
+						}
+					}()
 					for {
 						i := int(next.Add(1)) - 1
 						if i >= len(cands) {
@@ -260,6 +276,9 @@ func Resolve(ctx context.Context, g *stg.STG, opts Options) (*stg.STG, *Report, 
 				}()
 			}
 			wg.Wait()
+			if panicked != nil {
+				panic(panicked)
+			}
 		} else {
 			for i := range cands {
 				if err := ctx.Err(); err != nil {

@@ -228,7 +228,7 @@ func (p *parser) finish(graphLines []string, markingLine string) (*STG, error) {
 	if p.initialState != "" {
 		v, err := bitvec.FromString(p.initialState)
 		if err != nil {
-			return nil, fmt.Errorf("stg: bad .initial_state: %v", err)
+			return nil, fmt.Errorf("stg: bad .initial_state: %w", err)
 		}
 		if v.Len() != p.g.NumSignals() {
 			return nil, fmt.Errorf("stg: .initial_state has %d bits for %d signals", v.Len(), p.g.NumSignals())

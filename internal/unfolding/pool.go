@@ -96,6 +96,7 @@ func newPEPool(b *builder, workers int, inj *faultinject.Injector) *pePool {
 	for w := 1; w < workers; w++ {
 		p.wake[w] = make(chan struct{}, 1)
 		p.wg.Add(1)
+		//puntlint:ignore gohygiene lane panics are recovered per round task and re-raised on the Build goroutine (panicVal); outside the task runner the lane only parks and polls
 		go func(lane int) {
 			defer p.wg.Done()
 			p.worker(lane)

@@ -42,7 +42,7 @@ type resultWire struct {
 // HTTP API and the on-disk result store.
 func (r *Result) MarshalJSON() ([]byte, error) {
 	if r.Spec == nil || r.Impl == nil {
-		return nil, fmt.Errorf("punt: cannot marshal an incomplete Result")
+		return nil, fmt.Errorf("%w: cannot marshal an incomplete Result", ErrFormat)
 	}
 	impl, err := json.Marshal(r.Impl)
 	if err != nil {
@@ -70,18 +70,18 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	if w.Format != ResultFormatVersion {
-		return fmt.Errorf("punt: result format %d, this reader speaks %d", w.Format, ResultFormatVersion)
+		return fmt.Errorf("%w: result format %d, this reader speaks %d", ErrFormat, w.Format, ResultFormatVersion)
 	}
 	spec, err := Parse(w.Spec)
 	if err != nil {
 		return fmt.Errorf("punt: result carries an unparseable specification: %w", err)
 	}
 	if w.SpecHash != "" && spec.Hash() != w.SpecHash {
-		return fmt.Errorf("punt: result specification hash mismatch (recorded %.12s…, got %.12s…)",
-			w.SpecHash, spec.Hash())
+		return fmt.Errorf("%w: result specification hash mismatch (recorded %.12s…, got %.12s…)",
+			ErrFormat, w.SpecHash, spec.Hash())
 	}
 	if len(w.Impl) == 0 {
-		return fmt.Errorf("punt: result carries no implementation")
+		return fmt.Errorf("%w: result carries no implementation", ErrFormat)
 	}
 	impl := new(gates.Implementation)
 	if err := json.Unmarshal(w.Impl, impl); err != nil {
@@ -119,7 +119,7 @@ func (e Engine) MarshalJSON() ([]byte, error) {
 	case Unfolding, Explicit, Symbolic, Portfolio:
 		return json.Marshal(e.String())
 	default:
-		return nil, fmt.Errorf("punt: cannot marshal unknown engine %d", int(e))
+		return nil, fmt.Errorf("%w %d: not a marshalable value", ErrUnknownEngine, int(e))
 	}
 }
 

@@ -54,14 +54,22 @@ func runPortfolio(ctx context.Context, contenders []Backend, spec *Spec, cfg Bac
 	if workers >= len(contenders) {
 		startGate = make(chan struct{})
 	}
+feed:
 	for i := range contenders {
 		// Feeding stops as soon as a winner exists: contenders that never got
-		// a worker slot are recorded as unstarted rather than cancelled.
-		sem <- struct{}{}
+		// a worker slot are recorded as unstarted rather than cancelled.  A
+		// caller that cancels mid-feed stops the feed the same way, instead of
+		// queueing for a worker slot it no longer wants.
+		select {
+		case sem <- struct{}{}:
+		case <-rctx.Done():
+			break feed
+		}
 		mu.Lock()
 		done := winner >= 0
 		mu.Unlock()
-		if done {
+		if done || rctx.Err() != nil {
+			//puntlint:ignore ctxdiscipline releases the slot acquired just above from a buffered channel; it cannot block
 			<-sem
 			break
 		}

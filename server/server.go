@@ -155,6 +155,7 @@ func (s *Server) Handler() http.Handler {
 // Call it after the HTTP server has stopped accepting requests.
 func (s *Server) Drain(ctx context.Context) error {
 	done := make(chan struct{})
+	//puntlint:ignore gohygiene the body is wg.Wait plus a channel close — panic-free by construction
 	go func() {
 		s.wg.Wait()
 		close(done)
@@ -267,9 +268,21 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			// Last-line recover, mirroring the portfolio contender's: panics
+			// inside the synthesis are already turned into KindPanic
+			// diagnostics by the facade's central dispatch, so this only
+			// catches the flight bookkeeping around it — and a panic there
+			// must fail this flight's waiters, never the whole daemon.
+			completed := false
+			defer func() {
+				if p := recover(); p != nil && !completed {
+					s.flights.complete(key, f, nil, fmt.Errorf("internal panic during synthesis flight: %v", p))
+				}
+			}()
 			res, err := s.runAdmitted(synthCtx, func(runCtx context.Context) (*punt.Result, error) {
 				return s.synthesize(runCtx, synth, spec, req)
 			})
+			completed = true
 			s.flights.complete(key, f, res, err)
 		}()
 	} else {
@@ -400,6 +413,14 @@ func (s *Server) streamSynthesize(ctx context.Context, w http.ResponseWriter, sy
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
+		// Same last-line recover as the single-flight leader: the stream's
+		// consumer below must always receive an outcome, and a bookkeeping
+		// panic must cost one request, not the daemon.
+		defer func() {
+			if p := recover(); p != nil {
+				done <- outcome{err: fmt.Errorf("internal panic during synthesis: %v", p)}
+			}
+		}()
 		res, err := s.runAdmitted(ctx, func(runCtx context.Context) (*punt.Result, error) {
 			return s.synthesize(runCtx, synth, spec, req)
 		})
@@ -417,6 +438,7 @@ func (s *Server) streamSynthesize(ctx context.Context, w http.ResponseWriter, sy
 	}
 	for {
 		select {
+		//puntlint:ignore ctxdiscipline the done arm below always fires — runAdmitted honours ctx — and events must keep draining after a disconnect so the progress callback never blocks
 		case p := <-events:
 			if !writeLine(streamLine{Progress: &p}) {
 				// Client gone; ctx cancellation is tearing the synthesis
@@ -424,6 +446,7 @@ func (s *Server) streamSynthesize(ctx context.Context, w http.ResponseWriter, sy
 				// progress callback never blocks.
 				continue
 			}
+		//puntlint:ignore ctxdiscipline this arm is the escape hatch itself: the goroutine above always sends an outcome, under cancellation included
 		case out := <-done:
 			if out.err != nil {
 				body := errorBody(out.err)

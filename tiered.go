@@ -79,11 +79,13 @@ func (c *DiskCache) Dir() string { return c.store.Dir() }
 
 // Get implements Cache.
 func (c *DiskCache) Get(key string) (*Result, bool) {
+	//puntlint:ignore ctxdiscipline Get is the context-free Cache compat surface; context-aware callers use GetContext
 	return c.GetContext(context.Background(), key)
 }
 
 // Put implements Cache.
 func (c *DiskCache) Put(key string, res *Result) {
+	//puntlint:ignore ctxdiscipline Put is the context-free Cache compat surface; context-aware callers use PutContext
 	c.PutContext(context.Background(), key, res)
 }
 
@@ -170,11 +172,13 @@ func NewTiered(l1, l2 Cache) *Tiered {
 
 // Get implements Cache.
 func (t *Tiered) Get(key string) (*Result, bool) {
+	//puntlint:ignore ctxdiscipline Get is the context-free Cache compat surface; context-aware callers use GetContext
 	return t.GetContext(context.Background(), key)
 }
 
 // Put implements Cache.
 func (t *Tiered) Put(key string, res *Result) {
+	//puntlint:ignore ctxdiscipline Put is the context-free Cache compat surface; context-aware callers use PutContext
 	t.PutContext(context.Background(), key, res)
 }
 
