@@ -30,6 +30,12 @@ const (
 	// Portfolio races a set of backends concurrently under a shared context
 	// and returns the first success; see WithPortfolio.
 	Portfolio
+	// Decompose is the compositional backend: it factors the specification
+	// into independent (or articulated) components, synthesizes each
+	// concurrently through an inner engine, and recombines the covers; an
+	// indivisible specification falls through to the inner engine unchanged.
+	// See WithDecomposeInner.
+	Decompose
 )
 
 // String names the engine.  Unknown values render as "engine(N)" so that a
@@ -45,6 +51,8 @@ func (e Engine) String() string {
 		return "symbolic"
 	case Portfolio:
 		return "portfolio"
+	case Decompose:
+		return "decompose"
 	default:
 		return fmt.Sprintf("engine(%d)", int(e))
 	}
@@ -63,8 +71,10 @@ func ParseEngine(name string) (Engine, error) {
 		return Symbolic, nil
 	case "portfolio":
 		return Portfolio, nil
+	case "decompose":
+		return Decompose, nil
 	default:
-		return Unfolding, fmt.Errorf("%w %q (want unfolding, explicit, symbolic or portfolio)", ErrUnknownEngine, name)
+		return Unfolding, fmt.Errorf("%w %q (want unfolding, explicit, symbolic, decompose or portfolio)", ErrUnknownEngine, name)
 	}
 }
 
@@ -85,10 +95,15 @@ type BackendConfig struct {
 	// MaxNodes bounds the symbolic engine's BDD size (0 = unlimited).
 	MaxNodes int
 	// Workers bounds intra-run parallelism for engines that support it (the
-	// unfolding flow shards its possible-extension computation); <= 1 selects
-	// the sequential path.  Parallel runs are deterministic: the output is
+	// unfolding flow shards its possible-extension computation, the decompose
+	// backend synthesizes this many components at once); <= 1 selects the
+	// sequential path.  Parallel runs are deterministic: the output is
 	// byte-identical to the sequential build.
 	Workers int
+	// Inner names the engine the decompose backend synthesizes components
+	// with (and falls through to on indivisible specifications); empty
+	// selects "unfolding".  Other backends ignore it.
+	Inner string
 	// Progress receives coarse notifications; may be nil.  It runs on the
 	// synthesizing goroutine and must be cheap.
 	Progress func(Progress)
@@ -168,6 +183,7 @@ func init() {
 	Register(unfoldingBackend{})
 	Register(explicitBackend{})
 	Register(symbolicBackend{})
+	Register(decomposeBackend{})
 }
 
 // instrumentProgress stamps the backend name onto every notification, so

@@ -39,6 +39,8 @@ type (
 	ParallelPoint = experiments.ParallelPoint
 	// ResolveRetryPoint is one full-rebuild-vs-incremental CSC-retry sweep.
 	ResolveRetryPoint = experiments.ResolveRetryPoint
+	// DecomposePoint is one monolithic-vs-compositional synthesis measurement.
+	DecomposePoint = experiments.DecomposePoint
 	// Report is the JSON perf-trajectory document emitted by benchtab -json.
 	Report = experiments.Report
 )
@@ -74,9 +76,12 @@ func FormatResolveRetry(points []ResolveRetryPoint) string {
 	return experiments.FormatResolveRetry(points)
 }
 
+// FormatDecompose renders the compositional-synthesis measurements as a table.
+func FormatDecompose(points []DecomposePoint) string { return experiments.FormatDecompose(points) }
+
 // NewReport assembles the JSON perf-trajectory report.
-func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, cache, disk []CachePoint, parallel []ParallelPoint, retry []ResolveRetryPoint, now time.Time) Report {
-	return experiments.NewReport(rows, points, facade, cache, disk, parallel, retry, now)
+func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, cache, disk []CachePoint, parallel []ParallelPoint, retry []ResolveRetryPoint, decomp []DecomposePoint, now time.Time) Report {
+	return experiments.NewReport(rows, points, facade, cache, disk, parallel, retry, decomp, now)
 }
 
 // WriteJSON writes the report, indented, to w.
@@ -241,6 +246,61 @@ func RunParallel(ctx context.Context, workers, runs int) ([]ParallelPoint, error
 		p.Parallel = par / time.Duration(runs)
 		if p.Parallel > 0 {
 			p.Speedup = float64(p.Sequential) / float64(p.Parallel)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RunDecompose measures the compositional backend against the monolithic
+// unfolding flow: each workload is synthesised end to end runs times
+// (minimum 1) with -engine unfolding and with -engine decompose, averaging
+// the times and checking on every run that the two implementations print
+// byte-identically.  The workload pair covers both regimes: the counterflow
+// pipeline splits into two independent components (the headline speedup —
+// two half-size unfoldings beat one full one even on a single CPU, since the
+// segment cost grows superlinearly), and pipeline-22 is indivisible, so its
+// point prices the zero-overhead fallthrough.
+func RunDecompose(ctx context.Context, runs int) ([]DecomposePoint, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	specs := []struct {
+		name string
+		spec *punt.Spec
+	}{
+		{name: "counterflow", spec: punt.CounterflowPipeline()},
+		{name: "pipeline-22", spec: punt.MullerPipelineWithSignals(22)},
+	}
+	mono := punt.New(punt.WithEngine(punt.Unfolding))
+	dec := punt.New(punt.WithEngine(punt.Decompose))
+	out := make([]DecomposePoint, 0, len(specs))
+	for _, ws := range specs {
+		p := DecomposePoint{Spec: ws.name, Runs: runs, Identical: true,
+			Components: len(punt.Components(ws.spec))}
+		var monoT, decT time.Duration
+		for i := 0; i < runs; i++ {
+			t0 := time.Now()
+			rm, err := mono.Synthesize(ctx, ws.spec)
+			monoT += time.Since(t0)
+			if err != nil {
+				return nil, fmt.Errorf("bench: monolithic synthesis of %s: %w", ws.name, err)
+			}
+			t1 := time.Now()
+			rd, err := dec.Synthesize(ctx, ws.spec)
+			decT += time.Since(t1)
+			if err != nil {
+				return nil, fmt.Errorf("bench: decompose synthesis of %s: %w", ws.name, err)
+			}
+			if rm.Eqn() != rd.Eqn() {
+				p.Identical = false
+			}
+			p.Literals = rd.Literals()
+		}
+		p.Monolithic = monoT / time.Duration(runs)
+		p.Decomposed = decT / time.Duration(runs)
+		if p.Decomposed > 0 {
+			p.Speedup = float64(p.Monolithic) / float64(p.Decomposed)
 		}
 		out = append(out, p)
 	}

@@ -46,7 +46,7 @@ func TestRunDiskCache(t *testing.T) {
 			t.Errorf("%s: no speedup computed: %+v", p.Spec, p)
 		}
 	}
-	report := NewReport(nil, nil, nil, nil, points, nil, nil, time.Unix(0, 0))
+	report := NewReport(nil, nil, nil, nil, points, nil, nil, nil, time.Unix(0, 0))
 	if len(report.DiskCache) != 2 || report.DiskCache[0].Spec != "fig1" {
 		t.Errorf("disk-cache points lost in the report: %+v", report.DiskCache)
 	}
@@ -57,7 +57,7 @@ func TestFacadePointsInJSONReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report := NewReport(nil, nil, points, nil, nil, nil, nil, time.Unix(0, 0))
+	report := NewReport(nil, nil, points, nil, nil, nil, nil, nil, time.Unix(0, 0))
 	var buf bytes.Buffer
 	if err := WriteJSON(&buf, report); err != nil {
 		t.Fatal(err)
@@ -91,7 +91,7 @@ func TestRunParallel(t *testing.T) {
 	if !strings.Contains(text, "pipeline-50") || !strings.Contains(text, "counterflow") {
 		t.Errorf("formatting:\n%s", text)
 	}
-	report := NewReport(nil, nil, nil, nil, nil, points, nil, time.Unix(0, 0))
+	report := NewReport(nil, nil, nil, nil, nil, points, nil, nil, time.Unix(0, 0))
 	var buf bytes.Buffer
 	if err := WriteJSON(&buf, report); err != nil {
 		t.Fatal(err)
@@ -102,6 +102,47 @@ func TestRunParallel(t *testing.T) {
 	}
 	if len(back.Parallel) != 3 || !back.Parallel[0].Identical {
 		t.Errorf("parallel entries lost in JSON round trip: %+v", back.Parallel)
+	}
+}
+
+func TestRunDecompose(t *testing.T) {
+	points, err := RunDecompose(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	counterflow, pipeline := points[0], points[1]
+	if counterflow.Components != 2 {
+		t.Errorf("counterflow must split into 2 components, got %d", counterflow.Components)
+	}
+	if pipeline.Components != 1 {
+		t.Errorf("pipeline-22 must be indivisible, got %d components", pipeline.Components)
+	}
+	for _, p := range points {
+		if !p.Identical {
+			t.Errorf("%s: decompose output diverged from the monolithic engine", p.Spec)
+		}
+		if p.Monolithic <= 0 || p.Decomposed <= 0 || p.Literals == 0 {
+			t.Errorf("%s: point = %+v", p.Spec, p)
+		}
+	}
+	text := FormatDecompose(points)
+	if !strings.Contains(text, "counterflow") || !strings.Contains(text, "Speedup") {
+		t.Errorf("formatting:\n%s", text)
+	}
+	report := NewReport(nil, nil, nil, nil, nil, nil, nil, points, time.Unix(0, 0))
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, report); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Decompose) != 2 || back.Decompose[0].Components != 2 {
+		t.Errorf("decompose entries lost in JSON round trip: %+v", back.Decompose)
 	}
 }
 
@@ -124,7 +165,7 @@ func TestRunResolveRetry(t *testing.T) {
 	if !strings.Contains(text, "Speedup") {
 		t.Errorf("formatting:\n%s", text)
 	}
-	report := NewReport(nil, nil, nil, nil, nil, nil, points, time.Unix(0, 0))
+	report := NewReport(nil, nil, nil, nil, nil, nil, points, nil, time.Unix(0, 0))
 	if len(report.ResolveRetry) != 1 || report.ResolveRetry[0].Seeds != p.Seeds {
 		t.Errorf("retry sweep lost in the report: %+v", report.ResolveRetry)
 	}

@@ -35,9 +35,12 @@ func (s *Synthesizer) cacheKey(spec *Spec) string {
 	// The resolver bound is part of the key: a result synthesised from a
 	// resolver-repaired specification (extra internal signals, different
 	// implementation) must never be served for a configuration that would
-	// have failed with ErrCSC, and vice versa.
-	return fmt.Sprintf("%s|mode=%d|arch=%d|me=%d|ms=%d|mn=%d|rcsc=%d|sel=%s",
-		spec.Hash(), s.cfg.mode, s.cfg.arch, s.cfg.maxEvents, s.cfg.maxStates, s.cfg.maxNodes, s.cfg.resolveCSC, sel)
+	// have failed with ErrCSC, and vice versa.  The decompose inner engine is
+	// part of the key for the same reason: decompose-over-explicit and
+	// decompose-over-unfolding produce different implementations and must
+	// never collide.
+	return fmt.Sprintf("%s|mode=%d|arch=%d|me=%d|ms=%d|mn=%d|rcsc=%d|decomp=%s|sel=%s",
+		spec.Hash(), s.cfg.mode, s.cfg.arch, s.cfg.maxEvents, s.cfg.maxStates, s.cfg.maxNodes, s.cfg.resolveCSC, s.cfg.inner, sel)
 }
 
 // cachedResult adapts a cache hit to the requesting call: the implementation

@@ -10,6 +10,7 @@
 //	benchtab -facade
 //	benchtab -cache
 //	benchtab -disk [-store DIR]
+//	benchtab -decompose
 //	benchtab -table1 -figure6 -quick
 //	benchtab -table1 -figure6 -json results.json
 //
@@ -50,6 +51,7 @@ func main() {
 	storeDir := flag.String("store", "", "disk store directory for -disk (default: a temporary directory)")
 	parallelBench := flag.Bool("parallel", false, "measure sequential vs sharded-worker unfolding (implied by -json)")
 	retryBench := flag.Bool("resolve-retry", false, "measure full-rebuild vs incremental CSC-resolution retries (implied by -json)")
+	decomposeBench := flag.Bool("decompose", false, "measure monolithic vs compositional (split-synthesize-recombine) synthesis (implied by -json)")
 	workersFlag := flag.Int("workers", 0, "worker-pool width for -parallel (0 = GOMAXPROCS)")
 	retryConflicts := flag.Int("retry-conflicts", 25, "how many CSC-conflicted random specs the -resolve-retry sweep resolves")
 	quick := flag.Bool("quick", false, "use small resource budgets so the whole run finishes quickly")
@@ -58,8 +60,8 @@ func main() {
 	facadeRuns := flag.Int("facade-runs", 5, "how many runs the facade and cache benchmarks average over")
 	jsonOut := flag.String("json", "", `also write the measurements as JSON to this file ("-" = stdout)`)
 	flag.Parse()
-	if !*table1 && !*figure6 && !*facade && !*cacheBench && !*diskBench && !*parallelBench && !*retryBench && *jsonOut == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchtab [-table1] [-figure6] [-facade] [-cache] [-disk] [-parallel] [-resolve-retry] [flags]")
+	if !*table1 && !*figure6 && !*facade && !*cacheBench && !*diskBench && !*parallelBench && !*retryBench && !*decomposeBench && *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchtab [-table1] [-figure6] [-facade] [-cache] [-disk] [-parallel] [-resolve-retry] [-decompose] [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -71,6 +73,7 @@ func main() {
 	var cachePoints, diskPoints []bench.CachePoint
 	var parallelPoints []bench.ParallelPoint
 	var retryPoints []bench.ResolveRetryPoint
+	var decomposePoints []bench.DecomposePoint
 	if *table1 {
 		opts := bench.Table1Options{SkipBaselines: *skipBaselines}
 		if *quick {
@@ -189,8 +192,22 @@ func main() {
 		fmt.Println("Resolve retries: full state-graph rebuilds vs incremental extension per CSC candidate")
 		fmt.Print(bench.FormatResolveRetry(retryPoints))
 	}
+	if *decomposeBench || *jsonOut != "" {
+		runs := *facadeRuns
+		if *quick && runs > 2 {
+			runs = 2
+		}
+		var err error
+		decomposePoints, err = bench.RunDecompose(ctx, runs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("Decompose: monolithic vs compositional synthesis (split, synthesize components in parallel, recombine)")
+		fmt.Print(bench.FormatDecompose(decomposePoints))
+	}
 	if *jsonOut != "" {
-		report := bench.NewReport(rows, points, facadePoints, cachePoints, diskPoints, parallelPoints, retryPoints, time.Now())
+		report := bench.NewReport(rows, points, facadePoints, cachePoints, diskPoints, parallelPoints, retryPoints, decomposePoints, time.Now())
 		if err := writeReport(*jsonOut, report); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	punt [-engine unfolding|explicit|symbolic|portfolio] [-exact]
+//	punt [-engine unfolding|explicit|symbolic|decompose|portfolio] [-exact]
 //	     [-arch complex-gate|standard-c|rs-latch] [-verilog] [-stats]
 //	     [-verify] [-cache] [-resolve-csc] [-max-csc-signals N]
 //	     [-deadline D] [-mem-budget BYTES] [-fallback] [-server URL]
@@ -14,9 +14,12 @@
 // With "-" as a file name the STG is read from standard input.
 //
 // With -engine the synthesis backend is selected: the default unfolding flow,
-// one of the state-graph baselines, or the portfolio scheduler that races all
-// three and keeps the first success.  An unknown engine (or architecture)
-// name is a usage error and exits with status 2.
+// one of the state-graph baselines, the compositional decompose backend that
+// splits the STG into independent components and synthesizes them in
+// parallel, or the portfolio scheduler that races the monolithic engines and
+// keeps the first success.  An unknown engine (or architecture) name is a
+// usage error and exits with status 2.  A specification the decompose engine
+// cannot split falls through to the inner engine unchanged.
 //
 // With -resolve-csc a specification rejected for a Complete State Coding
 // conflict is repaired automatically: internal state signals (csc0, csc1, …)
@@ -79,7 +82,7 @@ func main() {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("punt", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	engineName := fs.String("engine", "unfolding", "synthesis engine: unfolding, explicit, symbolic or portfolio")
+	engineName := fs.String("engine", "unfolding", "synthesis engine: unfolding, explicit, symbolic, decompose or portfolio")
 	exact := fs.Bool("exact", false, "derive exact covers by slice enumeration instead of approximation")
 	archName := fs.String("arch", "complex-gate", "implementation architecture: complex-gate, standard-c or rs-latch")
 	verilog := fs.Bool("verilog", false, "emit a behavioural Verilog module instead of boolean equations")

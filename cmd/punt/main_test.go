@@ -163,7 +163,7 @@ func TestBadArchitectureAndUsageExits(t *testing.T) {
 func TestEngineFlag(t *testing.T) {
 	// Every engine — the baselines and the portfolio scheduler included —
 	// derives the same Figure 1 cover.
-	for _, engine := range []string{"unfolding", "explicit", "symbolic", "portfolio"} {
+	for _, engine := range []string{"unfolding", "explicit", "symbolic", "decompose", "portfolio"} {
 		code, stdout, stderr := runCmd(t, []string{"-engine", engine, "../../testdata/fig1.g"}, "")
 		if code != 0 {
 			t.Fatalf("-engine %s: exit %d, stderr: %s", engine, code, stderr)
@@ -181,6 +181,23 @@ func TestPortfolioStatsNameContenders(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "portfolio=[") || !strings.Contains(stderr, "(winner)") {
 		t.Errorf("-stats should carry the per-contender breakdown, got: %s", stderr)
+	}
+}
+
+func TestDecomposeEngineStats(t *testing.T) {
+	// A divisible specification through -engine decompose reports the
+	// per-component breakdown in -stats and still prints a full netlist.
+	code, stdout, stderr := runCmd(t, []string{"-engine", "decompose", "-stats", "../../testdata/twoloops.g"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "decomposed=2[") {
+		t.Errorf("-stats should carry the component breakdown, got: %s", stderr)
+	}
+	for _, sig := range []string{"a1 =", "a2 ="} {
+		if !strings.Contains(stdout, sig) {
+			t.Errorf("netlist missing %q:\n%s", sig, stdout)
+		}
 	}
 }
 

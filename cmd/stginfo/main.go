@@ -1,5 +1,6 @@
 // Command stginfo analyses an STG specification: it reports structural
-// properties of the underlying net, builds the state graph and checks the
+// properties of the underlying net, how the compositional decompose engine
+// would partition it into components, builds the state graph and checks the
 // correctness criteria required for speed-independent synthesis (consistency,
 // safeness, output persistency, USC/CSC), and summarises the size of the
 // STG-unfolding segment for comparison.  Complete State Coding conflicts are
@@ -57,6 +58,23 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	out := &errWriter{w: stdout}
 	fmt.Fprint(out, spec.Describe())
 	fmt.Fprintf(out, "marked graph: %v, free choice: %v\n", spec.IsMarkedGraph(), spec.IsFreeChoice())
+
+	// The decomposition report: how the compositional engine would partition
+	// this specification, or that it is indivisible and synthesis would fall
+	// through to the monolithic inner engine.
+	if comps := punt.Components(spec); len(comps) > 1 {
+		how := "independent"
+		if comps[0].Articulated {
+			how = "articulated"
+		}
+		fmt.Fprintf(out, "decomposition: %d %s components\n", len(comps), how)
+		for _, c := range comps {
+			fmt.Fprintf(out, "  %s: %d signals (%d outputs): %s\n",
+				c.Name, len(c.Signals), c.Outputs, strings.Join(c.Signals, " "))
+		}
+	} else {
+		fmt.Fprintln(out, "decomposition: indivisible")
+	}
 
 	seg, err := punt.Unfold(ctx, spec)
 	if err != nil {

@@ -58,6 +58,30 @@ func TestMaxConflictsTruncation(t *testing.T) {
 	}
 }
 
+func TestDecompositionReport(t *testing.T) {
+	code, stdout, stderr := runCmd(t, []string{"../../testdata/twoloops.g"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"decomposition: 2 independent components",
+		"two-loops_c0: 2 signals (1 outputs): r1 a1",
+		"two-loops_c1: 2 signals (1 outputs): r2 a2",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("report missing %q:\n%s", want, stdout)
+		}
+	}
+
+	code, stdout, stderr = runCmd(t, []string{"../../testdata/fig1.g"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "decomposition: indivisible") {
+		t.Errorf("fig1 must report as indivisible:\n%s", stdout)
+	}
+}
+
 func TestUsageAndLoadErrors(t *testing.T) {
 	if code, _, _ := runCmd(t, nil, ""); code != 2 {
 		t.Errorf("missing file argument must exit 2, got %d", code)

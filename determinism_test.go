@@ -21,43 +21,47 @@ func determinismSpecs(t *testing.T) map[string]*Spec {
 }
 
 // TestWorkersDeterministic asserts the PR's headline guarantee end to end:
-// WithWorkers(1) and WithWorkers(8) produce byte-identical segments and
-// byte-identical synthesized output for every spec class, so the worker
-// count is a pure throughput knob.
+// every worker count produces byte-identical segments and byte-identical
+// synthesized output for every spec class, so the width is a pure throughput
+// knob.  Intermediate widths matter since the pool hands each lane a
+// contiguous ceil(n/lanes) block per round, so the block boundaries shift
+// with the lane count.
 func TestWorkersDeterministic(t *testing.T) {
 	ctx := context.Background()
 	seq := New(WithWorkers(1))
-	par := New(WithWorkers(8))
+	widths := []int{2, 3, 5, 8}
 	for name, spec := range determinismSpecs(t) {
 		segSeq, err := Unfold(ctx, spec, WithWorkers(1))
 		if err != nil {
 			t.Fatalf("%s: sequential unfold: %v", name, err)
 		}
-		segPar, err := Unfold(ctx, spec, WithWorkers(8))
-		if err != nil {
-			t.Fatalf("%s: parallel unfold: %v", name, err)
-		}
-		if segSeq.Dump() != segPar.Dump() {
-			t.Errorf("%s: segment dump differs between WithWorkers(1) and WithWorkers(8)", name)
-		}
-
 		rs, err := seq.Synthesize(ctx, spec)
 		if err != nil {
 			t.Fatalf("%s: sequential synthesis: %v", name, err)
 		}
-		rp, err := par.Synthesize(ctx, spec)
-		if err != nil {
-			t.Fatalf("%s: parallel synthesis: %v", name, err)
-		}
-		if rs.Eqn() != rp.Eqn() {
-			t.Errorf("%s: Eqn output differs between worker counts", name)
-		}
-		if rs.Verilog() != rp.Verilog() {
-			t.Errorf("%s: Verilog output differs between worker counts", name)
-		}
-		if rp.Stats.Workers != 8 || !rp.Stats.PEParallel {
-			t.Errorf("%s: parallel run must report Workers=8/PEParallel, got %d/%t",
-				name, rp.Stats.Workers, rp.Stats.PEParallel)
+		for _, w := range widths {
+			segPar, err := Unfold(ctx, spec, WithWorkers(w))
+			if err != nil {
+				t.Fatalf("%s: unfold at %d workers: %v", name, w, err)
+			}
+			if segSeq.Dump() != segPar.Dump() {
+				t.Errorf("%s: segment dump differs between WithWorkers(1) and WithWorkers(%d)", name, w)
+			}
+
+			rp, err := New(WithWorkers(w)).Synthesize(ctx, spec)
+			if err != nil {
+				t.Fatalf("%s: synthesis at %d workers: %v", name, w, err)
+			}
+			if rs.Eqn() != rp.Eqn() {
+				t.Errorf("%s: Eqn output differs between 1 and %d workers", name, w)
+			}
+			if rs.Verilog() != rp.Verilog() {
+				t.Errorf("%s: Verilog output differs between 1 and %d workers", name, w)
+			}
+			if rp.Stats.Workers != w || !rp.Stats.PEParallel {
+				t.Errorf("%s: parallel run must report Workers=%d/PEParallel, got %d/%t",
+					name, w, rp.Stats.Workers, rp.Stats.PEParallel)
+			}
 		}
 	}
 }

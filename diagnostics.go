@@ -100,6 +100,11 @@ const (
 	// a diagnostic (wrapping a *PanicError with the captured stack) instead
 	// of crashing the process.
 	KindPanic
+	// KindIndivisible: informational, never returned as an error — the
+	// decompose backend found no way to factor the specification and fell
+	// through to its inner engine unchanged; see Result.Decomposition.  The
+	// inner engine's name is in Signal.
+	KindIndivisible
 )
 
 // String names the kind.
@@ -133,6 +138,8 @@ func (k DiagKind) String() string {
 		return "degraded"
 	case KindPanic:
 		return "backend panic"
+	case KindIndivisible:
+		return "indivisible"
 	default:
 		return "error"
 	}

@@ -36,12 +36,23 @@
 //
 // The engine layer is open: synthesis engines are Backend implementations in
 // a package-level registry (Register, Backends, WithBackend), the builtin
-// three included, and Synthesize is a thin dispatch over it.  Two composable
+// four included, and Synthesize is a thin dispatch over it.  Three composable
 // subsystems build on the registry.  The portfolio scheduler
 // (WithEngine(Portfolio), WithPortfolio, WithContenders) races backends
 // concurrently under a shared context, returns the first success, cancels
 // the losers promptly and records every contender's outcome in
 // Stats.Contenders, with Progress.Engine attributing interleaved progress.
+// The compositional decompose engine (WithEngine(Decompose),
+// WithDecomposeInner) factors the specification into independent components
+// — signal groups sharing no place, transition or signal, or the two sides
+// of a single dummy articulation transition — synthesizes each projected
+// sub-specification concurrently through an inner registered engine, and
+// recombines the covers onto the full alphabet; an exact split is sound by
+// construction, an articulated one is re-proved by the closed-loop verifier
+// (falling back to monolithic synthesis on failure), and an indivisible
+// specification falls through to the inner engine with byte-identical output
+// and a KindIndivisible informational diagnostic (Result.Decomposition,
+// Stats.Decomposed/Components, Components for a synthesis-free preview).
 // The content-addressed result cache (Cache, NewLRU, WithCache) keys results
 // by Spec.Hash crossed with the canonicalised engine configuration, so
 // repeated synthesis of identical specifications — the hot path of a

@@ -94,3 +94,16 @@ func CounterflowPipeline() *stg.STG {
 	g.SetInitialState(bitvec.New(g.NumSignals()))
 	return g
 }
+
+// Product builds the counterflow topology at an arbitrary size: two n-stage
+// Muller pipelines operating concurrently in one specification.  Small sizes
+// keep the product state space within reach of the explicit oracle, which is
+// what differential tests of compositional synthesis need — the full
+// CounterflowPipeline is far beyond it by design.
+func Product(stages int) *stg.STG {
+	g := stg.New(fmt.Sprintf("product-%d", stages))
+	addPipeline(g, "f", stages)
+	addPipeline(g, "b", stages)
+	g.SetInitialState(bitvec.New(g.NumSignals()))
+	return g
+}

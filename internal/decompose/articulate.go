@@ -1,0 +1,192 @@
+package decompose
+
+import (
+	"fmt"
+
+	"punt/internal/bitvec"
+	"punt/internal/petri"
+	"punt/internal/stg"
+)
+
+// Articulate attempts the optimistic refinement on a specification the plain
+// union-find cannot divide: it searches for a dummy articulation transition —
+// one whose removal disconnects the net into parts with disjoint signal
+// alphabets — and projects the specification onto each part, replicating the
+// articulation into every side with its arcs restricted to that side's
+// places.
+//
+// The classic instance is two cyclic subsystems synchronised on one shared
+// dummy transition (Devillers' articulation): each side sees the articulation
+// inside its own cycle, so the projection is a well-formed STG whose language
+// over the side's signals equals the full specification's projection — the
+// synchronisation constrains timing across sides, never the per-side order.
+// The projection still over-approximates the environment (a side may fire its
+// copy before the full net could), so the recombined circuit MUST be
+// re-checked against the full specification; the decompose backend falls back
+// to monolithic synthesis when the check fails.
+//
+// Articulate returns nil when no usable articulation exists: no dummy cut
+// transition, a part whose copy of the articulation would lose its whole
+// preset or postset (the projection would be unsafe or dead), or fewer than
+// two parts carrying output signals.  Only the first usable articulation (in
+// transition order) is applied, and only one level deep — the sub-plans are
+// not articulated recursively.
+func Articulate(g *stg.STG) *Plan {
+	net := g.Net()
+	nT := net.NumTransitions()
+	for t := 0; t < nT; t++ {
+		id := petri.TransitionID(t)
+		if !g.Label(id).IsDummy {
+			continue
+		}
+		if plan := tryArticulation(g, id); plan != nil {
+			return plan
+		}
+	}
+	return nil
+}
+
+// tryArticulation tests whether cutting transition art disconnects the net
+// into independently synthesisable parts and builds the plan when it does.
+func tryArticulation(g *stg.STG, art petri.TransitionID) *Plan {
+	net := g.Net()
+	nP, nT, nS := net.NumPlaces(), net.NumTransitions(), g.NumSignals()
+	uf := newUnionFind(nP + nT + nS)
+	place := func(p petri.PlaceID) int { return int(p) }
+	trans := func(t petri.TransitionID) int { return nP + int(t) }
+	signal := func(s int) int { return nP + nT + s }
+
+	for t := 0; t < nT; t++ {
+		id := petri.TransitionID(t)
+		if id == art {
+			continue // the candidate articulation's arcs are cut
+		}
+		for _, p := range net.Pre(id) {
+			uf.union(trans(id), place(p))
+		}
+		for _, p := range net.Post(id) {
+			uf.union(trans(id), place(p))
+		}
+		if l := g.Label(id); !l.IsDummy {
+			uf.union(trans(id), signal(l.Signal))
+		}
+	}
+
+	// Group signals by part, ascending, exactly like Split.
+	roots := make([]int, 0, nS)
+	bySignalRoot := make(map[int][]int)
+	for s := 0; s < nS; s++ {
+		r := uf.find(signal(s))
+		if _, seen := bySignalRoot[r]; !seen {
+			roots = append(roots, r)
+		}
+		bySignalRoot[r] = append(bySignalRoot[r], s)
+	}
+
+	var comps []Component
+	for _, r := range roots {
+		sigs := bySignalRoot[r]
+		outputs := 0
+		for _, s := range sigs {
+			if k := g.Signal(s).Kind; k == stg.Output || k == stg.Internal {
+				outputs++
+			}
+		}
+		if outputs == 0 {
+			continue
+		}
+		comps = append(comps, Component{Signals: sigs, Outputs: outputs, Articulated: true})
+	}
+	if len(comps) < 2 {
+		return nil
+	}
+
+	for i := range comps {
+		sub, ok := projectWithArticulation(g, uf, comps[i].Signals, art, nP, nT)
+		if !ok {
+			return nil
+		}
+		comps[i].Sub = sub
+	}
+	return &Plan{Components: comps}
+}
+
+// projectWithArticulation projects g onto the part owning sigs, adding a copy
+// of the articulation transition with its arcs restricted to the part's
+// places.  ok is false when the restricted copy loses its whole preset (it
+// would fire unboundedly and break safeness) or its whole postset (the part
+// would drain tokens into the cut and deadlock): such a part marks the whole
+// articulation unusable.
+func projectWithArticulation(g *stg.STG, uf *unionFind, sigs []int, art petri.TransitionID, nP, nT int) (*stg.STG, bool) {
+	net := g.Net()
+	root := uf.find(nP + nT + sigs[0])
+	sub := stg.New(fmt.Sprintf("%s_a%d", g.Name(), sigs[0]))
+
+	sigMap := make(map[int]int, len(sigs))
+	for _, s := range sigs {
+		sigMap[s] = sub.AddSignal(g.Signal(s).Name, g.Signal(s).Kind)
+	}
+
+	placeMap := make(map[petri.PlaceID]petri.PlaceID, nP)
+	for p := 0; p < nP; p++ {
+		if uf.find(p) != root {
+			continue
+		}
+		placeMap[petri.PlaceID(p)] = sub.AddPlace(net.PlaceName(petri.PlaceID(p)))
+	}
+	for t := 0; t < nT; t++ {
+		id := petri.TransitionID(t)
+		if id == art || uf.find(nP+t) != root {
+			continue
+		}
+		l := g.Label(id)
+		var st petri.TransitionID
+		if l.IsDummy {
+			st = sub.AddDummyTransition(l.DummyName)
+		} else {
+			st = sub.AddTransition(sigMap[l.Signal], l.Dir)
+		}
+		for _, p := range net.Pre(id) {
+			sub.AddArcPT(placeMap[p], st)
+		}
+		for _, p := range net.Post(id) {
+			sub.AddArcTP(st, placeMap[p])
+		}
+	}
+
+	// The articulation's local copy: arcs restricted to this part's places.
+	copyName := g.Label(art).DummyName
+	at := sub.AddDummyTransition(copyName)
+	pre, post := 0, 0
+	for _, p := range net.Pre(art) {
+		if lp, ok := placeMap[p]; ok {
+			sub.AddArcPT(lp, at)
+			pre++
+		}
+	}
+	for _, p := range net.Post(art) {
+		if lp, ok := placeMap[p]; ok {
+			sub.AddArcTP(at, lp)
+			post++
+		}
+	}
+	if pre == 0 || post == 0 {
+		return nil, false
+	}
+
+	initial := net.Initial()
+	for p, lp := range placeMap {
+		if initial.Marked(p) {
+			sub.MarkInitially(lp)
+		}
+	}
+	if g.HasInitialState() {
+		full := g.InitialState()
+		bits := make([]bool, len(sigs))
+		for i, s := range sigs {
+			bits[i] = full.Get(s)
+		}
+		sub.SetInitialState(bitvec.FromBools(bits))
+	}
+	return sub, true
+}

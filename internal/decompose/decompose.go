@@ -1,0 +1,310 @@
+// Package decompose factors a Signal Transition Graph into independent
+// components for compositional synthesis: when a specification is the
+// disjoint union of smaller behaviours (the counterflow pipeline is two
+// unconnected Muller pipelines in one net), each component can be synthesised
+// on its own exponentially smaller state space and the per-component circuits
+// recombined into one implementation of the whole.  This lifts the trick
+// internal/verify already plays at checking time (cluster.go verifies the
+// 2^34-state counterflow as two 131k-state clusters) into synthesis itself,
+// following Devillers' product-of-transition-systems factoring.
+//
+// Two plans are offered.  Split is the sound one: a union-find over places,
+// transitions and signals — two parts of the net share a component when they
+// are connected through arcs or carry transitions of the same signal — so
+// components share nothing at all and the specification's behaviour is
+// exactly the independent interleaving of the component behaviours.  Every
+// cover derived from a component is therefore a correct cover of the full
+// specification (extended with don't-cares over the other components'
+// signals).
+//
+// Articulate is the optimistic refinement for nets the union-find cannot
+// split: a dummy articulation transition whose removal disconnects the net is
+// replicated into each side with its arcs restricted to that side.  The
+// projection over-approximates each side's environment (a side may fire its
+// copy before the full net could), so callers must re-check the recombined
+// circuit against the full specification and fall back when it does not
+// conform — the decompose backend does exactly that.
+package decompose
+
+import (
+	"fmt"
+
+	"punt/internal/bitvec"
+	"punt/internal/boolcover"
+	"punt/internal/gatelib"
+	"punt/internal/petri"
+	"punt/internal/stg"
+)
+
+// Component is one independent piece of a decomposition plan: the projected
+// sub-STG together with the maps back into the full specification.
+type Component struct {
+	// Sub is the projected specification: the component's places, transitions
+	// and arcs, its restriction of the initial marking and of the initial
+	// binary state.  Signal names and kinds are preserved.
+	Sub *stg.STG
+	// Signals maps local signal indices of Sub to global signal indices of
+	// the input STG, ascending: Sub's signal i is the input's Signals[i].
+	Signals []int
+	// Outputs counts the output and internal signals of the component — the
+	// gates its synthesis will contribute.  A component with zero outputs
+	// still constrains nothing and is dropped from plans.
+	Outputs int
+	// Articulated marks components produced by Articulate, whose projection
+	// over-approximates the environment and needs the closed-loop re-check.
+	Articulated bool
+}
+
+// Plan is an ordered decomposition of one STG.  Components are ordered by
+// their smallest global signal index, so plans are deterministic.
+type Plan struct {
+	Components []Component
+}
+
+// Divisible reports whether the plan actually splits the specification.
+func (p *Plan) Divisible() bool { return p != nil && len(p.Components) > 1 }
+
+// Split partitions g into its independent components with a union-find over
+// places, transitions and signals, exactly generalising the verifier's
+// cluster partition: arcs connect transitions to their pre- and post-places,
+// and every labelled transition connects to its signal, so two subnets end up
+// in one component when they interact in any way at all.  Components without
+// a single output or internal signal (pure-input or dummy-only subnets) are
+// dropped — they contribute no gate and their behaviour is preserved by the
+// remaining components' environments.  A specification that does not divide
+// yields a single-component plan whose Sub is g itself (not a copy), so the
+// indivisible path costs one linear scan and nothing else.
+func Split(g *stg.STG) *Plan {
+	net := g.Net()
+	nP, nT, nS := net.NumPlaces(), net.NumTransitions(), g.NumSignals()
+	uf := newUnionFind(nP + nT + nS)
+	place := func(p petri.PlaceID) int { return int(p) }
+	trans := func(t petri.TransitionID) int { return nP + int(t) }
+	signal := func(s int) int { return nP + nT + s }
+
+	for t := 0; t < nT; t++ {
+		id := petri.TransitionID(t)
+		for _, p := range net.Pre(id) {
+			uf.union(trans(id), place(p))
+		}
+		for _, p := range net.Post(id) {
+			uf.union(trans(id), place(p))
+		}
+		if l := g.Label(id); !l.IsDummy {
+			uf.union(trans(id), signal(l.Signal))
+		}
+	}
+
+	// Group signals by root, in ascending signal order so the component order
+	// and the local signal order are both deterministic.
+	roots := make([]int, 0, nS)
+	bySignalRoot := make(map[int][]int)
+	for s := 0; s < nS; s++ {
+		r := uf.find(signal(s))
+		if _, seen := bySignalRoot[r]; !seen {
+			roots = append(roots, r)
+		}
+		bySignalRoot[r] = append(bySignalRoot[r], s)
+	}
+
+	var comps []Component
+	for _, r := range roots {
+		sigs := bySignalRoot[r]
+		outputs := 0
+		for _, s := range sigs {
+			if k := g.Signal(s).Kind; k == stg.Output || k == stg.Internal {
+				outputs++
+			}
+		}
+		if outputs == 0 {
+			continue
+		}
+		comps = append(comps, Component{Signals: sigs, Outputs: outputs})
+	}
+	plan := &Plan{Components: comps}
+	if len(comps) <= 1 {
+		// Indivisible (or a single synthesizable component): hand the caller
+		// the input itself so the fallthrough path costs nothing.
+		if len(comps) == 1 {
+			plan.Components[0].Sub = g
+			plan.Components[0].Signals = identity(nS)
+		}
+		return plan
+	}
+
+	// Project each component: membership arrays first, then the restricted
+	// nets.  Places and transitions follow their roots; places or transitions
+	// in a dropped (gate-less) component are simply left out of every
+	// projection.
+	for i := range plan.Components {
+		c := &plan.Components[i]
+		c.Sub = project(g, uf, c.Signals, nP, nT)
+	}
+	return plan
+}
+
+// identity returns [0, 1, …, n-1].
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// project builds the sub-STG of the component owning the given global
+// signals: the places and transitions sharing the component's union-find
+// root, their arcs, the restriction of the initial marking and the
+// restriction of the initial binary state.
+func project(g *stg.STG, uf *unionFind, sigs []int, nP, nT int) *stg.STG {
+	net := g.Net()
+	root := uf.find(nP + nT + sigs[0])
+	sub := stg.New(fmt.Sprintf("%s_c%d", g.Name(), sigs[0]))
+
+	sigMap := make(map[int]int, len(sigs)) // global signal -> local signal
+	for _, s := range sigs {
+		sigMap[s] = sub.AddSignal(g.Signal(s).Name, g.Signal(s).Kind)
+	}
+
+	placeMap := make(map[petri.PlaceID]petri.PlaceID, nP)
+	for p := 0; p < nP; p++ {
+		if uf.find(int(p)) != root {
+			continue
+		}
+		placeMap[petri.PlaceID(p)] = sub.AddPlace(net.PlaceName(petri.PlaceID(p)))
+	}
+	for t := 0; t < nT; t++ {
+		id := petri.TransitionID(t)
+		if uf.find(nP+t) != root {
+			continue
+		}
+		var st petri.TransitionID
+		if l := g.Label(id); l.IsDummy {
+			st = sub.AddDummyTransition(l.DummyName)
+		} else {
+			st = sub.AddTransition(sigMap[l.Signal], l.Dir)
+		}
+		for _, p := range net.Pre(id) {
+			sub.AddArcPT(placeMap[p], st)
+		}
+		for _, p := range net.Post(id) {
+			sub.AddArcTP(st, placeMap[p])
+		}
+	}
+
+	initial := net.Initial()
+	for p, lp := range placeMap {
+		if initial.Marked(p) {
+			sub.MarkInitially(lp)
+		}
+	}
+	if g.HasInitialState() {
+		full := g.InitialState()
+		bits := make([]bool, len(sigs))
+		for i, s := range sigs {
+			bits[i] = full.Get(s)
+		}
+		sub.SetInitialState(bitvec.FromBools(bits))
+	}
+	return sub
+}
+
+// Recombine merges per-component implementations back into one circuit over
+// the full specification's signal alphabet: every component cube is widened
+// to the global variable order (don't-cares outside the component) and the
+// gates are emitted in ascending global signal index order, so the merged
+// netlist is deterministic regardless of which component finished first.
+// Each impls[i] must be the implementation of plan.Components[i].Sub, with
+// SignalNames exactly the component's local signal names.
+func Recombine(g *stg.STG, plan *Plan, impls []*gatelib.Implementation) (*gatelib.Implementation, error) {
+	if len(impls) != len(plan.Components) {
+		return nil, fmt.Errorf("decompose: %d implementations for %d components", len(impls), len(plan.Components))
+	}
+	names := g.SignalNames()
+	merged := &gatelib.Implementation{Name: g.Name(), SignalNames: names}
+
+	// gateBySignal[s] is the remapped gate of global signal s, if any.
+	gateBySignal := make([]*gatelib.Gate, len(names))
+	for ci := range plan.Components {
+		comp := &plan.Components[ci]
+		im := impls[ci]
+		if im == nil {
+			return nil, fmt.Errorf("decompose: component %d has no implementation", ci)
+		}
+		if len(im.SignalNames) != len(comp.Signals) {
+			return nil, fmt.Errorf("decompose: component %d implementation has %d signals, projection %d",
+				ci, len(im.SignalNames), len(comp.Signals))
+		}
+		for gi := range im.Gates {
+			gate := im.Gates[gi]
+			local, ok := comp.Sub.SignalIndex(gate.Signal)
+			if !ok {
+				return nil, fmt.Errorf("decompose: component %d implements unknown signal %q", ci, gate.Signal)
+			}
+			global := comp.Signals[local]
+			if gateBySignal[global] != nil {
+				return nil, fmt.Errorf("decompose: signal %q implemented by two components", gate.Signal)
+			}
+			widened := gatelib.Gate{
+				Signal: gate.Signal,
+				Arch:   gate.Arch,
+				Cover:  widenCover(gate.Cover, comp.Signals, len(names)),
+				Set:    widenCover(gate.Set, comp.Signals, len(names)),
+				Reset:  widenCover(gate.Reset, comp.Signals, len(names)),
+			}
+			gateBySignal[global] = &widened
+		}
+	}
+	for s := range gateBySignal {
+		if gateBySignal[s] != nil {
+			merged.Gates = append(merged.Gates, *gateBySignal[s])
+		}
+	}
+	return merged, nil
+}
+
+// widenCover remaps a component-local cover onto the global variable order:
+// trit i of every cube moves to position sigs[i], everything else stays a
+// don't-care.  A nil cover stays nil (the architectures leave unused networks
+// nil).
+func widenCover(c *boolcover.Cover, sigs []int, width int) *boolcover.Cover {
+	if c == nil {
+		return nil
+	}
+	out := boolcover.NewCover(width)
+	for _, cube := range c.Cubes() {
+		wc := boolcover.NewCube(width)
+		for i := 0; i < cube.Len(); i++ {
+			wc.Set(sigs[i], cube.Get(i))
+		}
+		out.Add(wc)
+	}
+	return out
+}
+
+// unionFind is a plain union-find over integer nodes (the verifier's, kept
+// private to each package to avoid a dependency for thirty lines).
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}

@@ -1,0 +1,210 @@
+package decompose
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"punt/internal/benchgen"
+	"punt/internal/bitvec"
+	"punt/internal/boolcover"
+	"punt/internal/core"
+	"punt/internal/gatelib"
+	"punt/internal/stg"
+	"punt/internal/verify"
+)
+
+// twoLoopSTG builds two independent request/acknowledge loops synchronised on
+// a single dummy transition: the classic articulation case.  Removing "sync"
+// disconnects the net into the (r1, a1) and (r2, a2) loops.
+func twoLoopSTG(t *testing.T) *stg.STG {
+	t.Helper()
+	g := stg.New("twoloop")
+	r1 := g.AddSignal("r1", stg.Input)
+	a1 := g.AddSignal("a1", stg.Output)
+	r2 := g.AddSignal("r2", stg.Input)
+	a2 := g.AddSignal("a2", stg.Output)
+	sync := g.AddDummyTransition("sync")
+	for _, pair := range [][2]int{{r1, a1}, {r2, a2}} {
+		rp := g.AddTransition(pair[0], stg.Plus)
+		ap := g.AddTransition(pair[1], stg.Plus)
+		rm := g.AddTransition(pair[0], stg.Minus)
+		am := g.AddTransition(pair[1], stg.Minus)
+		g.AddArcTT(rp, ap)
+		g.AddArcTT(ap, rm)
+		g.AddArcTT(rm, am)
+		g.AddArcTT(am, sync)
+		g.MarkInitially(g.AddArcTT(sync, rp))
+	}
+	g.SetInitialState(bitvec.New(g.NumSignals()))
+	if err := g.Validate(); err != nil {
+		t.Fatalf("twoloop STG invalid: %v", err)
+	}
+	return g
+}
+
+func TestSplitCounterflowIntoTwoComponents(t *testing.T) {
+	g := benchgen.CounterflowPipeline()
+	plan := Split(g)
+	if !plan.Divisible() {
+		t.Fatalf("counterflow must divide, got %d components", len(plan.Components))
+	}
+	if len(plan.Components) != 2 {
+		t.Fatalf("counterflow: want 2 components, got %d", len(plan.Components))
+	}
+	totalSignals := 0
+	for i, c := range plan.Components {
+		totalSignals += len(c.Signals)
+		if c.Outputs == 0 {
+			t.Errorf("component %d has no outputs", i)
+		}
+		if err := c.Sub.Validate(); err != nil {
+			t.Errorf("component %d projection invalid: %v", i, err)
+		}
+		if !c.Sub.HasInitialState() {
+			t.Errorf("component %d lost the initial state", i)
+		}
+		if c.Articulated {
+			t.Errorf("component %d of a union-find plan marked articulated", i)
+		}
+	}
+	if totalSignals != g.NumSignals() {
+		t.Errorf("components cover %d signals of %d", totalSignals, g.NumSignals())
+	}
+	// The projected signal names must match the global indices they map to.
+	for i, c := range plan.Components {
+		for local, global := range c.Signals {
+			if c.Sub.Signal(local).Name != g.Signal(global).Name {
+				t.Errorf("component %d: local signal %d is %q, global %d is %q",
+					i, local, c.Sub.Signal(local).Name, global, g.Signal(global).Name)
+			}
+		}
+	}
+}
+
+func TestSplitIndivisibleIsZeroCopy(t *testing.T) {
+	g := benchgen.PaperFig1()
+	plan := Split(g)
+	if plan.Divisible() {
+		t.Fatalf("fig1 must not divide, got %d components", len(plan.Components))
+	}
+	if len(plan.Components) != 1 {
+		t.Fatalf("want exactly 1 component, got %d", len(plan.Components))
+	}
+	if plan.Components[0].Sub != g {
+		t.Error("indivisible plan must hand back the input STG itself, not a copy")
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	g := benchgen.CounterflowPipeline()
+	a, b := Split(g), Split(g)
+	if len(a.Components) != len(b.Components) {
+		t.Fatalf("plans differ in size: %d vs %d", len(a.Components), len(b.Components))
+	}
+	for i := range a.Components {
+		if !reflect.DeepEqual(a.Components[i].Signals, b.Components[i].Signals) {
+			t.Errorf("component %d signal map differs across runs", i)
+		}
+		if stg.Format(a.Components[i].Sub) != stg.Format(b.Components[i].Sub) {
+			t.Errorf("component %d projection differs across runs", i)
+		}
+	}
+}
+
+func TestArticulateTwoLoops(t *testing.T) {
+	g := twoLoopSTG(t)
+	if Split(g).Divisible() {
+		t.Fatal("twoloop must not divide by plain union-find (the sync couples it)")
+	}
+	plan := Articulate(g)
+	if plan == nil || len(plan.Components) != 2 {
+		t.Fatalf("twoloop must articulate into 2 components, got %+v", plan)
+	}
+	for i, c := range plan.Components {
+		if !c.Articulated {
+			t.Errorf("component %d not marked articulated", i)
+		}
+		if err := c.Sub.Validate(); err != nil {
+			t.Errorf("component %d projection invalid: %v", i, err)
+		}
+		if len(c.Signals) != 2 || c.Outputs != 1 {
+			t.Errorf("component %d: want 2 signals / 1 output, got %d / %d",
+				i, len(c.Signals), c.Outputs)
+		}
+	}
+}
+
+func TestArticulateRejectsIndivisible(t *testing.T) {
+	// Fig1 has no dummy transitions at all, so no articulation exists.
+	if plan := Articulate(benchgen.PaperFig1()); plan != nil {
+		t.Fatalf("fig1 must not articulate, got %d components", len(plan.Components))
+	}
+}
+
+// TestRecombineCounterflow synthesises the two counterflow components
+// independently, recombines the covers onto the global signal alphabet and
+// checks the merged circuit closed-loop against the full specification — the
+// soundness property the decompose backend rests on.
+func TestRecombineCounterflow(t *testing.T) {
+	g := benchgen.CounterflowPipeline()
+	plan := Split(g)
+	if len(plan.Components) != 2 {
+		t.Fatalf("want 2 components, got %d", len(plan.Components))
+	}
+	ctx := context.Background()
+	impls := make([]*gatelib.Implementation, len(plan.Components))
+	for i, c := range plan.Components {
+		im, _, err := core.New(core.Options{}).Synthesize(ctx, c.Sub)
+		if err != nil {
+			t.Fatalf("component %d synthesis: %v", i, err)
+		}
+		impls[i] = im
+	}
+	merged, err := Recombine(g, plan, impls)
+	if err != nil {
+		t.Fatalf("recombine: %v", err)
+	}
+	if len(merged.SignalNames) != g.NumSignals() {
+		t.Fatalf("merged implementation has %d signals, want %d", len(merged.SignalNames), g.NumSignals())
+	}
+	wantGates := 0
+	for _, c := range plan.Components {
+		wantGates += c.Outputs
+	}
+	if len(merged.Gates) != wantGates {
+		t.Fatalf("merged implementation has %d gates, want %d", len(merged.Gates), wantGates)
+	}
+	// Every cube must be widened to the global width.
+	for _, gate := range merged.Gates {
+		if gate.Cover != nil && gate.Cover.Vars() != g.NumSignals() {
+			t.Fatalf("gate %s cover width %d, want %d", gate.Signal, gate.Cover.Vars(), g.NumSignals())
+		}
+	}
+	if _, err := verify.Verify(ctx, g, merged, verify.Options{}); err != nil {
+		t.Fatalf("recombined counterflow circuit fails closed-loop verification: %v", err)
+	}
+}
+
+func TestWidenCoverRemapsTrits(t *testing.T) {
+	// Component variables {1, 3} of a 5-signal alphabet: local cube "01"
+	// becomes "-0-1-" widened... local index 0 -> global 1, local 1 -> global 3.
+	local := boolcover.CoverFromStrings("01", "1-")
+	wide := widenCover(local, []int{1, 3}, 5)
+	got := make([]string, 0, wide.Size())
+	for _, c := range wide.Cubes() {
+		got = append(got, c.String())
+	}
+	want := []string{"-0-1-", "-1---"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("widened cubes = %v, want %v", got, want)
+	}
+}
+
+func TestRecombineRejectsMismatch(t *testing.T) {
+	g := benchgen.CounterflowPipeline()
+	plan := Split(g)
+	if _, err := Recombine(g, plan, make([]*gatelib.Implementation, 1)); err == nil {
+		t.Fatal("recombine must reject an implementation-count mismatch")
+	}
+}

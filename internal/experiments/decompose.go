@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// DecomposePoint is one compositional-synthesis measurement: the same
+// specification synthesised end to end by the monolithic unfolding engine and
+// by the decompose engine (split → per-component synthesis → recombination →
+// closed-loop re-verification), plus the output-identity verdict.  The
+// measurement itself lives in punt/bench, which can import the facade.
+type DecomposePoint struct {
+	Spec string
+	// Runs is how many repetitions each average covers.
+	Runs int
+	// Components is how many components the decompose engine split the
+	// specification into; 1 means indivisible fallthrough.
+	Components int
+	// Monolithic and Decomposed are the average end-to-end synthesis times.
+	Monolithic time.Duration
+	Decomposed time.Duration
+	// Speedup is Monolithic/Decomposed.
+	Speedup float64
+	// Identical reports whether the two implementations printed
+	// byte-identically — guaranteed on indivisible fallthrough, and expected
+	// on exact splits since components share nothing.
+	Identical bool
+	Literals  int
+}
+
+// FormatDecompose renders the compositional-synthesis measurements as a
+// table.
+func FormatDecompose(points []DecomposePoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %5s %5s | %10s %10s %8s | %9s %8s\n",
+		"Spec", "Comps", "Runs", "Mono", "Decomp", "Speedup", "Identical", "Literals")
+	sb.WriteString(strings.Repeat("-", 82) + "\n")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-14s %5d %5d | %10v %10v %7.2fx | %9t %8d\n",
+			p.Spec, p.Components, p.Runs, p.Monolithic.Round(time.Microsecond),
+			p.Decomposed.Round(time.Microsecond), p.Speedup, p.Identical, p.Literals)
+	}
+	return sb.String()
+}

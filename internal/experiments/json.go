@@ -93,6 +93,19 @@ type JSONResolveRetryPoint struct {
 	StatesReused      int     `json:"states_reused"`
 }
 
+// JSONDecomposePoint is the JSON shape of one compositional-synthesis
+// measurement.
+type JSONDecomposePoint struct {
+	Spec        string  `json:"spec"`
+	Runs        int     `json:"runs"`
+	Components  int     `json:"components"`
+	MonoSeconds float64 `json:"mono_seconds"`
+	DecSeconds  float64 `json:"dec_seconds"`
+	Speedup     float64 `json:"speedup"`
+	Identical   bool    `json:"identical"`
+	Literals    int     `json:"literals"`
+}
+
 // Report is the top-level JSON document emitted by benchtab -json.
 type Report struct {
 	GeneratedAt string             `json:"generated_at"`
@@ -109,11 +122,26 @@ type Report struct {
 	// full-rebuild-vs-incremental CSC-resolution sweep.
 	Parallel     []JSONParallelPoint     `json:"parallel,omitempty"`
 	ResolveRetry []JSONResolveRetryPoint `json:"resolve_retry,omitempty"`
+	// Decompose holds the compositional-synthesis measurements (monolithic vs
+	// split-synthesize-recombine, with the output-identity verdict).
+	Decompose []JSONDecomposePoint `json:"decompose,omitempty"`
 }
 
 // NewReport converts measured rows and points into the JSON report shape.
-func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, cache, disk []CachePoint, parallel []ParallelPoint, retry []ResolveRetryPoint, now time.Time) Report {
+func NewReport(rows []Table1Row, points []Figure6Point, facade []FacadePoint, cache, disk []CachePoint, parallel []ParallelPoint, retry []ResolveRetryPoint, decomp []DecomposePoint, now time.Time) Report {
 	r := Report{GeneratedAt: now.UTC().Format(time.RFC3339)}
+	for _, p := range decomp {
+		r.Decompose = append(r.Decompose, JSONDecomposePoint{
+			Spec:        p.Spec,
+			Runs:        p.Runs,
+			Components:  p.Components,
+			MonoSeconds: p.Monolithic.Seconds(),
+			DecSeconds:  p.Decomposed.Seconds(),
+			Speedup:     p.Speedup,
+			Identical:   p.Identical,
+			Literals:    p.Literals,
+		})
+	}
 	for _, p := range parallel {
 		r.Parallel = append(r.Parallel, JSONParallelPoint{
 			Spec:       p.Spec,

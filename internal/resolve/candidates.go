@@ -2,6 +2,8 @@ package resolve
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"punt/internal/petri"
 	"punt/internal/stategraph"
@@ -118,10 +120,17 @@ func colorAssignment(sg *stategraph.Graph, rise, fall petri.TransitionID) (value
 // over the state graph, and ranks the feasible ones: most conflict pairs
 // separated first, then lowest insertion-point penalty, then deterministic
 // transition order.
-func findCandidates(sg *stategraph.Graph, conflicts []stategraph.CSCConflict) []candidate {
+//
+// workers > 1 shards the enumeration by rise transition across that many
+// goroutines, each with its own colorer (the shared scratch is not safe for
+// concurrent use).  The result is identical to the sequential scan: per-rise
+// candidate lists are produced in the same inner-loop order whichever worker
+// claims them, flattened in rise order, and the final ranking sort is a total
+// order over unique (rise, fall) pairs — so the parallel path is a pure
+// throughput knob, exactly like the unfolding pool's.
+func findCandidates(sg *stategraph.Graph, conflicts []stategraph.CSCConflict, workers int) []candidate {
 	g := sg.STG
 	m := g.Net().NumTransitions()
-	c := newColorer(sg)
 
 	penalty := func(t petri.TransitionID) int {
 		l := g.Label(t)
@@ -135,11 +144,8 @@ func findCandidates(sg *stategraph.Graph, conflicts []stategraph.CSCConflict) []
 		}
 	}
 
-	var out []candidate
-	for rise := petri.TransitionID(0); int(rise) < m; rise++ {
-		if len(c.edgesByTrans[rise]) == 0 {
-			continue // never fires: the new signal would never rise
-		}
+	// scanRise appends every feasible (rise, *) candidate in fall order.
+	scanRise := func(c *colorer, rise petri.TransitionID, out []candidate) []candidate {
 		for fall := petri.TransitionID(0); int(fall) < m; fall++ {
 			if rise == fall || len(c.edgesByTrans[fall]) == 0 {
 				continue
@@ -163,6 +169,64 @@ func findCandidates(sg *stategraph.Graph, conflicts []stategraph.CSCConflict) []
 				penalty:   penalty(rise) + penalty(fall),
 				initHigh:  c.value[0] == 1,
 			})
+		}
+		return out
+	}
+
+	var out []candidate
+	if workers > 1 && m > 1 {
+		perRise := make([][]candidate, m)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		var panicMu sync.Mutex
+		var panicked any
+		if workers > m {
+			workers = m
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// A panic on a bare goroutine bypasses every recover up the
+				// stack and kills the process: capture the first one and
+				// re-raise it on the coordinating goroutine below.
+				defer func() {
+					if p := recover(); p != nil {
+						panicMu.Lock()
+						if panicked == nil {
+							panicked = p
+						}
+						panicMu.Unlock()
+					}
+				}()
+				c := newColorer(sg)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= m {
+						return
+					}
+					rise := petri.TransitionID(i)
+					if len(c.edgesByTrans[rise]) == 0 {
+						continue // never fires: the new signal would never rise
+					}
+					perRise[i] = scanRise(c, rise, nil)
+				}
+			}()
+		}
+		wg.Wait()
+		if panicked != nil {
+			panic(panicked)
+		}
+		for _, cands := range perRise {
+			out = append(out, cands...)
+		}
+	} else {
+		c := newColorer(sg)
+		for rise := petri.TransitionID(0); int(rise) < m; rise++ {
+			if len(c.edgesByTrans[rise]) == 0 {
+				continue // never fires: the new signal would never rise
+			}
+			out = scanRise(c, rise, out)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,104 @@
+package resolve
+
+import (
+	"context"
+	"testing"
+
+	"punt/internal/benchgen"
+	"punt/internal/stategraph"
+	"punt/internal/stg"
+)
+
+// conflictedGraphs collects state graphs with real CSC conflicts from the
+// canonical example plus the random-gadget corpus.
+func conflictedGraphs(t *testing.T, want int) []*stategraph.Graph {
+	t.Helper()
+	var out []*stategraph.Graph
+	add := func(g *stg.STG) {
+		sg, err := stategraph.Build(context.Background(), g, stategraph.Options{})
+		if err != nil {
+			return
+		}
+		if len(sg.CheckCSC()) == 0 {
+			return
+		}
+		out = append(out, sg)
+	}
+	if g, err := stg.ParseFile("../../testdata/csc.g"); err == nil {
+		add(g)
+	}
+	for seed := int64(0); seed < 200 && len(out) < want; seed++ {
+		add(benchgen.RandomSTG(seed, 4+int(seed)%9))
+	}
+	if len(out) < want {
+		t.Fatalf("only %d conflicted graphs found, want %d", len(out), want)
+	}
+	return out
+}
+
+// TestFindCandidatesParallelMatchesSequential pins the satellite's guarantee:
+// sharding the (rise, fall) enumeration across workers yields exactly the
+// sequential ranking, element by element, at every width.
+func TestFindCandidatesParallelMatchesSequential(t *testing.T) {
+	for gi, sg := range conflictedGraphs(t, 12) {
+		conflicts := sg.CheckCSC()
+		seq := findCandidates(sg, conflicts, 1)
+		if len(seq) == 0 {
+			continue
+		}
+		for _, workers := range []int{2, 3, 8} {
+			par := findCandidates(sg, conflicts, workers)
+			if len(par) != len(seq) {
+				t.Fatalf("graph %d workers %d: %d candidates, sequential found %d",
+					gi, workers, len(par), len(seq))
+			}
+			for i := range seq {
+				if par[i] != seq[i] {
+					t.Fatalf("graph %d workers %d: candidate %d = %+v, sequential %+v",
+						gi, workers, i, par[i], seq[i])
+				}
+			}
+		}
+	}
+}
+
+// TestResolveWorkersDeterministic drives the whole resolver at several worker
+// counts over the canonical conflicted controller: identical insertions and
+// identical counters (CandidatesTried included) at every width.
+func TestResolveWorkersDeterministic(t *testing.T) {
+	g, err := stg.ParseFile("../../testdata/csc.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, baseRep, err := Resolve(context.Background(), g, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		rg, rep, err := Resolve(context.Background(), g, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if stg.Format(rg) != stg.Format(base) {
+			t.Fatalf("workers=%d: repaired specification differs from sequential", workers)
+		}
+		if len(rep.Inserted) != len(baseRep.Inserted) || rep.Iterations != baseRep.Iterations {
+			t.Fatalf("workers=%d: insertion record differs from sequential", workers)
+		}
+		// CandidatesTried legitimately differs across widths (the sequential
+		// validator stops at a perfect repair, the parallel one has already
+		// started lower ranks), but the counter invariants hold at every
+		// width: every tried candidate is accounted for exactly once.
+		if rep.CandidatesTried < baseRep.CandidatesTried {
+			t.Fatalf("workers=%d: tried %d candidates, fewer than the sequential %d",
+				workers, rep.CandidatesTried, baseRep.CandidatesTried)
+		}
+		if rep.CandidatesFailed > rep.CandidatesTried {
+			t.Fatalf("workers=%d: failed %d > tried %d", workers, rep.CandidatesFailed, rep.CandidatesTried)
+		}
+		if rep.IncrementalBuilds+rep.FullRebuilds+rep.CandidatesFailed != rep.CandidatesTried {
+			t.Fatalf("workers=%d: builds(%d+%d)+failed(%d) != tried(%d)", workers,
+				rep.IncrementalBuilds, rep.FullRebuilds, rep.CandidatesFailed, rep.CandidatesTried)
+		}
+	}
+}

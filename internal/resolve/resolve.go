@@ -217,7 +217,7 @@ func Resolve(ctx context.Context, g *stg.STG, opts Options) (*stg.STG, *Report, 
 		}
 		rep.Iterations++
 		name := freshSignalName(cur, prefix)
-		cands := findCandidates(sg, conflicts)
+		cands := findCandidates(sg, conflicts, opts.Workers)
 		if len(cands) > maxCandidates {
 			cands = cands[:maxCandidates]
 		}

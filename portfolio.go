@@ -140,8 +140,38 @@ feed:
 	}
 	res := slots[winner].res
 	res.Stats.Backend = contenders[winner].Name()
+	// A composite winner (the decompose backend) reports the engines it ran
+	// underneath in its own stats; those roll up under the winner's entry as
+	// Contender.Sub instead of surfacing as phantom top-level contenders of a
+	// race they were never entered in.
+	if subs := subContenders(&res.Stats); len(subs) > 0 {
+		breakdown[winner].Sub = subs
+	}
 	res.Stats.Contenders = breakdown
 	return res, nil
+}
+
+// subContenders extracts a winner's nested sub-engine outcomes: an inherited
+// contender breakdown (a delegating backend that kept one), or the
+// per-component runs of a decomposed result.
+func subContenders(st *Stats) []Contender {
+	if len(st.Contenders) > 0 {
+		subs := st.Contenders
+		st.Contenders = nil
+		return subs
+	}
+	if len(st.Components) > 0 {
+		subs := make([]Contender, len(st.Components))
+		for i, c := range st.Components {
+			subs[i] = Contender{
+				Engine:  c.Name + "/" + c.Backend,
+				Started: true,
+				Elapsed: c.Elapsed,
+			}
+		}
+		return subs
+	}
+	return nil
 }
 
 // contenderErrLabel compresses a loser's error for the Stats summary.

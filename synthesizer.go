@@ -60,6 +60,7 @@ type config struct {
 	maxStates  int
 	maxNodes   int
 	workers    int
+	inner      string         // decompose backend's inner engine; empty = unfolding
 	resolveCSC int            // max internal signals the CSC resolver may insert; 0 = disabled
 	deadline   time.Duration  // per-attempt wall-clock budget; 0 = none
 	memBudget  int64          // per-attempt heap-growth budget in bytes; 0 = none
@@ -154,6 +155,14 @@ func WithContenders(names ...string) Option {
 	}
 }
 
+// WithDecomposeInner names the engine the Decompose backend synthesizes each
+// component with — and falls through to, with zero overhead, when the
+// specification has no independent or articulated components.  The default is
+// "unfolding"; "decompose" and "portfolio" are rejected at Synthesize time.
+// The inner engine runs under the decompose backend's shared cancellation, so
+// a failing component aborts its siblings promptly.
+func WithDecomposeInner(name string) Option { return func(c *config) { c.inner = name } }
+
 // DefaultResolveSignals is the inserted-signal bound WithResolveCSC applies
 // when given a non-positive limit.
 const DefaultResolveSignals = resolve.DefaultMaxSignals
@@ -222,20 +231,76 @@ type Contender struct {
 	// Err is the contender's failure: nil for the winner (and for unstarted
 	// contenders), a cancellation diagnostic for aborted losers.
 	Err error
+	// Sub is the contender's own sub-engine breakdown, when the contender is
+	// itself composite: the per-component runs of a decompose contender roll
+	// up here instead of appearing as top-level contenders of the race.
+	Sub []Contender
 }
 
 // String renders the contender outcome.
 func (c Contender) String() string {
+	var s string
 	switch {
 	case c.Winner:
-		return fmt.Sprintf("%s=%v(winner)", c.Engine, c.Elapsed.Round(time.Microsecond))
+		s = fmt.Sprintf("%s=%v(winner)", c.Engine, c.Elapsed.Round(time.Microsecond))
 	case !c.Started:
 		return fmt.Sprintf("%s=unstarted", c.Engine)
 	case c.Err != nil:
-		return fmt.Sprintf("%s=%v(%s)", c.Engine, c.Elapsed.Round(time.Microsecond), contenderErrLabel(c.Err))
+		s = fmt.Sprintf("%s=%v(%s)", c.Engine, c.Elapsed.Round(time.Microsecond), contenderErrLabel(c.Err))
 	default:
-		return fmt.Sprintf("%s=%v", c.Engine, c.Elapsed.Round(time.Microsecond))
+		s = fmt.Sprintf("%s=%v", c.Engine, c.Elapsed.Round(time.Microsecond))
 	}
+	if len(c.Sub) > 0 {
+		var sb strings.Builder
+		sb.WriteString(s)
+		sb.WriteString("{")
+		for i, sub := range c.Sub {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(sub.String())
+		}
+		sb.WriteString("}")
+		return sb.String()
+	}
+	return s
+}
+
+// ComponentStat records one component of a decomposed synthesis run: the
+// projected sub-specification's identity and size, the backend that
+// synthesized it, and its contribution to the merged totals.
+type ComponentStat struct {
+	// Name is the projected sub-specification's name.
+	Name string `json:"name"`
+	// Backend names the inner backend that synthesized the component.
+	Backend string `json:"backend,omitempty"`
+	// Signals and Outputs size the component: total signals and the
+	// output/internal signals whose gates it contributed.
+	Signals int `json:"signals"`
+	Outputs int `json:"outputs"`
+	// Articulated marks components obtained by splitting at an articulation
+	// transition rather than a plain disconnection.
+	Articulated bool `json:"articulated,omitempty"`
+	// Elapsed is the component's wall-clock synthesis time.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Events (unfolding inner engine) / States (state-graph inner engines)
+	// size the component's search space.
+	Events int `json:"events,omitempty"`
+	States int `json:"states,omitempty"`
+	// Literals is the component implementation's literal count.
+	Literals int `json:"literals,omitempty"`
+}
+
+// String renders the component record.
+func (c ComponentStat) String() string {
+	size := ""
+	if c.Events > 0 {
+		size = fmt.Sprintf(" events=%d", c.Events)
+	} else if c.States > 0 {
+		size = fmt.Sprintf(" states=%d", c.States)
+	}
+	return fmt.Sprintf("%s=%v(signals=%d outputs=%d%s)",
+		c.Name, c.Elapsed.Round(time.Microsecond), c.Signals, c.Outputs, size)
 }
 
 // Stats is the per-run timing and size breakdown, named after the columns of
@@ -275,6 +340,14 @@ type Stats struct {
 	// Contenders is the per-contender breakdown of a portfolio run (empty
 	// outside portfolio mode).
 	Contenders []Contender `json:"contenders,omitempty"`
+	// Decomposed reports that the decompose backend factored the
+	// specification and the result was recombined from per-component runs;
+	// Components carries the per-component breakdown.  An indivisible
+	// specification that fell through to the inner engine leaves both empty
+	// (see Result.Decomposition for the informational record).
+	Decomposed bool `json:"decomposed,omitempty"`
+	// Components is the per-component breakdown of a decomposed run.
+	Components []ComponentStat `json:"components,omitempty"`
 	// Attempts is the per-attempt breakdown of the Synthesize call: the
 	// primary configuration plus every WithFallback step that ran, each
 	// with its outcome and duration.  A single-attempt run has one entry;
@@ -343,6 +416,16 @@ func (s *Stats) String() string {
 		}
 		sb.WriteByte(']')
 	}
+	if s.Decomposed {
+		fmt.Fprintf(&sb, " decomposed=%d[", len(s.Components))
+		for i, c := range s.Components {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(c.String())
+		}
+		sb.WriteByte(']')
+	}
 	if len(s.Attempts) > 1 {
 		sb.WriteString(" attempts=[")
 		for i, a := range s.Attempts {
@@ -396,6 +479,12 @@ type Result struct {
 	// Resolution it is never an error — the synthesis succeeded, merely
 	// under a cheaper configuration than asked for.
 	Degradation *Diagnostic
+	// Decomposition, when non-nil, is the KindIndivisible informational
+	// diagnostic recording that the decompose backend found no way to factor
+	// the specification and delegated to its inner engine (named in Signal)
+	// unchanged.  A factored run leaves it nil and reports through
+	// Stats.Decomposed / Stats.Components instead.  Never an error.
+	Decomposition *Diagnostic
 }
 
 // Resolved reports whether the result was produced through the WithResolveCSC
@@ -405,6 +494,10 @@ func (r *Result) Resolved() bool { return r.Resolution != nil }
 // Degraded reports whether the result was produced by a WithFallback
 // degradation step instead of the primary configuration.
 func (r *Result) Degraded() bool { return r.Degradation != nil }
+
+// Decomposed reports whether the result was recombined from per-component
+// runs of the decompose backend.
+func (r *Result) Decomposed() bool { return r.Stats.Decomposed }
 
 // Eqn renders the implementation as boolean equations.
 func (r *Result) Eqn() string { return r.Impl.Eqn() }
@@ -444,6 +537,7 @@ func (s *Synthesizer) backendConfig() BackendConfig {
 		MaxStates: s.cfg.maxStates,
 		MaxNodes:  s.cfg.maxNodes,
 		Workers:   s.cfg.workers,
+		Inner:     s.cfg.inner,
 		Progress:  s.cfg.progress,
 	}
 }

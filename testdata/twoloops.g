@@ -1,0 +1,18 @@
+# Two fully independent request/acknowledge handshake loops sharing no
+# signals, places or transitions — the smallest specification the decompose
+# engine splits into two components.
+.model two-loops
+.inputs r1 r2
+.outputs a1 a2
+.graph
+r1+ a1+
+a1+ r1-
+r1- a1-
+a1- r1+
+r2+ a2+
+a2+ r2-
+r2- a2-
+a2- r2+
+.marking { <a1-,r1+> <a2-,r2+> }
+.initial_state 0000
+.end

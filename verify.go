@@ -113,6 +113,7 @@ func differentialEngines(spec *Spec, maxStates int) []verify.EngineUnderTest {
 		{name: "symbolic", backend: "symbolic", baseline: true, cfg: BackendConfig{}},
 		{name: "unfolding/standard-c", backend: "unfolding", cfg: BackendConfig{Arch: gates.StandardC}},
 		{name: "unfolding/rs-latch", backend: "unfolding", cfg: BackendConfig{Arch: gates.RSLatch}},
+		{name: "decompose", backend: "decompose", cfg: BackendConfig{}},
 	}
 	engines := make([]verify.EngineUnderTest, 0, len(configs))
 	for _, c := range configs {
